@@ -1,0 +1,136 @@
+// Command audit is the data auditing tool of §5: it induces a structure
+// model (one classifier per attribute, audit-adjusted C4.5 by default),
+// detects deviations, ranks them by error confidence and proposes
+// corrections. Structure induction and checking can run separately (§2.2):
+//
+//	# one-shot: induce on the table and audit it
+//	audit -schema engine.schema -in dirty.csv -top 20
+//
+//	# asynchronous: induce offline, check new loads online
+//	audit -schema engine.schema -in history.csv -induce -model model.bin
+//	audit -schema engine.schema -in tonight.csv -model model.bin -top 50
+//
+//	# write corrections
+//	audit -schema engine.schema -in dirty.csv -corrected fixed.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/audittree"
+	"dataaudit/internal/dataset"
+)
+
+func main() {
+	var (
+		schemaPath = flag.String("schema", "", "schema definition file (required)")
+		in         = flag.String("in", "", "input CSV (required)")
+		induceOnly = flag.Bool("induce", false, "only induce the structure model and save it (-model required)")
+		modelPath  = flag.String("model", "", "model file to save (-induce) or load (checking)")
+		minConf    = flag.Float64("minconf", 0.8, "minimal error confidence for suspicious records")
+		bins       = flag.Int("bins", 5, "equal-frequency bins for numeric class attributes")
+		inducer    = flag.String("inducer", string(audit.InducerC45Audit),
+			"induction algorithm: c45-audit, c45, id3, nbayes, knn, 1r, prism")
+		top       = flag.Int("top", 20, "number of top-ranked suspicious records to print")
+		corrected = flag.String("corrected", "", "optional output CSV with corrections applied (§5.3)")
+		filter    = flag.String("filter", "", "rule filter: paper, reachable, none "+
+			"(default: paper for one-shot audits, reachable for -induce, since a model trained on "+
+			"clean history needs its pure rules to flag deviations in future loads)")
+	)
+	flag.Parse()
+	if *schemaPath == "" || *in == "" {
+		fail("need -schema and -in")
+	}
+	schema, err := dataset.ParseSchemaFile(*schemaPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	table, err := dataset.ReadCSVFile(*in, schema)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var model *audit.Model
+	if *modelPath != "" && !*induceOnly {
+		if model, err = audit.Load(*modelPath); err != nil && !os.IsNotExist(err) {
+			fail("loading model: %v", err)
+		}
+	}
+	if model == nil {
+		opts := audit.Options{
+			MinConfidence: *minConf,
+			Bins:          *bins,
+			Inducer:       audit.InducerKind(*inducer),
+		}
+		switch *filter {
+		case "":
+			if *induceOnly {
+				opts.Filter = audittree.FilterReachableOnly
+			}
+		case "paper":
+			opts.Filter = audittree.FilterPaper
+		case "reachable":
+			opts.Filter = audittree.FilterReachableOnly
+		case "none":
+			opts.Filter = audittree.FilterNone
+		default:
+			fail("unknown -filter %q", *filter)
+		}
+		if model, err = audit.Induce(table, opts); err != nil {
+			fail("induction: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "induced structure model for %d attributes from %d records in %v\n",
+			len(model.Attrs), model.TrainRows, model.InduceTime)
+		if *induceOnly {
+			if *modelPath == "" {
+				fail("-induce needs -model")
+			}
+			if err := audit.Save(*modelPath, model); err != nil {
+				fail("saving model: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "saved model to %s\n", *modelPath)
+			return
+		}
+	}
+
+	res := model.AuditTable(table)
+	sus := res.Suspicious()
+	fmt.Printf("checked %d records in %v: %d suspicious (error confidence >= %.2f)\n",
+		table.NumRows(), res.CheckTime, len(sus), model.Opts.MinConfidence)
+	for i, rep := range sus {
+		if i >= *top {
+			fmt.Printf("... and %d more\n", len(sus)-*top)
+			break
+		}
+		fmt.Printf("%4d. record id=%d  confidence %.2f%%\n", i+1, rep.ID, rep.ErrorConf*100)
+		fmt.Printf("      %s\n", model.DescribeFinding(rep.Best))
+		for fi := range rep.Findings {
+			f := &rep.Findings[fi]
+			if f == rep.Best || f.ErrorConf < model.Opts.MinConfidence/2 {
+				continue
+			}
+			fmt.Printf("      also: %s\n", model.DescribeFinding(f))
+		}
+		// §5.3 root-cause hypothesis: the single substitution that best
+		// explains the record.
+		if causes := model.ExplainRow(table.Row(rep.Row)); len(causes) > 0 && causes[0].Clears {
+			fmt.Printf("      likely fix: %s\n", model.DescribeRootCause(&causes[0]))
+		}
+	}
+
+	if *corrected != "" {
+		fixed := model.ApplyCorrections(table, res)
+		if err := dataset.WriteCSVFile(*corrected, fixed); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote corrected table to %s\n", *corrected)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "audit: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command pollute applies the controlled data corruption of §4.2 to a CSV
+// table: wrong values, nulls, limiter truncation, attribute switches and
+// record duplication/deletion, each with its activation probability, and
+// writes a complete corruption log as ground truth.
+//
+//	pollute -schema engine.schema -in clean.csv -out dirty.csv \
+//	        -log corruption.csv -wrong 0.02 -null 0.01 -dup 0.002 -seed 7
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/pollute"
+)
+
+func main() {
+	var (
+		schemaPath = flag.String("schema", "", "schema definition file (required)")
+		in         = flag.String("in", "", "clean input CSV (required)")
+		out        = flag.String("out", "dirty.csv", "dirty output CSV")
+		logPath    = flag.String("log", "", "optional corruption-log CSV (the ground truth)")
+		wrong      = flag.Float64("wrong", 0.02, "wrong-value activation probability per record")
+		nullP      = flag.Float64("null", 0.01, "null-value activation probability per record")
+		switchA    = flag.String("switch", "", "comma pair of attribute names for the switcher, e.g. CAT2,CAT3")
+		switchP    = flag.Float64("switchp", 0.005, "switcher activation probability per record")
+		dup        = flag.Float64("dup", 0.002, "duplicate probability per record")
+		del        = flag.Float64("del", 0.001, "delete probability per record")
+		factor     = flag.Float64("factor", 1, "common pollution factor multiplying all probabilities (§6.1)")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *schemaPath == "" || *in == "" {
+		fail("need -schema and -in")
+	}
+	schema, err := dataset.ParseSchemaFile(*schemaPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	clean, err := dataset.ReadCSVFile(*in, schema)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	plan := pollute.Plan{
+		Cell: []pollute.Configured{
+			{Prob: *wrong, P: &pollute.WrongValuePolluter{}},
+			{Prob: *nullP, P: &pollute.NullValuePolluter{}},
+		},
+		DuplicateProb: *dup,
+		DeleteProb:    *del,
+	}
+	if *switchA != "" {
+		var a, b string
+		if _, err := fmt.Sscanf(*switchA, "%[^,],%s", &a, &b); err != nil {
+			fail("bad -switch value %q", *switchA)
+		}
+		ai, bi := schema.Index(a), schema.Index(b)
+		if ai < 0 || bi < 0 {
+			fail("-switch names unknown attributes")
+		}
+		plan.Cell = append(plan.Cell, pollute.Configured{Prob: *switchP, P: &pollute.Switcher{AttrA: ai, AttrB: bi}})
+	}
+	plan = plan.Scale(*factor)
+
+	dirty, log := pollute.Run(clean, plan, rand.New(rand.NewSource(*seed)))
+	if err := dataset.WriteCSVFile(*out, dirty); err != nil {
+		fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "polluted %d -> %d records, %d corruption events, wrote %s\n",
+		clean.NumRows(), dirty.NumRows(), len(log.Events), *out)
+
+	if *logPath != "" {
+		if err := writeLog(*logPath, schema, log); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote ground truth to %s\n", *logPath)
+	}
+}
+
+func writeLog(path string, schema *dataset.Schema, log *pollute.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"record_id", "kind", "attribute", "before", "after", "dup_of"}); err != nil {
+		return err
+	}
+	for _, e := range log.Events {
+		attrName, before, after := "", "", ""
+		if e.Attr >= 0 {
+			a := schema.Attr(e.Attr)
+			attrName = a.Name
+			before = a.Format(e.Before)
+			after = a.Format(e.After)
+		}
+		dupOf := ""
+		if e.Kind == pollute.Duplicate {
+			dupOf = strconv.FormatInt(e.DupOfID, 10)
+		}
+		if err := w.Write([]string{
+			strconv.FormatInt(e.RecordID, 10), e.Kind.String(), attrName, before, after, dupOf,
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pollute: "+format+"\n", args...)
+	os.Exit(1)
+}

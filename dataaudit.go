@@ -1,0 +1,257 @@
+// Package dataaudit is a Go implementation of the data-auditing
+// environment from
+//
+//	D. Lübbers, U. Grimmer, M. Jarke:
+//	"Systematic Development of Data Mining-Based Data Quality Tools",
+//	Proceedings of the 29th VLDB Conference, Berlin, 2003.
+//
+// It bundles the paper's three building blocks behind one import path:
+//
+//   - a rule-pattern-based artificial test data generator (§4.1) with
+//     TDG-formulae, TDG-negation, a pragmatic satisfiability test, natural
+//     rule sets and Bayesian-network start distributions,
+//   - controlled data corruption with a logged ground truth (§4.2) and the
+//     sensitivity / specificity / quality-of-correction measures (§4.3),
+//   - the data auditing tool itself (§5): the multiple classification /
+//     regression approach on an audit-adjusted C4.5, error confidences
+//     (Definitions 7–9), ranked deviation reports and proposed
+//     corrections.
+//
+// The subpackages under internal/ carry the implementation; this package
+// re-exports the stable surface. See the examples/ directory for complete
+// programs and cmd/experiments for the reproduction of every table and
+// figure of the paper's evaluation.
+package dataaudit
+
+import (
+	"math/rand"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/audittree"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/evalx"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/quis"
+	"dataaudit/internal/stats"
+	"dataaudit/internal/tdg"
+)
+
+// ---------------------------------------------------------------------------
+// Relational substrate (internal/dataset)
+
+// Value is one table cell: null, nominal (domain index) or number.
+type Value = dataset.Value
+
+// Attribute describes a column: name, type and domain range.
+type Attribute = dataset.Attribute
+
+// Schema is the ordered attribute list of the target relation.
+type Schema = dataset.Schema
+
+// Table is a column-oriented relation instance with stable record IDs.
+type Table = dataset.Table
+
+// Re-exported constructors and helpers of the relational substrate.
+var (
+	// Null returns the null value.
+	Null = dataset.Null
+	// Nom builds a nominal value from a domain index.
+	Nom = dataset.Nom
+	// Num builds a numeric/date value.
+	Num = dataset.Num
+	// DateValue builds a date value from a time.Time.
+	DateValue = dataset.DateValue
+	// NewNominal / NewNumeric / NewDate build attributes.
+	NewNominal = dataset.NewNominal
+	NewNumeric = dataset.NewNumeric
+	NewDate    = dataset.NewDate
+	// NewSchema builds and validates a schema; MustSchema panics on error.
+	NewSchema  = dataset.NewSchema
+	MustSchema = dataset.MustSchema
+	// NewTable creates an empty table over a schema.
+	NewTable = dataset.NewTable
+	// CSV and native binary persistence.
+	ReadCSV        = dataset.ReadCSV
+	WriteCSV       = dataset.WriteCSV
+	ReadCSVFile    = dataset.ReadCSVFile
+	WriteCSVFile   = dataset.WriteCSVFile
+	ReadTableFile  = dataset.ReadTableFile
+	WriteTableFile = dataset.WriteTableFile
+	// MustParseDate parses an ISO date or panics (tests/examples).
+	MustParseDate = dataset.MustParseDate
+)
+
+// ---------------------------------------------------------------------------
+// Test data generator (internal/tdg)
+
+// Formula is a TDG-formula (Definitions 1–2); Rule a TDG-rule (Definition 3).
+type (
+	Formula = tdg.Formula
+	Atom    = tdg.Atom
+	And     = tdg.And
+	Or      = tdg.Or
+	Rule    = tdg.Rule
+)
+
+// Atom kinds (Definition 1).
+const (
+	EqConst   = tdg.EqConst
+	NeqConst  = tdg.NeqConst
+	LtConst   = tdg.LtConst
+	GtConst   = tdg.GtConst
+	IsNull    = tdg.IsNull
+	IsNotNull = tdg.IsNotNull
+	EqAttr    = tdg.EqAttr
+	NeqAttr   = tdg.NeqAttr
+	LtAttr    = tdg.LtAttr
+	GtAttr    = tdg.GtAttr
+)
+
+// RuleGenParams parameterize random natural-rule-set generation (§4.1.2);
+// DataGenParams and StartDists parameterize record generation (§4.1.4).
+type (
+	RuleGenParams = tdg.RuleGenParams
+	DataGenParams = tdg.DataGenParams
+	StartDists    = tdg.StartDists
+)
+
+// Generator functions and the logic toolbox of §4.1.
+var (
+	// Negate computes the TDG-negation of Table 1.
+	Negate = tdg.Negate
+	// Satisfiable runs the pragmatic satisfiability test of §4.1.3.
+	Satisfiable = tdg.Satisfiable
+	// Implies tests α ⇒ β via unsatisfiability of α ∧ ~β.
+	Implies = tdg.Implies
+	// NaturalFormula / NaturalRule / NaturalRuleSet check Definitions 4–6.
+	NaturalFormula = tdg.NaturalFormula
+	NaturalRule    = tdg.NaturalRule
+	NaturalRuleSet = tdg.NaturalRuleSet
+	// GenerateRuleSet draws a random natural rule set.
+	GenerateRuleSet = tdg.GenerateRuleSet
+	// GenerateData creates records that follow a rule set.
+	GenerateData = tdg.Generate
+)
+
+// ---------------------------------------------------------------------------
+// Controlled data corruption (internal/pollute)
+
+// Polluters of §4.2 and their configuration.
+type (
+	PollutionPlan      = pollute.Plan
+	ConfiguredPolluter = pollute.Configured
+	PollutionLog       = pollute.Log
+	PollutionEvent     = pollute.Event
+	WrongValuePolluter = pollute.WrongValuePolluter
+	NullValuePolluter  = pollute.NullValuePolluter
+	Limiter            = pollute.Limiter
+	Switcher           = pollute.Switcher
+)
+
+// Pollute corrupts a clone of the table according to the plan and returns
+// the dirty table plus the complete corruption log (the ground truth).
+func Pollute(clean *Table, plan PollutionPlan, rng *rand.Rand) (*Table, *PollutionLog) {
+	return pollute.Run(clean, plan, rng)
+}
+
+// ---------------------------------------------------------------------------
+// The data auditing tool (internal/audit)
+
+// AuditOptions configure structure induction and deviation detection (§5);
+// AuditModel is the induced structure model; Finding / RecordReport /
+// AuditResult describe detected deviations.
+type (
+	AuditOptions = audit.Options
+	AuditModel   = audit.Model
+	Finding      = audit.Finding
+	RecordReport = audit.RecordReport
+	AuditResult  = audit.Result
+	InducerKind  = audit.InducerKind
+	FilterMode   = audittree.FilterMode
+	// RootCause is a §5.3 single-cell substitution hypothesis produced by
+	// AuditModel.ExplainRow for interactive error correction.
+	RootCause = audit.RootCause
+)
+
+// Induction algorithm selection (Fig. 1, step 2).
+const (
+	InducerC45Audit   = audit.InducerC45Audit
+	InducerC45        = audit.InducerC45
+	InducerID3        = audit.InducerID3
+	InducerNaiveBayes = audit.InducerNaiveBayes
+	InducerKNN        = audit.InducerKNN
+	InducerOneR       = audit.InducerOneR
+	InducerPrism      = audit.InducerPrism
+
+	// Rule-filtering modes (§5.4).
+	FilterPaper         = audittree.FilterPaper
+	FilterReachableOnly = audittree.FilterReachableOnly
+	FilterNone          = audittree.FilterNone
+)
+
+// Audit tool entry points.
+var (
+	// Induce builds the structure model for a table.
+	Induce = audit.Induce
+	// SaveModel / LoadModel persist models for asynchronous auditing (§2.2).
+	SaveModel = audit.Save
+	LoadModel = audit.Load
+)
+
+// ---------------------------------------------------------------------------
+// Test environment and measures (internal/evalx)
+
+// The §4.3 measures and the Figure-2 pipeline.
+type (
+	Confusion        = evalx.Confusion
+	CorrectionMatrix = evalx.CorrectionMatrix
+	PipelineConfig   = evalx.Config
+	PipelineResult   = evalx.Result
+	SweepPoint       = evalx.Point
+)
+
+// Test-environment entry points.
+var (
+	// RunPipeline executes generate → pollute → audit → evaluate.
+	RunPipeline = evalx.Run
+	// BaseConfig returns the §6.1 base parameter configuration.
+	BaseConfig = evalx.BaseConfig
+	// Sweeps reproducing Figures 3–5.
+	RecordsSweep   = evalx.RecordsSweep
+	RulesSweep     = evalx.RulesSweep
+	PollutionSweep = evalx.PollutionSweep
+	// RenderPoints / FormatTable format experiment reports.
+	RenderPoints = evalx.RenderPoints
+	FormatTable  = evalx.FormatTable
+)
+
+// ---------------------------------------------------------------------------
+// Statistics helpers (internal/stats)
+
+var (
+	// LeftBound / RightBound are the one-sided Wilson confidence-interval
+	// bounds of §5.1.2.
+	LeftBound  = stats.LeftBound
+	RightBound = stats.RightBound
+	// ErrorConfidence is Definition 7.
+	ErrorConfidence = stats.ErrorConfidence
+	// MinInstForConfidence derives the §5.4 minInst pre-pruning threshold.
+	MinInstForConfidence = stats.MinInstForConfidence
+)
+
+// ---------------------------------------------------------------------------
+// QUIS domain simulation (internal/quis)
+
+// QUISParams configure the synthetic §6.2 engine-composition sample;
+// QUISTable is the generated sample with its ground truth.
+type (
+	QUISParams = quis.Params
+	QUISTable  = quis.Table
+)
+
+// QUISSchema builds the 8-attribute engine relation; GenerateQUIS the
+// synthetic sample reproducing the paper's §6.2 structure.
+var (
+	QUISSchema   = quis.Schema
+	GenerateQUIS = quis.Generate
+)

@@ -1,0 +1,185 @@
+package dataaudit_test
+
+// Integration tests exercising the public facade end to end — the same
+// surface the examples and a downstream adopter would use.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dataaudit"
+)
+
+func facadeSchema(t testing.TB) *dataaudit.Schema {
+	t.Helper()
+	return dataaudit.MustSchema(
+		dataaudit.NewNominal("MODEL", "sedan", "wagon", "coupe"),
+		dataaudit.NewNominal("ENGINE", "E20", "E30", "D25"),
+		dataaudit.NewNominal("FUEL", "petrol", "diesel"),
+		dataaudit.NewNumeric("KM", 0, 300000),
+	)
+}
+
+func facadeRules(t testing.TB, schema *dataaudit.Schema) []dataaudit.Rule {
+	t.Helper()
+	return []dataaudit.Rule{
+		{
+			Premise:    dataaudit.Atom{Kind: dataaudit.EqConst, A: 0, Val: schema.Attr(0).MustNominal("coupe")},
+			Conclusion: dataaudit.Atom{Kind: dataaudit.EqConst, A: 1, Val: schema.Attr(1).MustNominal("E30")},
+		},
+		{
+			Premise:    dataaudit.Atom{Kind: dataaudit.EqConst, A: 1, Val: schema.Attr(1).MustNominal("D25")},
+			Conclusion: dataaudit.Atom{Kind: dataaudit.EqConst, A: 2, Val: schema.Attr(2).MustNominal("diesel")},
+		},
+	}
+}
+
+func TestEndToEndThroughFacade(t *testing.T) {
+	schema := facadeSchema(t)
+	rules := facadeRules(t, schema)
+
+	ok, err := dataaudit.NaturalRuleSet(schema, rules)
+	if err != nil || !ok {
+		t.Fatalf("rule set not natural: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	clean, err := dataaudit.GenerateData(schema, rules, dataaudit.DataGenParams{NumRecords: 3000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirty, logbook := dataaudit.Pollute(clean, dataaudit.PollutionPlan{
+		Cell: []dataaudit.ConfiguredPolluter{
+			{Prob: 0.02, P: &dataaudit.WrongValuePolluter{}},
+			{Prob: 0.01, P: &dataaudit.NullValuePolluter{}},
+		},
+	}, rng)
+	if len(logbook.Events) == 0 {
+		t.Fatal("no corruption happened")
+	}
+
+	model, err := dataaudit.Induce(dirty, dataaudit.AuditOptions{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := model.AuditTable(dirty)
+	sus := res.Suspicious()
+	if len(sus) == 0 {
+		t.Fatal("audit flagged nothing despite 3% corruption on strong structure")
+	}
+	truth := logbook.CorruptedIDs()
+	hits := 0
+	for _, rep := range sus {
+		if truth[rep.ID] {
+			hits++
+		}
+	}
+	if float64(hits)/float64(len(sus)) < 0.9 {
+		t.Fatalf("precision collapsed: %d of %d flagged are real", hits, len(sus))
+	}
+}
+
+func TestFacadePipelineAndMeasures(t *testing.T) {
+	cfg := dataaudit.BaseConfig(99)
+	cfg.DataGen.NumRecords = 1200
+	cfg.RuleGen.NumRules = 15
+	res, err := dataaudit.RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Specificity() < 0.95 {
+		t.Fatalf("specificity = %g", res.Specificity())
+	}
+	if res.Confusion.Total() != res.NumDirty {
+		t.Fatalf("confusion incomplete")
+	}
+}
+
+func TestFacadeModelPersistence(t *testing.T) {
+	schema := facadeSchema(t)
+	rules := facadeRules(t, schema)
+	rng := rand.New(rand.NewSource(6))
+	clean, err := dataaudit.GenerateData(schema, rules, dataaudit.DataGenParams{NumRecords: 1500}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := dataaudit.Induce(clean, dataaudit.AuditOptions{
+		MinConfidence: 0.8,
+		Filter:        dataaudit.FilterReachableOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	if err := dataaudit.SaveModel(path, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataaudit.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record violating rule 1 must be flagged identically by both.
+	row := clean.Row(0)
+	row[0] = schema.Attr(0).MustNominal("coupe")
+	row[1] = schema.Attr(1).MustNominal("E20")
+	a, b := model.CheckRow(row), loaded.CheckRow(row)
+	if !a.Suspicious || !b.Suspicious || a.ErrorConf != b.ErrorConf {
+		t.Fatalf("persistence changed verdicts: %+v vs %+v", a.ErrorConf, b.ErrorConf)
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	schema := facadeSchema(t)
+	rng := rand.New(rand.NewSource(7))
+	table, err := dataaudit.GenerateData(schema, nil, dataaudit.DataGenParams{NumRecords: 100}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := dataaudit.WriteCSVFile(path, table); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataaudit.ReadCSVFile(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != table.NumRows() {
+		t.Fatalf("rows changed through CSV")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeQUIS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QUIS generation is heavyweight")
+	}
+	sample, err := dataaudit.GenerateQUIS(dataaudit.QUISParams{NumRecords: 30000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.Data.NumRows() != 30000 {
+		t.Fatalf("rows = %d", sample.Data.NumRows())
+	}
+	if dataaudit.QUISSchema().Len() != 8 {
+		t.Fatalf("QUIS schema must have 8 attributes")
+	}
+}
+
+func TestFacadeStatsHelpers(t *testing.T) {
+	if dataaudit.ErrorConfidence(1, 0, 16118, 0.95) < 0.999 {
+		t.Fatalf("the paper's §6.2 confidence regime must be reachable")
+	}
+	if dataaudit.LeftBound(0.5, 100, 0.95) >= dataaudit.RightBound(0.5, 100, 0.95) {
+		t.Fatalf("bounds inverted")
+	}
+	if dataaudit.MinInstForConfidence(0.8, 0.95) < 2 {
+		t.Fatalf("minInst implausible")
+	}
+}

@@ -1,0 +1,292 @@
+// Package assoc implements Apriori association-rule mining with the
+// confidence-sum deviation scoring of Hipp et al. [14], which the paper
+// discusses as the closest related approach (§7): "use scalable algorithms
+// for association rule induction and define a scoring that rates deviations
+// from these rules based on the confidence of the violated rules".
+//
+// It serves as a comparison baseline in the algorithm-selection experiment
+// (E7): unlike the multiple-classification approach, association rules
+// "cannot directly model dependencies between numerical attributes" — here
+// numeric attributes are equal-frequency discretized first, which is
+// exactly the workaround the paper criticizes.
+package assoc
+
+import (
+	"fmt"
+	"sort"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/stats"
+)
+
+// Item is one attribute-value (or attribute-bucket) pair.
+type Item struct {
+	Attr int
+	Val  int
+}
+
+// Rule is an association rule X → y with a single-item consequent.
+type Rule struct {
+	Antecedent []Item
+	Consequent Item
+	// Support is the fraction of records containing X ∪ {y}.
+	Support float64
+	// Confidence is support(X ∪ {y}) / support(X).
+	Confidence float64
+	// N is the absolute record count behind the antecedent.
+	N float64
+}
+
+// Options configure mining.
+type Options struct {
+	// MinSupport is the minimal itemset support (default 0.05).
+	MinSupport float64
+	// MinConfidence is the minimal rule confidence (default 0.9).
+	MinConfidence float64
+	// MaxItemsetSize caps the Apriori levels (default 3).
+	MaxItemsetSize int
+	// Bins discretizes numeric/date attributes (default 5).
+	Bins int
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.MinSupport == 0 {
+		o.MinSupport = 0.05
+	}
+	if o.MinConfidence == 0 {
+		o.MinConfidence = 0.9
+	}
+	if o.MaxItemsetSize == 0 {
+		o.MaxItemsetSize = 3
+	}
+	if o.Bins == 0 {
+		o.Bins = 5
+	}
+	return o
+}
+
+// Model holds the mined rules and the discretizers needed to score rows.
+type Model struct {
+	Rules []Rule
+	Disc  []*stats.Discretizer // per column; nil for nominal columns
+}
+
+// Mine runs Apriori over the table and derives single-consequent rules.
+func Mine(tab *dataset.Table, opts Options) (*Model, error) {
+	opts = opts.WithDefaults()
+	schema := tab.Schema()
+	n := tab.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("assoc: empty table")
+	}
+
+	model := &Model{Disc: make([]*stats.Discretizer, schema.Len())}
+	for c := 0; c < schema.Len(); c++ {
+		if schema.Attr(c).Type == dataset.NominalType {
+			continue
+		}
+		var vals []float64
+		for r := 0; r < n; r++ {
+			if v := tab.Get(r, c); !v.IsNull() {
+				vals = append(vals, v.Float())
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		d, err := stats.NewEqualFrequency(vals, opts.Bins)
+		if err != nil {
+			return nil, err
+		}
+		model.Disc[c] = d
+	}
+
+	// Materialize item vectors (one item per column; -1 = null).
+	feats := make([][]int, n)
+	for r := 0; r < n; r++ {
+		f := make([]int, schema.Len())
+		for c := 0; c < schema.Len(); c++ {
+			f[c] = model.itemValue(tab.Get(r, c), c)
+		}
+		feats[r] = f
+	}
+
+	minCount := opts.MinSupport * float64(n)
+
+	// Level 1: frequent single items.
+	type itemset []Item
+	counts := make(map[Item]int)
+	for _, f := range feats {
+		for c, v := range f {
+			if v >= 0 {
+				counts[Item{Attr: c, Val: v}]++
+			}
+		}
+	}
+	var frequent []itemset
+	supportOf := make(map[string]float64)
+	for it, cnt := range counts {
+		if float64(cnt) >= minCount {
+			is := itemset{it}
+			frequent = append(frequent, is)
+			supportOf[keyOf(is)] = float64(cnt)
+		}
+	}
+	sortItemsets(frequent)
+
+	all := append([]itemset(nil), frequent...)
+	level := frequent
+	for size := 2; size <= opts.MaxItemsetSize && len(level) > 0; size++ {
+		// Candidate generation: join sets sharing a (size-2)-prefix, one
+		// item per attribute.
+		candSet := make(map[string]itemset)
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if !samePrefix(a, b) {
+					continue
+				}
+				last := b[len(b)-1]
+				if last.Attr == a[len(a)-1].Attr {
+					continue // one item per attribute
+				}
+				cand := append(append(itemset{}, a...), last)
+				sortItems(cand)
+				candSet[keyOf(cand)] = cand
+			}
+		}
+		// Count supports.
+		candCounts := make(map[string]int, len(candSet))
+		for _, f := range feats {
+			for key, cand := range candSet {
+				if containsAll(f, cand) {
+					candCounts[key]++
+				}
+			}
+		}
+		level = level[:0]
+		for key, cand := range candSet {
+			if float64(candCounts[key]) >= minCount {
+				level = append(level, cand)
+				supportOf[key] = float64(candCounts[key])
+			}
+		}
+		sortItemsets(level)
+		all = append(all, level...)
+	}
+
+	// Rule derivation: for each frequent itemset of size >= 2, split off
+	// each single item as the consequent.
+	for _, is := range all {
+		if len(is) < 2 {
+			continue
+		}
+		full := supportOf[keyOf(is)]
+		for i := range is {
+			ante := make(itemset, 0, len(is)-1)
+			ante = append(ante, is[:i]...)
+			ante = append(ante, is[i+1:]...)
+			anteSup, ok := supportOf[keyOf(ante)]
+			if !ok || anteSup <= 0 {
+				continue
+			}
+			conf := full / anteSup
+			if conf < opts.MinConfidence {
+				continue
+			}
+			model.Rules = append(model.Rules, Rule{
+				Antecedent: append([]Item(nil), ante...),
+				Consequent: is[i],
+				Support:    full / float64(n),
+				Confidence: conf,
+				N:          anteSup,
+			})
+		}
+	}
+	sort.Slice(model.Rules, func(i, j int) bool { return model.Rules[i].Confidence > model.Rules[j].Confidence })
+	return model, nil
+}
+
+// itemValue maps a cell to its item value (-1 for null).
+func (m *Model) itemValue(v dataset.Value, col int) int {
+	if v.IsNull() {
+		return -1
+	}
+	if m.Disc[col] != nil {
+		return m.Disc[col].Bin(v.Float())
+	}
+	if v.IsNominal() {
+		return v.NomIdx()
+	}
+	return -1
+}
+
+// Score implements the Hipp scoring: the sum of confidences of all rules
+// the record violates (antecedent matches, consequent does not).
+func (m *Model) Score(row []dataset.Value) float64 {
+	feats := make([]int, len(m.Disc))
+	for c := range feats {
+		feats[c] = m.itemValue(row[c], c)
+	}
+	score := 0.0
+	for i := range m.Rules {
+		r := &m.Rules[i]
+		matched := true
+		for _, it := range r.Antecedent {
+			if feats[it.Attr] != it.Val {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		if feats[r.Consequent.Attr] != r.Consequent.Val {
+			score += r.Confidence
+		}
+	}
+	return score
+}
+
+func keyOf(is []Item) string {
+	b := make([]byte, 0, len(is)*8)
+	for _, it := range is {
+		b = append(b, byte(it.Attr), byte(it.Attr>>8), byte(it.Val), byte(it.Val>>8))
+	}
+	return string(b)
+}
+
+func sortItems(is []Item) {
+	sort.Slice(is, func(a, b int) bool {
+		if is[a].Attr != is[b].Attr {
+			return is[a].Attr < is[b].Attr
+		}
+		return is[a].Val < is[b].Val
+	})
+}
+
+func sortItemsets[T ~[]Item](sets []T) {
+	sort.Slice(sets, func(a, b int) bool { return keyOf(sets[a]) < keyOf(sets[b]) })
+}
+
+func samePrefix(a, b []Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsAll(feats []int, is []Item) bool {
+	for _, it := range is {
+		if feats[it.Attr] != it.Val {
+			return false
+		}
+	}
+	return true
+}

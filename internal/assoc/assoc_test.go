@@ -1,0 +1,154 @@
+package assoc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+func assocSchema(t testing.TB) *dataset.Schema {
+	t.Helper()
+	return dataset.MustSchema(
+		dataset.NewNominal("a", "a0", "a1"),
+		dataset.NewNominal("b", "b0", "b1"),
+		dataset.NewNumeric("x", 0, 100),
+	)
+}
+
+// dependentTable: a=a0 -> b=b0 always; x random.
+func dependentTable(t testing.TB, n int, seed int64) *dataset.Table {
+	t.Helper()
+	tab := dataset.NewTable(assocSchema(t))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		a := rng.Intn(2)
+		b := a // perfect dependency both ways
+		tab.AppendRow([]dataset.Value{dataset.Nom(a), dataset.Nom(b), dataset.Num(rng.Float64() * 100)})
+	}
+	return tab
+}
+
+func TestMineFindsDependency(t *testing.T) {
+	tab := dependentTable(t, 1000, 61)
+	model, err := Mine(tab, Options{MinSupport: 0.1, MinConfidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range model.Rules {
+		if len(r.Antecedent) == 1 &&
+			r.Antecedent[0] == (Item{Attr: 0, Val: 0}) &&
+			r.Consequent == (Item{Attr: 1, Val: 0}) {
+			found = true
+			if r.Confidence < 0.999 {
+				t.Fatalf("perfect dependency confidence = %g", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("a0 -> b0 not mined; got %d rules", len(model.Rules))
+	}
+}
+
+func TestScoreFlagsViolation(t *testing.T) {
+	tab := dependentTable(t, 1000, 62)
+	model, err := Mine(tab, Options{MinSupport: 0.1, MinConfidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := []dataset.Value{dataset.Nom(0), dataset.Nom(0), dataset.Num(50)}
+	dirty := []dataset.Value{dataset.Nom(0), dataset.Nom(1), dataset.Num(50)}
+	if s := model.Score(clean); s != 0 {
+		t.Fatalf("clean record scored %g", s)
+	}
+	if s := model.Score(dirty); s <= 0 {
+		t.Fatalf("violating record scored %g", s)
+	}
+}
+
+func TestMineRespectsSupportThreshold(t *testing.T) {
+	tab := dependentTable(t, 1000, 63)
+	// Absurd support threshold: no rules.
+	model, err := Mine(tab, Options{MinSupport: 0.99, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Rules) != 0 {
+		t.Fatalf("expected no rules at 99%% support, got %d", len(model.Rules))
+	}
+}
+
+func TestMineEmptyTableFails(t *testing.T) {
+	tab := dataset.NewTable(assocSchema(t))
+	if _, err := Mine(tab, Options{}); err == nil {
+		t.Fatalf("empty table must fail")
+	}
+}
+
+func TestNumericDiscretization(t *testing.T) {
+	// x < 50   <->  a = a0 (via bins).
+	tab := dataset.NewTable(assocSchema(t))
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 1000; i++ {
+		a := rng.Intn(2)
+		x := rng.Float64() * 49
+		if a == 1 {
+			x = 51 + rng.Float64()*49
+		}
+		tab.AppendRow([]dataset.Value{dataset.Nom(a), dataset.Nom(rng.Intn(2)), dataset.Num(x)})
+	}
+	model, err := Mine(tab, Options{MinSupport: 0.05, MinConfidence: 0.9, Bins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some rule must link attribute 0 and the discretized attribute 2.
+	found := false
+	for _, r := range model.Rules {
+		attrs := map[int]bool{r.Consequent.Attr: true}
+		for _, it := range r.Antecedent {
+			attrs[it.Attr] = true
+		}
+		if attrs[0] && attrs[2] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no rule linking the nominal and the discretized numeric attribute")
+	}
+	// Scoring must treat a mismatched bucket as a violation.
+	bad := []dataset.Value{dataset.Nom(0), dataset.Nom(0), dataset.Num(99)}
+	good := []dataset.Value{dataset.Nom(0), dataset.Nom(0), dataset.Num(10)}
+	if model.Score(bad) <= model.Score(good) {
+		t.Fatalf("bucket violation not penalized: bad=%g good=%g", model.Score(bad), model.Score(good))
+	}
+}
+
+func TestRuleMetricsSane(t *testing.T) {
+	tab := dependentTable(t, 500, 65)
+	model, err := Mine(tab, Options{MinSupport: 0.05, MinConfidence: 0.5, MaxItemsetSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Rules) == 0 {
+		t.Fatalf("no rules")
+	}
+	for _, r := range model.Rules {
+		if r.Confidence < 0.5 || r.Confidence > 1+1e-9 {
+			t.Fatalf("confidence out of range: %g", r.Confidence)
+		}
+		if r.Support <= 0 || r.Support > 1 {
+			t.Fatalf("support out of range: %g", r.Support)
+		}
+		if r.N <= 0 || math.IsNaN(r.N) {
+			t.Fatalf("bad N: %g", r.N)
+		}
+	}
+	// Rules sorted by confidence descending.
+	for i := 1; i < len(model.Rules); i++ {
+		if model.Rules[i].Confidence > model.Rules[i-1].Confidence+1e-12 {
+			t.Fatalf("rules not sorted by confidence")
+		}
+	}
+}

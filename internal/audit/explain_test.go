@@ -1,0 +1,78 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+func TestExplainRowFindsRootCause(t *testing.T) {
+	tab := engineTable(t, 5000, 91)
+	// Corrupt BRV on record 0: both the BRV classifier (BRV inconsistent
+	// with GBM/DISP) and the GBM classifier (GBM inconsistent with the
+	// corrupted BRV) will fire. The single substitution that clears the
+	// record is restoring BRV.
+	trueBRV := tab.Get(0, 0).NomIdx()
+	tab.Set(0, 0, dataset.Nom((trueBRV+1)%3))
+	m, err := Induce(tab, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Row(0)
+	causes := m.ExplainRow(row)
+	if len(causes) == 0 {
+		t.Fatalf("no root-cause hypotheses for a suspicious record")
+	}
+	best := causes[0]
+	if best.Attr != 0 {
+		for _, c := range causes {
+			t.Logf("cause: attr=%d residual=%.3f clears=%v", c.Attr, c.Residual, c.Clears)
+		}
+		t.Fatalf("best hypothesis should substitute BRV (attr 0), got attr %d", best.Attr)
+	}
+	if !best.Clears {
+		t.Fatalf("restoring BRV must clear the record (residual %.3f)", best.Residual)
+	}
+	if best.Substitution.NomIdx() != trueBRV {
+		t.Fatalf("substitution should restore the original BRV")
+	}
+	// Hypotheses are ranked by residual.
+	for i := 1; i < len(causes); i++ {
+		if causes[i].Residual < causes[i-1].Residual-1e-12 {
+			t.Fatalf("hypotheses not sorted by residual")
+		}
+	}
+	desc := m.DescribeRootCause(&best)
+	if !strings.Contains(desc, "BRV :=") || !strings.Contains(desc, "explains the record") {
+		t.Fatalf("DescribeRootCause = %q", desc)
+	}
+}
+
+func TestExplainRowCleanRecordIsNil(t *testing.T) {
+	tab := engineTable(t, 3000, 92)
+	m, err := Induce(tab, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if causes := m.ExplainRow(tab.Row(1)); causes != nil {
+		t.Fatalf("clean record must yield no hypotheses, got %d", len(causes))
+	}
+}
+
+func TestExplainRowDoesNotMutateInput(t *testing.T) {
+	tab := engineTable(t, 3000, 93)
+	tab.Set(0, 2, dataset.Nom((tab.Get(0, 0).NomIdx()+1)%3))
+	m, err := Induce(tab, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Row(0)
+	before := append([]dataset.Value(nil), row...)
+	m.ExplainRow(row)
+	for i := range row {
+		if !row[i].Equal(before[i]) {
+			t.Fatalf("ExplainRow mutated the input row at %d", i)
+		}
+	}
+}

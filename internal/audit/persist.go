@@ -1,0 +1,80 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"dataaudit/internal/audittree"
+	"dataaudit/internal/c45"
+	"dataaudit/internal/knn"
+	"dataaudit/internal/nbayes"
+	"dataaudit/internal/ruleind"
+)
+
+// Structure models serialize with encoding/gob so induction and checking
+// can run in different processes (§2.2: "While the time-consuming structure
+// induction can be prepared off-line, new data can be checked for
+// deviations and loaded quickly").
+
+func init() {
+	// Register every concrete classifier that can sit behind the
+	// mlcore.Classifier interface inside a Model.
+	gob.Register(&c45.Tree{})
+	gob.Register(&audittree.RuleSet{})
+	gob.Register(&nbayes.Model{})
+	gob.Register(&knn.Model{})
+	gob.Register(&ruleind.OneRModel{})
+	gob.Register(&ruleind.PrismModel{})
+}
+
+// Encode writes the model in the native binary format.
+func Encode(w io.Writer, m *Model) error {
+	return gob.NewEncoder(w).Encode(m)
+}
+
+// Decode reads a model written by Encode.
+func Decode(r io.Reader) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("audit: decoding model: %w", err)
+	}
+	return &m, nil
+}
+
+// Marshal serializes the model to bytes.
+func Marshal(m *Model) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserializes a model from bytes.
+func Unmarshal(b []byte) (*Model, error) { return Decode(bytes.NewReader(b)) }
+
+// Save stores the model in a file.
+func Save(path string, m *Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Encode(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model stored by Save.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

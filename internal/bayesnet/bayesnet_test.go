@@ -1,0 +1,202 @@
+package bayesnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/stats"
+)
+
+func netSchema(t *testing.T) *dataset.Schema {
+	t.Helper()
+	return dataset.MustSchema(
+		dataset.NewNominal("weather", "sunny", "rainy"),
+		dataset.NewNominal("sprinkler", "on", "off"),
+		dataset.NewNominal("grass", "wet", "dry"),
+		dataset.NewNumeric("unrelated", 0, 1),
+	)
+}
+
+// sprinklerNet builds the classic sprinkler network:
+// weather -> sprinkler, (weather, sprinkler) -> grass.
+func sprinklerNet(t *testing.T) *Network {
+	t.Helper()
+	s := netSchema(t)
+	nodes := []*Node{
+		{Attr: 0, CPT: []*stats.Categorical{stats.MustCategorical(0.7, 0.3)}},
+		{Attr: 1, Parents: []int{0}, CPT: []*stats.Categorical{
+			stats.MustCategorical(0.2, 0.8), // sunny
+			stats.MustCategorical(0.05, 0.95),
+		}},
+		{Attr: 2, Parents: []int{0, 1}, CPT: []*stats.Categorical{
+			stats.MustCategorical(0.9, 0.1),   // sunny, on
+			stats.MustCategorical(0.05, 0.95), // sunny, off
+			stats.MustCategorical(0.99, 0.01), // rainy, on
+			stats.MustCategorical(0.85, 0.15), // rainy, off
+		}},
+	}
+	net, err := New(s, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := netSchema(t)
+	uni := []*stats.Categorical{stats.MustCategorical(1, 1)}
+	cases := []struct {
+		name  string
+		nodes []*Node
+	}{
+		{"attr out of range", []*Node{{Attr: 99, CPT: uni}}},
+		{"non-nominal attr", []*Node{{Attr: 3, CPT: uni}}},
+		{"duplicate attr", []*Node{{Attr: 0, CPT: uni}, {Attr: 0, CPT: uni}}},
+		{"self parent", []*Node{{Attr: 0, Parents: []int{0}, CPT: uni}}},
+		{"parent out of range", []*Node{{Attr: 0, Parents: []int{5}, CPT: uni}}},
+		{"wrong CPT rows", []*Node{{Attr: 0, Parents: nil, CPT: []*stats.Categorical{}}}},
+		{"wrong row arity", []*Node{{Attr: 0, CPT: []*stats.Categorical{stats.MustCategorical(1, 1, 1)}}}},
+		{"nil row", []*Node{{Attr: 0, CPT: []*stats.Categorical{nil}}}},
+		{"cycle", []*Node{
+			{Attr: 0, Parents: []int{1}, CPT: make2rows()},
+			{Attr: 1, Parents: []int{0}, CPT: make2rows()},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := New(s, c.nodes); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func make2rows() []*stats.Categorical {
+	return []*stats.Categorical{stats.MustCategorical(1, 1), stats.MustCategorical(1, 1)}
+}
+
+func TestCovers(t *testing.T) {
+	net := sprinklerNet(t)
+	if !net.Covers(0) || !net.Covers(2) || net.Covers(3) {
+		t.Fatalf("Covers broken")
+	}
+}
+
+func TestSamplingMarginals(t *testing.T) {
+	net := sprinklerNet(t)
+	rng := rand.New(rand.NewSource(41))
+	const n = 200000
+	row := make([]dataset.Value, 4)
+	sunny, grassWetGivenRainyOff := 0, 0
+	rainyOff := 0
+	for i := 0; i < n; i++ {
+		net.Sample(rng, row)
+		if row[0].NomIdx() == 0 {
+			sunny++
+		}
+		if row[0].NomIdx() == 1 && row[1].NomIdx() == 1 {
+			rainyOff++
+			if row[2].NomIdx() == 0 {
+				grassWetGivenRainyOff++
+			}
+		}
+	}
+	if p := float64(sunny) / n; math.Abs(p-0.7) > 0.01 {
+		t.Fatalf("P(sunny) = %g, want ~0.7", p)
+	}
+	if p := float64(grassWetGivenRainyOff) / float64(rainyOff); math.Abs(p-0.85) > 0.02 {
+		t.Fatalf("P(wet | rainy, off) = %g, want ~0.85", p)
+	}
+}
+
+func TestSampleOnlyTouchesCoveredAttrs(t *testing.T) {
+	net := sprinklerNet(t)
+	row := make([]dataset.Value, 4)
+	row[3] = dataset.Num(0.5)
+	net.Sample(rand.New(rand.NewSource(42)), row)
+	if row[3].Float() != 0.5 {
+		t.Fatalf("sampling touched an uncovered attribute")
+	}
+	for i := 0; i < 3; i++ {
+		if row[i].IsNull() {
+			t.Fatalf("covered attribute %d not sampled", i)
+		}
+	}
+}
+
+func TestTopologicalOrderRespected(t *testing.T) {
+	// Nodes intentionally listed child-first; sampling must still work.
+	s := netSchema(t)
+	nodes := []*Node{
+		{Attr: 2, Parents: []int{1}, CPT: make2rows()},
+		{Attr: 1, Parents: []int{2 /* index of node modelling weather */}, CPT: make2rows()},
+		{Attr: 0, CPT: []*stats.Categorical{stats.MustCategorical(1, 1)}},
+	}
+	net, err := New(s, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]dataset.Value, 4)
+	net.Sample(rand.New(rand.NewSource(43)), row) // must not panic
+}
+
+func TestFitRecoversCPT(t *testing.T) {
+	// Generate data from a known net, fit the same structure, compare CPTs.
+	net := sprinklerNet(t)
+	s := net.Schema
+	table := dataset.NewTable(s)
+	rng := rand.New(rand.NewSource(44))
+	row := make([]dataset.Value, 4)
+	for i := 0; i < 100000; i++ {
+		net.Sample(rng, row)
+		row[3] = dataset.Num(0)
+		table.AppendRow(row)
+	}
+	structure := []*Node{
+		{Attr: 0},
+		{Attr: 1, Parents: []int{0}},
+		{Attr: 2, Parents: []int{0, 1}},
+	}
+	fitted, err := Fit(s, table, structure, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range fitted.Nodes {
+		for r, row := range node.CPT {
+			for j := 0; j < row.Len(); j++ {
+				want := net.Nodes[i].CPT[r].P(j)
+				got := row.P(j)
+				if math.Abs(got-want) > 0.02 {
+					t.Fatalf("node %d row %d category %d: fitted %g, true %g", i, r, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFitSkipsNulls(t *testing.T) {
+	s := netSchema(t)
+	table := dataset.NewTable(s)
+	row := []dataset.Value{dataset.Nom(0), dataset.Null(), dataset.Nom(1), dataset.Num(0)}
+	for i := 0; i < 10; i++ {
+		table.AppendRow(row)
+	}
+	structure := []*Node{{Attr: 0}, {Attr: 1, Parents: []int{0}}, {Attr: 2, Parents: []int{1}}}
+	fitted, err := Fit(s, table, structure, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attribute 1 is always null: its CPT must fall back to the Laplace
+	// prior (uniform).
+	if p := fitted.Nodes[1].CPT[0].P(0); math.Abs(p-0.5) > 1e-9 {
+		t.Fatalf("null-only attribute should fit to the prior, got %g", p)
+	}
+}
+
+func TestFitRejectsNonNominal(t *testing.T) {
+	s := netSchema(t)
+	table := dataset.NewTable(s)
+	if _, err := Fit(s, table, []*Node{{Attr: 3}}, 1); err == nil {
+		t.Fatalf("fitting a numeric attribute must fail")
+	}
+}

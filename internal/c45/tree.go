@@ -1,0 +1,157 @@
+// Package c45 implements decision-tree induction and classification
+// following ID3 [21] and C4.5 [22] as described in §5.1 of the paper:
+// information gain and gain ratio split selection, binary splits on
+// numerical attributes, training with missing values through fractional
+// instance weights, and pessimistic-error pruning by subtree replacement.
+//
+// The §5.4 data-auditing adjustments — minInst pre-pruning and integrated
+// pruning by expected error confidence — are implemented here as Options
+// hooks and packaged into a ready-made trainer by internal/audittree.
+package c45
+
+import (
+	"fmt"
+	"strings"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/mlcore"
+)
+
+// Node is one decision-tree node. Fields are exported so trees serialize
+// with encoding/gob (asynchronous auditing, §2.2).
+type Node struct {
+	// Attr is the split attribute column, or -1 for a leaf.
+	Attr int
+	// IsNumeric marks a binary threshold split (Children[0]: value <=
+	// Thresh, Children[1]: value > Thresh); otherwise the split is nominal
+	// with one child per domain value.
+	IsNumeric bool
+	// Thresh is the numeric split threshold.
+	Thresh float64
+	// Children are the subtrees (nil for leaves).
+	Children []*Node
+	// Dist is the weighted training class distribution at this node. By
+	// construction the children's distributions sum to the parent's, so a
+	// missing value can be answered with the node's own distribution —
+	// exactly the fractional-descent aggregate of C4.5.
+	Dist mlcore.Distribution
+}
+
+// IsLeaf reports whether the node has no split.
+func (n *Node) IsLeaf() bool { return n.Attr < 0 }
+
+// Tree is an induced decision-tree classifier for one class attribute.
+type Tree struct {
+	Root *Node
+	// K is the number of class values.
+	K int
+	// Base lists the base attribute columns the tree may test.
+	Base []int
+}
+
+var _ mlcore.Classifier = (*Tree)(nil)
+
+// Predict implements mlcore.Classifier: it descends to the leaf selected by
+// the row's base attribute values and returns that leaf's class
+// distribution (with its training support as Total). Missing values stop
+// at the current node and return its aggregate distribution.
+func (t *Tree) Predict(row []dataset.Value) mlcore.Distribution {
+	n := t.Root
+	for !n.IsLeaf() {
+		v := row[n.Attr]
+		if v.IsNull() {
+			return n.Dist
+		}
+		if n.IsNumeric {
+			if v.Float() <= n.Thresh {
+				n = n.Children[0]
+			} else {
+				n = n.Children[1]
+			}
+		} else {
+			idx := v.NomIdx()
+			if idx >= len(n.Children) {
+				return n.Dist // out-of-domain code: fall back to the node
+			}
+			n = n.Children[idx]
+		}
+	}
+	return n.Dist
+}
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int { return nodeCount(t.Root) }
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return leafCount(t.Root) }
+
+// Depth returns the longest root-to-leaf path length (a single leaf has
+// depth 0).
+func (t *Tree) Depth() int { return nodeDepth(t.Root) }
+
+func nodeCount(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	c := 1
+	for _, ch := range n.Children {
+		c += nodeCount(ch)
+	}
+	return c
+}
+
+func leafCount(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	c := 0
+	for _, ch := range n.Children {
+		c += leafCount(ch)
+	}
+	return c
+}
+
+func nodeDepth(n *Node) int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	max := 0
+	for _, ch := range n.Children {
+		if d := nodeDepth(ch); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Render pretty-prints the tree using schema metadata; for debugging and
+// the example programs.
+func (t *Tree) Render(s *dataset.Schema, classLabel func(int) string) string {
+	var b strings.Builder
+	renderNode(&b, t.Root, s, classLabel, 0)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, s *dataset.Schema, classLabel func(int) string, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsLeaf() {
+		best, p := n.Dist.Best()
+		fmt.Fprintf(b, "%s=> %s (p=%.3f, n=%.1f)\n", indent, classLabel(best), p, n.Dist.N())
+		return
+	}
+	attr := s.Attr(n.Attr)
+	if n.IsNumeric {
+		fmt.Fprintf(b, "%s%s <= %g:\n", indent, attr.Name, n.Thresh)
+		renderNode(b, n.Children[0], s, classLabel, depth+1)
+		fmt.Fprintf(b, "%s%s > %g:\n", indent, attr.Name, n.Thresh)
+		renderNode(b, n.Children[1], s, classLabel, depth+1)
+		return
+	}
+	for i, ch := range n.Children {
+		fmt.Fprintf(b, "%s%s = %s:\n", indent, attr.Name, attr.Domain[i])
+		renderNode(b, ch, s, classLabel, depth+1)
+	}
+}

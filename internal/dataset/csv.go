@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteCSV serializes the table with a header row of attribute names.
+// Nulls are encoded as "?"; dates as ISO 2006-01-02.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for c, a := range t.Schema().Attrs() {
+			rec[c] = a.Format(t.Get(r, c))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table from CSV against a known schema. The header row
+// must match the schema's attribute names in order.
+func ReadCSV(r io.Reader, s *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = s.Len()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	for i, name := range s.Names() {
+		if header[i] != name {
+			return nil, fmt.Errorf("dataset: CSV header %q does not match schema attribute %q", header[i], name)
+		}
+	}
+	t := NewTable(s)
+	row := make([]Value, s.Len())
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		for c, a := range s.Attrs() {
+			v, err := a.Parse(rec[c])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+			}
+			row[c] = v
+		}
+		t.AppendRow(row)
+	}
+	return t, nil
+}
+
+// WriteCSVFile writes the table to the named file.
+func WriteCSVFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSV(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSVFile reads the named file against a known schema.
+func ReadCSVFile(path string, s *Schema) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, s)
+}

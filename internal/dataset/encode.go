@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The wire format mirrors the in-memory structures with exported fields so
+// that encoding/gob can traverse them. Schemas and tables round-trip
+// exactly, including record IDs — this is what makes asynchronous auditing
+// (offline structure induction, online checking; §2.2 of the paper)
+// possible across process boundaries.
+
+type wireValue struct {
+	Kind uint8
+	Idx  int32
+	Num  float64
+}
+
+type wireAttribute struct {
+	Name     string
+	Type     uint8
+	Domain   []string
+	Min, Max float64
+}
+
+type wireSchema struct {
+	Attrs []wireAttribute
+}
+
+type wireTable struct {
+	Schema wireSchema
+	IDs    []int64
+	Cols   [][]wireValue
+}
+
+func toWireValue(v Value) wireValue { return wireValue{Kind: uint8(v.kind), Idx: v.idx, Num: v.num} }
+func fromWireValue(w wireValue) Value {
+	return Value{kind: valueKind(w.Kind), idx: w.Idx, num: w.Num}
+}
+
+func toWireSchema(s *Schema) wireSchema {
+	ws := wireSchema{Attrs: make([]wireAttribute, s.Len())}
+	for i, a := range s.Attrs() {
+		ws.Attrs[i] = wireAttribute{Name: a.Name, Type: uint8(a.Type), Domain: a.Domain, Min: a.Min, Max: a.Max}
+	}
+	return ws
+}
+
+func fromWireSchema(ws wireSchema) (*Schema, error) {
+	attrs := make([]*Attribute, len(ws.Attrs))
+	for i, wa := range ws.Attrs {
+		attrs[i] = &Attribute{Name: wa.Name, Type: Type(wa.Type), Domain: wa.Domain, Min: wa.Min, Max: wa.Max}
+		if attrs[i].Type == NominalType {
+			attrs[i].buildIndex()
+		}
+	}
+	return NewSchema(attrs...)
+}
+
+// EncodeSchema writes a schema in the native binary format.
+func EncodeSchema(w io.Writer, s *Schema) error {
+	return gob.NewEncoder(w).Encode(toWireSchema(s))
+}
+
+// DecodeSchema reads a schema written by EncodeSchema.
+func DecodeSchema(r io.Reader) (*Schema, error) {
+	var ws wireSchema
+	if err := gob.NewDecoder(r).Decode(&ws); err != nil {
+		return nil, fmt.Errorf("dataset: decoding schema: %w", err)
+	}
+	return fromWireSchema(ws)
+}
+
+// EncodeTable writes the table (schema, record IDs, and data) in the native
+// binary format.
+func EncodeTable(w io.Writer, t *Table) error {
+	wt := wireTable{Schema: toWireSchema(t.schema), IDs: t.ids, Cols: make([][]wireValue, len(t.cols))}
+	for c := range t.cols {
+		col := make([]wireValue, len(t.cols[c]))
+		for r, v := range t.cols[c] {
+			col[r] = toWireValue(v)
+		}
+		wt.Cols[c] = col
+	}
+	return gob.NewEncoder(w).Encode(wt)
+}
+
+// DecodeTable reads a table written by EncodeTable.
+func DecodeTable(r io.Reader) (*Table, error) {
+	var wt wireTable
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("dataset: decoding table: %w", err)
+	}
+	s, err := fromWireSchema(wt.Schema)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(s)
+	row := make([]Value, s.Len())
+	for r := range wt.IDs {
+		for c := range wt.Cols {
+			row[c] = fromWireValue(wt.Cols[c][r])
+		}
+		t.appendRowWithID(row, wt.IDs[r])
+	}
+	return t, nil
+}
+
+// GobEncode implements gob.GobEncoder so Values embedded in model structs
+// (trees, instance bases) serialize despite their unexported fields.
+func (v Value) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(toWireValue(v)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *Value) GobDecode(b []byte) error {
+	var w wireValue
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	*v = fromWireValue(w)
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder for schemas embedded in model structs.
+func (s *Schema) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeSchema(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Schema) GobDecode(b []byte) error {
+	dec, err := DecodeSchema(bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	*s = *dec
+	return nil
+}
+
+// MarshalTable serializes a table to bytes.
+func MarshalTable(t *Table) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeTable(&buf, t); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalTable deserializes a table from bytes.
+func UnmarshalTable(b []byte) (*Table, error) {
+	return DecodeTable(bytes.NewReader(b))
+}
+
+// WriteTableFile stores the table in the native binary format.
+func WriteTableFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := EncodeTable(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTableFile loads a table stored by WriteTableFile.
+func ReadTableFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeTable(f)
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The schema text format used by the command-line tools. One attribute per
+// line; blank lines and #-comments are skipped:
+//
+//	# engine composition
+//	BRV  nominal 404,501,600
+//	KM   numeric 0 200000
+//	PROD date    1995-01-01 2002-12-31
+
+// ParseSchema reads the text format.
+func ParseSchema(r io.Reader) (*Schema, error) {
+	var attrs []*Attribute
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("dataset: schema line %d: need `name type args...`", lineNo)
+		}
+		name, kind := fields[0], strings.ToLower(fields[1])
+		switch kind {
+		case "nominal":
+			domain := strings.Split(strings.Join(fields[2:], ""), ",")
+			attrs = append(attrs, NewNominal(name, domain...))
+		case "numeric":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dataset: schema line %d: numeric needs `min max`", lineNo)
+			}
+			min, err1 := strconv.ParseFloat(fields[2], 64)
+			max, err2 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dataset: schema line %d: bad numeric bounds", lineNo)
+			}
+			attrs = append(attrs, NewNumeric(name, min, max))
+		case "date":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dataset: schema line %d: date needs `min max`", lineNo)
+			}
+			min, err1 := time.Parse("2006-01-02", fields[2])
+			max, err2 := time.Parse("2006-01-02", fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dataset: schema line %d: bad date bounds", lineNo)
+			}
+			attrs = append(attrs, NewDate(name, min, max))
+		default:
+			return nil, fmt.Errorf("dataset: schema line %d: unknown type %q", lineNo, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewSchema(attrs...)
+}
+
+// ParseSchemaFile reads the text format from a file.
+func ParseSchemaFile(path string) (*Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseSchema(f)
+}
+
+// WriteSchemaText renders a schema in the text format (round-trips with
+// ParseSchema).
+func WriteSchemaText(w io.Writer, s *Schema) error {
+	for _, a := range s.Attrs() {
+		var line string
+		switch a.Type {
+		case NominalType:
+			line = fmt.Sprintf("%s nominal %s", a.Name, strings.Join(a.Domain, ","))
+		case NumericType:
+			line = fmt.Sprintf("%s numeric %s %s",
+				a.Name, strconv.FormatFloat(a.Min, 'g', -1, 64), strconv.FormatFloat(a.Max, 'g', -1, 64))
+		case DateType:
+			line = fmt.Sprintf("%s date %s %s",
+				a.Name, DaysToDate(a.Min).UTC().Format("2006-01-02"), DaysToDate(a.Max).UTC().Format("2006-01-02"))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

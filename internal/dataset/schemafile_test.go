@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSchemaText = `
+# engine composition
+BRV  nominal 404,501,600
+KM   numeric 0 200000
+PROD date    1995-01-01 2002-12-31
+`
+
+func TestParseSchemaText(t *testing.T) {
+	s, err := ParseSchema(strings.NewReader(sampleSchemaText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("attrs = %d", s.Len())
+	}
+	if s.Attr(0).Type != NominalType || s.Attr(0).NumValues() != 3 {
+		t.Fatalf("BRV parsed wrong: %+v", s.Attr(0))
+	}
+	if s.Attr(1).Type != NumericType || s.Attr(1).Max != 200000 {
+		t.Fatalf("KM parsed wrong: %+v", s.Attr(1))
+	}
+	if s.Attr(2).Type != DateType {
+		t.Fatalf("PROD parsed wrong: %+v", s.Attr(2))
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := []string{
+		"X unknowntype a,b",
+		"X nominal",
+		"X numeric 1",
+		"X numeric a b",
+		"X date 1995-01-01",
+		"X date junk junk",
+	}
+	for _, c := range cases {
+		if _, err := ParseSchema(strings.NewReader(c)); err == nil {
+			t.Errorf("%q should fail to parse", c)
+		}
+	}
+}
+
+func TestSchemaTextRoundTrip(t *testing.T) {
+	s, err := ParseSchema(strings.NewReader(sampleSchemaText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchemaText(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSchema(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("round-trip changed arity")
+	}
+	for i := range s.Attrs() {
+		a, b := s.Attr(i), back.Attr(i)
+		if a.Name != b.Name || a.Type != b.Type || a.Min != b.Min || a.Max != b.Max {
+			t.Fatalf("attribute %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}

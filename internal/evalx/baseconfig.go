@@ -1,0 +1,226 @@
+package evalx
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/bayesnet"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/stats"
+	"dataaudit/internal/tdg"
+)
+
+// BaseSchema is the §6.1 base parameter configuration's relation: "6
+// nominal attributes with different domain sizes, 1 date type and 1
+// numeric attribute". CAT2/CAT3 share domain values so relational atoms
+// between nominal attributes are satisfiable.
+func BaseSchema() *dataset.Schema {
+	mkDomain := func(prefix string, n int, shared []string) []string {
+		out := append([]string(nil), shared...)
+		for i := len(out); i < n; i++ {
+			out = append(out, fmt.Sprintf("%s%02d", prefix, i))
+		}
+		return out
+	}
+	shared := []string{"s01", "s02", "s03"}
+	return dataset.MustSchema(
+		dataset.NewNominal("CAT1", mkDomain("a", 4, nil)...),
+		dataset.NewNominal("CAT2", mkDomain("b", 6, shared)...),
+		dataset.NewNominal("CAT3", mkDomain("c", 8, shared)...),
+		dataset.NewNominal("CAT4", mkDomain("d", 10, nil)...),
+		dataset.NewNominal("CAT5", mkDomain("e", 12, nil)...),
+		dataset.NewNominal("CAT6", mkDomain("f", 20, nil)...),
+		dataset.NewDate("PROD", dataset.MustParseDate("2000-01-01"), dataset.MustParseDate("2003-12-31")),
+		dataset.NewNumeric("KM", 0, 200000),
+	)
+}
+
+// BaseStart builds the §6.1 start distributions: "one multivariate nominal
+// and 5 univariate start distributions of different kinds". The
+// multivariate part is a Bayesian network coupling CAT1 → CAT2 → CAT3; the
+// univariate ones are a skewed and a uniform categorical, plus normal,
+// exponential and uniform continuous distributions.
+func BaseStart(schema *dataset.Schema, rng *rand.Rand) tdg.StartDists {
+	net := baseNet(schema, rng)
+	return tdg.StartDists{
+		Net: net,
+		Cat: map[int]*stats.Categorical{
+			3: stats.ZipfCategorical(schema.Attr(3).NumValues(), 1.0),
+			4: stats.UniformCategorical(schema.Attr(4).NumValues()),
+			5: stats.ZipfCategorical(schema.Attr(5).NumValues(), 0.5),
+		},
+		Num: map[int]stats.Dist{
+			6: stats.Uniform{Lo: schema.Attr(6).Min, Hi: schema.Attr(6).Max},
+			7: stats.Exponential{Rate: 1.0 / 40000, Shift: 0},
+		},
+	}
+}
+
+// baseNet builds a randomly-parameterized (but seeded) three-node network
+// CAT1 → CAT2 → CAT3.
+func baseNet(schema *dataset.Schema, rng *rand.Rand) *bayesnet.Network {
+	randomCPT := func(rows, k int) []*stats.Categorical {
+		out := make([]*stats.Categorical, rows)
+		for r := range out {
+			w := make([]float64, k)
+			for i := range w {
+				w[i] = 0.2 + rng.Float64() // bounded away from zero
+			}
+			// Sharpen one preferred value per configuration so the joint
+			// distribution has real structure — but keep the conditional
+			// maximum well below the flagging regime (deterministic-looking
+			// regularities must come from rules, not from the soft start
+			// coupling, or legitimate minority combinations flood the
+			// false positives).
+			w[rng.Intn(k)] += 1.2
+			out[r] = stats.MustCategorical(w...)
+		}
+		return out
+	}
+	n1 := schema.Attr(0).NumValues()
+	n2 := schema.Attr(1).NumValues()
+	n3 := schema.Attr(2).NumValues()
+	net, err := bayesnet.New(schema, []*bayesnet.Node{
+		{Attr: 0, CPT: randomCPT(1, n1)},
+		{Attr: 1, Parents: []int{0}, CPT: randomCPT(n1, n2)},
+		{Attr: 2, Parents: []int{1}, CPT: randomCPT(n2, n3)},
+	})
+	if err != nil {
+		panic(err) // shapes are correct by construction
+	}
+	return net
+}
+
+// BasePlan is the base pollution configuration: "a variety of pollution
+// procedures with different activation probabilities" (§6.1) — all five
+// §4.2 polluters.
+func BasePlan(schema *dataset.Schema) pollute.Plan {
+	return pollute.Plan{
+		Cell: []pollute.Configured{
+			{Prob: 0.015, P: &pollute.WrongValuePolluter{}},
+			{Prob: 0.008, P: &pollute.NullValuePolluter{}},
+			{Prob: 0.004, P: &pollute.Limiter{Attr: 7, Lo: 0, Hi: 120000}},
+			{Prob: 0.004, P: &pollute.Switcher{AttrA: 1, AttrB: 2}},
+		},
+		DuplicateProb: 0.002,
+		DeleteProb:    0.001,
+	}
+}
+
+// BaseConfig assembles the full §6.1 base parameter configuration:
+// 10 000 records, 100 randomly generated natural rules, minimum error
+// confidence 0.8.
+func BaseConfig(seed int64) Config {
+	schema := BaseSchema()
+	startRng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	start := BaseStart(schema, startRng)
+	return Config{
+		Seed:   seed,
+		Schema: schema,
+		RuleGen: tdg.RuleGenParams{
+			NumRules: 100,
+			Start:    &start,
+		},
+		DataGen: tdg.DataGenParams{
+			NumRecords: 10000,
+			Start:      start,
+		},
+		Plan: BasePlan(schema),
+		Audit: audit.Options{
+			MinConfidence: 0.8,
+		},
+	}
+}
+
+// Point is one sweep measurement.
+type Point struct {
+	X             float64
+	Sensitivity   float64
+	Specificity   float64
+	QoC           float64
+	NumRules      int
+	NumSuspicious int
+	NumCorrupted  int
+}
+
+// Sweep runs the pipeline per X value, deriving each run's config from the
+// base via modify. reps > 1 averages the measures over that many seeds per
+// point (single runs of a fully randomized pipeline are noisy; the paper's
+// figures show smoothed trends).
+func Sweep(base Config, xs []float64, reps int, modify func(cfg *Config, x float64)) ([]Point, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var out []Point
+	for _, x := range xs {
+		p := Point{X: x}
+		for rep := 0; rep < reps; rep++ {
+			cfg := base
+			cfg.Seed = base.Seed + int64(rep)*7919
+			modify(&cfg, x)
+			res, err := Run(cfg)
+			if err != nil {
+				return out, fmt.Errorf("evalx: sweep point x=%g rep %d: %w", x, rep, err)
+			}
+			p.Sensitivity += res.Sensitivity()
+			p.Specificity += res.Specificity()
+			p.QoC += res.QualityOfCorrection()
+			p.NumRules = res.NumRules
+			p.NumSuspicious += res.NumSuspicious
+			p.NumCorrupted += res.NumCorrupted
+		}
+		p.Sensitivity /= float64(reps)
+		p.Specificity /= float64(reps)
+		p.QoC /= float64(reps)
+		p.NumSuspicious /= reps
+		p.NumCorrupted /= reps
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RecordsSweep reproduces Figure 3: sensitivity as a function of the
+// number of records.
+func RecordsSweep(base Config, counts []float64, reps int) ([]Point, error) {
+	return Sweep(base, counts, reps, func(cfg *Config, x float64) {
+		cfg.DataGen.NumRecords = int(x)
+	})
+}
+
+// RulesSweep reproduces Figure 4: sensitivity as a function of the number
+// of rules (the structural strength).
+func RulesSweep(base Config, counts []float64, reps int) ([]Point, error) {
+	return Sweep(base, counts, reps, func(cfg *Config, x float64) {
+		cfg.RuleGen.NumRules = int(x)
+	})
+}
+
+// PollutionSweep reproduces Figure 5: sensitivity as a function of the
+// common pollution factor multiplying every activation probability.
+func PollutionSweep(base Config, factors []float64, reps int) ([]Point, error) {
+	return Sweep(base, factors, reps, func(cfg *Config, x float64) {
+		cfg.Plan = cfg.Plan.Scale(x)
+	})
+}
+
+// RenderPoints formats sweep results as an aligned table.
+func RenderPoints(xLabel string, points []Point) string {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			fmt.Sprintf("%g", p.X),
+			fmt.Sprintf("%.4f", p.Sensitivity),
+			fmt.Sprintf("%.4f", p.Specificity),
+			fmt.Sprintf("%.4f", p.QoC),
+			fmt.Sprintf("%d", p.NumRules),
+			fmt.Sprintf("%d", p.NumCorrupted),
+			fmt.Sprintf("%d", p.NumSuspicious),
+		}
+	}
+	return FormatTable(
+		[]string{xLabel, "sensitivity", "specificity", "qoc", "rules", "corrupted", "flagged"},
+		rows,
+	)
+}

@@ -1,0 +1,280 @@
+package evalx
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/tdg"
+)
+
+func TestConfusionMeasures(t *testing.T) {
+	c := Confusion{TP: 30, FN: 70, FP: 10, TN: 890}
+	if got := c.Sensitivity(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("sensitivity = %g", got)
+	}
+	if got := c.Specificity(); math.Abs(got-890.0/900.0) > 1e-12 {
+		t.Fatalf("specificity = %g", got)
+	}
+	if got := c.Precision(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("precision = %g", got)
+	}
+	if got := c.Prevalence(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("prevalence = %g", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.92) > 1e-12 {
+		t.Fatalf("accuracy = %g", got)
+	}
+	if c.Total() != 1000 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if (Confusion{}).Sensitivity() != 0 {
+		t.Fatalf("empty matrix must not divide by zero")
+	}
+	if !strings.Contains(c.String(), "sensitivity=0.3000") {
+		t.Fatalf("String: %s", c.String())
+	}
+}
+
+func TestCorrectionMatrix(t *testing.T) {
+	// 40 errors before; 25 corrected, 15 remain, 5 fresh errors introduced.
+	m := CorrectionMatrix{A: 955, B: 5, C: 25, D: 15}
+	want := (25.0 - 5.0) / 40.0
+	if got := m.Improvement(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("improvement = %g, want %g", got, want)
+	}
+	if (CorrectionMatrix{A: 10}).Improvement() != 0 {
+		t.Fatalf("no errors before correction must yield 0")
+	}
+	// Degradation is negative.
+	if (CorrectionMatrix{B: 10, C: 1, D: 9}).Improvement() >= 0 {
+		t.Fatalf("corrections that break records must score negative")
+	}
+	if !strings.Contains(m.String(), "quality of correction") {
+		t.Fatalf("String: %s", m.String())
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"x", "value"}, [][]string{{"1", "alpha"}, {"22", "b"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "x ") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header: %q", lines[0])
+	}
+}
+
+// smallConfig is a scaled-down base configuration for fast pipeline tests.
+func smallConfig(seed int64) Config {
+	cfg := BaseConfig(seed)
+	cfg.RuleGen.NumRules = 20
+	cfg.DataGen.NumRecords = 1500
+	return cfg
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	res, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRules != 20 {
+		t.Fatalf("rules = %d", res.NumRules)
+	}
+	if res.NumRecords != 1500 {
+		t.Fatalf("records = %d", res.NumRecords)
+	}
+	if res.Confusion.Total() != res.NumDirty {
+		t.Fatalf("confusion covers %d of %d dirty records", res.Confusion.Total(), res.NumDirty)
+	}
+	if res.NumCorrupted == 0 {
+		t.Fatalf("pollution produced no ground-truth errors")
+	}
+	s := res.Specificity()
+	if s < 0.95 {
+		t.Fatalf("specificity collapsed: %g", s)
+	}
+	if res.GenTime <= 0 || res.InduceTime <= 0 {
+		t.Fatalf("stage timings missing")
+	}
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	a, err := Run(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Confusion != b.Confusion || a.Correction != b.Correction {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a.Confusion, b.Confusion)
+	}
+	c, err := Run(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Confusion == c.Confusion {
+		t.Fatalf("different seeds produced identical confusion matrices (suspicious)")
+	}
+}
+
+func TestEvaluateJoinsOnIDs(t *testing.T) {
+	// Hand-built scenario: 4 records, record 1 corrupted+flagged (TP),
+	// record 2 corrupted+missed (FN), record 3 clean+flagged (FP),
+	// record 0 clean+unflagged (TN).
+	schema := dataset.MustSchema(dataset.NewNominal("a", "x", "y"))
+	dirty := dataset.NewTable(schema)
+	for i := 0; i < 4; i++ {
+		dirty.AppendRow([]dataset.Value{dataset.Nom(0)})
+	}
+	log := &pollute.Log{Events: []pollute.Event{
+		{RecordID: 1, Kind: pollute.WrongValue, Attr: 0},
+		{RecordID: 2, Kind: pollute.NullValue, Attr: 0},
+	}}
+	res := &audit.Result{Reports: []audit.RecordReport{
+		{Row: 0, ID: 0, Suspicious: false},
+		{Row: 1, ID: 1, Suspicious: true},
+		{Row: 2, ID: 2, Suspicious: false},
+		{Row: 3, ID: 3, Suspicious: true},
+	}}
+	c := Evaluate(dirty, log, res)
+	want := Confusion{TP: 1, FN: 1, FP: 1, TN: 1}
+	if c != want {
+		t.Fatalf("confusion = %+v, want %+v", c, want)
+	}
+}
+
+func TestEvaluateCorrectionMatrix(t *testing.T) {
+	schema := dataset.MustSchema(dataset.NewNominal("a", "x", "y", "z"))
+	clean := dataset.NewTable(schema)
+	for i := 0; i < 4; i++ {
+		clean.AppendRow([]dataset.Value{dataset.Nom(0)})
+	}
+	dirty := clean.Clone()
+	dirty.Set(1, 0, dataset.Nom(1)) // corrupted, will be fixed
+	dirty.Set(2, 0, dataset.Nom(1)) // corrupted, stays wrong
+	corrected := dirty.Clone()
+	corrected.Set(1, 0, dataset.Nom(0)) // fixed
+	corrected.Set(2, 0, dataset.Nom(2)) // still wrong
+	corrected.Set(3, 0, dataset.Nom(1)) // fresh damage
+	m := EvaluateCorrection(clean, dirty, corrected)
+	want := CorrectionMatrix{A: 1, B: 1, C: 1, D: 1}
+	if m != want {
+		t.Fatalf("correction matrix = %+v, want %+v", m, want)
+	}
+	// A spurious duplicate (no clean counterpart) is skipped.
+	dirty.DuplicateRow(0)
+	corrected.DuplicateRow(0)
+	m2 := EvaluateCorrection(clean, dirty, corrected)
+	if m2 != want {
+		t.Fatalf("duplicate should not enter the matrix: %+v", m2)
+	}
+}
+
+func TestSweepModifiesConfig(t *testing.T) {
+	base := smallConfig(3)
+	points, err := RecordsSweep(base, []float64{400, 800}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].X != 400 || points[1].X != 800 {
+		t.Fatalf("points = %+v", points)
+	}
+	for _, p := range points {
+		if p.Sensitivity < 0 || p.Sensitivity > 1 || p.Specificity < 0 || p.Specificity > 1 {
+			t.Fatalf("measures out of range: %+v", p)
+		}
+	}
+	out := RenderPoints("records", points)
+	if !strings.Contains(out, "records") || !strings.Contains(out, "sensitivity") {
+		t.Fatalf("RenderPoints output:\n%s", out)
+	}
+}
+
+func TestPollutionSweepScalesPlan(t *testing.T) {
+	base := smallConfig(4)
+	points, err := PollutionSweep(base, []float64{0.5, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+	if points[1].NumCorrupted <= points[0].NumCorrupted {
+		t.Fatalf("higher pollution factor must corrupt more records: %+v", points)
+	}
+}
+
+func TestRulesSweepChangesRuleCount(t *testing.T) {
+	base := smallConfig(5)
+	points, err := RulesSweep(base, []float64{5, 15}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].NumRules != 5 || points[1].NumRules != 15 {
+		t.Fatalf("rule counts: %+v", points)
+	}
+}
+
+func TestBaseSchemaShape(t *testing.T) {
+	s := BaseSchema()
+	if s.Len() != 8 {
+		t.Fatalf("base schema must have 8 attributes (6 nominal + date + numeric)")
+	}
+	nominal, date, numeric := 0, 0, 0
+	sizes := map[int]bool{}
+	for i := 0; i < s.Len(); i++ {
+		switch s.Attr(i).Type {
+		case dataset.NominalType:
+			nominal++
+			sizes[s.Attr(i).NumValues()] = true
+		case dataset.DateType:
+			date++
+		case dataset.NumericType:
+			numeric++
+		}
+	}
+	if nominal != 6 || date != 1 || numeric != 1 {
+		t.Fatalf("attribute mix: %d nominal, %d date, %d numeric", nominal, date, numeric)
+	}
+	if len(sizes) != 6 {
+		t.Fatalf("nominal domain sizes must differ, got %v", sizes)
+	}
+}
+
+func TestRunRequiresSchema(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatalf("missing schema must fail")
+	}
+}
+
+func TestRunWithExplicitRules(t *testing.T) {
+	schema := BaseSchema()
+	rules := []tdg.Rule{
+		{
+			Premise:    tdg.Atom{Kind: tdg.EqConst, A: 0, Val: dataset.Nom(0)},
+			Conclusion: tdg.Atom{Kind: tdg.EqConst, A: 3, Val: dataset.Nom(1)},
+		},
+	}
+	cfg := Config{
+		Seed:    11,
+		Schema:  schema,
+		Rules:   rules,
+		DataGen: tdg.DataGenParams{NumRecords: 500},
+		Plan:    BasePlan(schema),
+		Audit:   audit.Options{MinConfidence: 0.8},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRules != 1 {
+		t.Fatalf("explicit rules ignored")
+	}
+}

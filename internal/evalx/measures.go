@@ -1,0 +1,127 @@
+// Package evalx implements the paper's test environment (§4, Figure 2):
+// it "generates artificial data that simulate structural characteristics of
+// the application database, pollutes this data in a controlled and logged
+// procedure, runs the data auditing tool and evaluates its performance by
+// comparing the deviations of the dirty from the clean database with the
+// detected errors".
+package evalx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is the §4.3 record-level 2x2 matrix:
+//
+//	                     tool's opinion
+//	                  incorrect   correct
+//	incorrect data  | TP        | FN |
+//	correct data    | FP        | TN |
+type Confusion struct {
+	TP, FN, FP, TN int
+}
+
+// Sensitivity is TP/(TP+FN): "the ratio of the truly found errors by the
+// number of records that have been corrupted". Chosen over recall's twin
+// precision because it is independent of the prevalence.
+func (c Confusion) Sensitivity() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// Specificity is TN/(TN+FP): "how many of the error free records have been
+// marked as such".
+func (c Confusion) Specificity() float64 { return ratio(c.TN, c.TN+c.FP) }
+
+// Precision is TP/(TP+FP) — reported alongside because the IR literature
+// the paper cites uses it.
+func (c Confusion) Precision() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// Prevalence is the total ratio of errors in the table.
+func (c Confusion) Prevalence() float64 { return ratio(c.TP+c.FN, c.Total()) }
+
+// Accuracy is (TP+TN)/total.
+func (c Confusion) Accuracy() float64 { return ratio(c.TP+c.TN, c.Total()) }
+
+// Total is the number of records evaluated.
+func (c Confusion) Total() int { return c.TP + c.FN + c.FP + c.TN }
+
+// String renders the matrix like the paper's table.
+func (c Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "                 tool: incorrect  tool: correct\n")
+	fmt.Fprintf(&b, "incorrect data   %15d %14d\n", c.TP, c.FN)
+	fmt.Fprintf(&b, "correct data     %15d %14d\n", c.FP, c.TN)
+	fmt.Fprintf(&b, "sensitivity=%.4f specificity=%.4f precision=%.4f",
+		c.Sensitivity(), c.Specificity(), c.Precision())
+	return b.String()
+}
+
+// CorrectionMatrix is the §4.3 before/after-correction 2x2 matrix:
+//
+//	                      after correction
+//	                    correct   incorrect
+//	before correct    | A       | B |
+//	before incorrect  | C       | D |
+type CorrectionMatrix struct {
+	A, B, C, D int
+}
+
+// Improvement is the paper's quality-of-correction measure:
+// ((c+d)−(b+d))/(c+d) = (c−b)/(c+d) — the relative reduction of the number
+// of erroneous records achieved by applying the proposed corrections.
+func (m CorrectionMatrix) Improvement() float64 {
+	if m.C+m.D == 0 {
+		return 0
+	}
+	return float64(m.C-m.B) / float64(m.C+m.D)
+}
+
+// String renders the matrix.
+func (m CorrectionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "                   after: correct  after: incorrect\n")
+	fmt.Fprintf(&b, "before correct     %14d %17d\n", m.A, m.B)
+	fmt.Fprintf(&b, "before incorrect   %14d %17d\n", m.C, m.D)
+	fmt.Fprintf(&b, "quality of correction=%.4f", m.Improvement())
+	return b.String()
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// FormatTable renders an aligned text table for experiment reports.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+// Package mlcore is the shared classifier framework of the multiple
+// classification / regression approach (§5): weighted training instances
+// over a dataset.Table, class distributions with explicit support, and the
+// Classifier/Trainer interfaces every induction algorithm in this
+// repository implements (C4.5, the audit-adjusted tree, naive Bayes, kNN,
+// 1R, PRISM).
+//
+// The paper's error-confidence measure (Def. 7) "can be used with each
+// classifier that both outputs a predicted class distribution and the
+// number of training instances this prediction is based on"; Distribution
+// carries exactly those two pieces of information.
+package mlcore
+
+import (
+	"fmt"
+
+	"dataaudit/internal/dataset"
+)
+
+// Distribution is a weighted class histogram: probabilities plus the
+// (weighted) number of training instances backing them.
+type Distribution struct {
+	// Counts holds the per-class weighted instance counts.
+	Counts []float64
+	// Total is the sum of Counts (cached).
+	Total float64
+}
+
+// NewDistribution allocates an empty distribution over k classes.
+func NewDistribution(k int) Distribution {
+	return Distribution{Counts: make([]float64, k)}
+}
+
+// Add accumulates weight w for class c.
+func (d *Distribution) Add(c int, w float64) {
+	d.Counts[c] += w
+	d.Total += w
+}
+
+// AddDist accumulates another distribution scaled by w.
+func (d *Distribution) AddDist(o Distribution, w float64) {
+	for c, v := range o.Counts {
+		d.Counts[c] += v * w
+	}
+	d.Total += o.Total * w
+}
+
+// P returns the probability of class c (0 when the distribution is empty).
+func (d Distribution) P(c int) float64 {
+	if d.Total <= 0 {
+		return 0
+	}
+	return d.Counts[c] / d.Total
+}
+
+// N returns the (weighted) number of backing instances.
+func (d Distribution) N() float64 { return d.Total }
+
+// K returns the number of classes.
+func (d Distribution) K() int { return len(d.Counts) }
+
+// Best returns the predicted class ĉ (the argmax; ties break to the lower
+// index, matching C4.5's deterministic behaviour) and its probability.
+func (d Distribution) Best() (int, float64) {
+	best, bestC := 0, -1.0
+	for c, v := range d.Counts {
+		if v > bestC {
+			best, bestC = c, v
+		}
+	}
+	return best, d.P(best)
+}
+
+// Clone deep-copies the distribution.
+func (d Distribution) Clone() Distribution {
+	return Distribution{Counts: append([]float64(nil), d.Counts...), Total: d.Total}
+}
+
+// Instances is a weighted view over a table for supervised induction: the
+// base attributes, a class assignment per row, and per-row weights
+// (fractional weights implement C4.5's missing-value handling).
+type Instances struct {
+	Table *dataset.Table
+	// Base lists the base attribute columns.
+	Base []int
+	// K is the number of class values.
+	K int
+	// Rows are the active table row indices.
+	Rows []int
+	// Weights parallels Rows.
+	Weights []float64
+	// Class maps a table row index to its class index, or -1 when the
+	// class value is null. It must be valid for every row in Rows.
+	Class []int
+}
+
+// NewInstances builds an instance set over all rows of a table. classOf
+// maps a row index to a class index in [0, k) or -1 for null.
+func NewInstances(t *dataset.Table, base []int, k int, classOf func(r int) int) *Instances {
+	n := t.NumRows()
+	ins := &Instances{
+		Table:   t,
+		Base:    append([]int(nil), base...),
+		K:       k,
+		Rows:    make([]int, 0, n),
+		Weights: make([]float64, 0, n),
+		Class:   make([]int, n),
+	}
+	for r := 0; r < n; r++ {
+		ins.Class[r] = classOf(r)
+		ins.Rows = append(ins.Rows, r)
+		ins.Weights = append(ins.Weights, 1)
+	}
+	return ins
+}
+
+// Len returns the number of active rows.
+func (ins *Instances) Len() int { return len(ins.Rows) }
+
+// TotalWeight sums the active weights.
+func (ins *Instances) TotalWeight() float64 {
+	s := 0.0
+	for _, w := range ins.Weights {
+		s += w
+	}
+	return s
+}
+
+// ClassDistribution tallies the weighted class histogram of the active
+// rows; rows with a null class are skipped.
+func (ins *Instances) ClassDistribution() Distribution {
+	d := NewDistribution(ins.K)
+	for i, r := range ins.Rows {
+		if c := ins.Class[r]; c >= 0 {
+			d.Add(c, ins.Weights[i])
+		}
+	}
+	return d
+}
+
+// Subset returns a view sharing Table and Class but with its own row/weight
+// slices.
+func (ins *Instances) Subset(rows []int, weights []float64) *Instances {
+	return &Instances{Table: ins.Table, Base: ins.Base, K: ins.K, Rows: rows, Weights: weights, Class: ins.Class}
+}
+
+// Validate checks internal consistency.
+func (ins *Instances) Validate() error {
+	if len(ins.Rows) != len(ins.Weights) {
+		return fmt.Errorf("mlcore: %d rows but %d weights", len(ins.Rows), len(ins.Weights))
+	}
+	if ins.K < 1 {
+		return fmt.Errorf("mlcore: need at least one class, got %d", ins.K)
+	}
+	for i, r := range ins.Rows {
+		if r < 0 || r >= ins.Table.NumRows() {
+			return fmt.Errorf("mlcore: row index %d out of range", r)
+		}
+		if ins.Weights[i] < 0 {
+			return fmt.Errorf("mlcore: negative weight at position %d", i)
+		}
+		if c := ins.Class[r]; c < -1 || c >= ins.K {
+			return fmt.Errorf("mlcore: class %d out of range at row %d", c, r)
+		}
+	}
+	for _, b := range ins.Base {
+		if b < 0 || b >= ins.Table.NumCols() {
+			return fmt.Errorf("mlcore: base attribute %d out of range", b)
+		}
+	}
+	return nil
+}
+
+// Classifier predicts a class distribution (with support) for a row.
+type Classifier interface {
+	// Predict returns the class distribution for the row. The
+	// distribution's Total is the weighted number of training instances
+	// the prediction is based on — the n of Definition 7.
+	Predict(row []dataset.Value) Distribution
+}
+
+// Trainer induces a Classifier from instances.
+type Trainer interface {
+	// Name identifies the algorithm in experiment reports.
+	Name() string
+	// Train induces a classifier.
+	Train(ins *Instances) (Classifier, error)
+}

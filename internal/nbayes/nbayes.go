@@ -1,0 +1,205 @@
+// Package nbayes implements a naive Bayes classifier — one of the
+// alternatives evaluated for the QUIS domain in §5 of the paper
+// ("instance based classifiers, naive Bayes classifiers, classification
+// rule inducers, and decision trees"). Nominal base attributes use
+// Laplace-smoothed frequency estimates; numeric and date attributes use
+// per-class Gaussians.
+package nbayes
+
+import (
+	"fmt"
+	"math"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/mlcore"
+	"dataaudit/internal/stats"
+)
+
+// Options configure training.
+type Options struct {
+	// Laplace is the additive smoothing constant (default 1).
+	Laplace float64
+}
+
+// Trainer induces naive Bayes models.
+type Trainer struct {
+	Opts Options
+}
+
+var _ mlcore.Trainer = (*Trainer)(nil)
+
+// Name implements mlcore.Trainer.
+func (t *Trainer) Name() string { return "naive-bayes" }
+
+// nominalModel holds P(value | class) estimates for one attribute.
+type nominalModel struct {
+	Attr int
+	// Cond[class][value] is the smoothed conditional probability.
+	Cond [][]float64
+}
+
+// gaussModel holds per-class Gaussians for one numeric attribute.
+type gaussModel struct {
+	Attr        int
+	Mu, Sigma   []float64
+	SeenByClass []bool
+}
+
+// Model is the trained classifier.
+type Model struct {
+	K        int
+	Priors   []float64
+	TotalW   float64
+	Nominals []nominalModel
+	Gauss    []gaussModel
+}
+
+var _ mlcore.Classifier = (*Model)(nil)
+
+// Train implements mlcore.Trainer.
+func (t *Trainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	laplace := t.Opts.Laplace
+	if laplace == 0 {
+		laplace = 1
+	}
+	schema := ins.Table.Schema()
+	m := &Model{K: ins.K, Priors: make([]float64, ins.K)}
+
+	classW := make([]float64, ins.K)
+	for i, r := range ins.Rows {
+		if c := ins.Class[r]; c >= 0 {
+			classW[c] += ins.Weights[i]
+			m.TotalW += ins.Weights[i]
+		}
+	}
+	if m.TotalW <= 0 {
+		return nil, fmt.Errorf("nbayes: no instances with a known class value")
+	}
+	for c := range m.Priors {
+		m.Priors[c] = (classW[c] + laplace) / (m.TotalW + laplace*float64(ins.K))
+	}
+
+	for _, attr := range ins.Base {
+		a := schema.Attr(attr)
+		if a.Type == dataset.NominalType {
+			nm := nominalModel{Attr: attr, Cond: make([][]float64, ins.K)}
+			counts := make([][]float64, ins.K)
+			for c := range counts {
+				counts[c] = make([]float64, a.NumValues())
+			}
+			for i, r := range ins.Rows {
+				c := ins.Class[r]
+				if c < 0 {
+					continue
+				}
+				v := ins.Table.Get(r, attr)
+				if v.IsNull() {
+					continue
+				}
+				counts[c][v.NomIdx()] += ins.Weights[i]
+			}
+			for c := range counts {
+				total := 0.0
+				for _, w := range counts[c] {
+					total += w
+				}
+				nm.Cond[c] = make([]float64, a.NumValues())
+				for vIdx, w := range counts[c] {
+					nm.Cond[c][vIdx] = (w + laplace) / (total + laplace*float64(a.NumValues()))
+				}
+			}
+			m.Nominals = append(m.Nominals, nm)
+			continue
+		}
+		gm := gaussModel{Attr: attr, Mu: make([]float64, ins.K), Sigma: make([]float64, ins.K), SeenByClass: make([]bool, ins.K)}
+		sum := make([]float64, ins.K)
+		sumSq := make([]float64, ins.K)
+		w := make([]float64, ins.K)
+		for i, r := range ins.Rows {
+			c := ins.Class[r]
+			if c < 0 {
+				continue
+			}
+			v := ins.Table.Get(r, attr)
+			if v.IsNull() {
+				continue
+			}
+			x := v.Float()
+			sum[c] += x * ins.Weights[i]
+			sumSq[c] += x * x * ins.Weights[i]
+			w[c] += ins.Weights[i]
+		}
+		for c := 0; c < ins.K; c++ {
+			if w[c] <= 0 {
+				continue
+			}
+			gm.SeenByClass[c] = true
+			gm.Mu[c] = sum[c] / w[c]
+			variance := sumSq[c]/w[c] - gm.Mu[c]*gm.Mu[c]
+			if variance < 1e-9 {
+				variance = 1e-9
+			}
+			gm.Sigma[c] = math.Sqrt(variance)
+		}
+		m.Gauss = append(m.Gauss, gm)
+	}
+	return m, nil
+}
+
+// Predict implements mlcore.Classifier. The returned distribution's support
+// is the full training weight: naive Bayes bases every prediction on the
+// entire training set.
+func (m *Model) Predict(row []dataset.Value) mlcore.Distribution {
+	logp := make([]float64, m.K)
+	for c := range logp {
+		logp[c] = math.Log(m.Priors[c])
+	}
+	for _, nm := range m.Nominals {
+		v := row[nm.Attr]
+		if v.IsNull() || !v.IsNominal() {
+			continue
+		}
+		idx := v.NomIdx()
+		for c := range logp {
+			if idx < len(nm.Cond[c]) {
+				logp[c] += math.Log(nm.Cond[c][idx])
+			}
+		}
+	}
+	for _, gm := range m.Gauss {
+		v := row[gm.Attr]
+		if v.IsNull() || !v.IsNumber() {
+			continue
+		}
+		x := v.Float()
+		for c := range logp {
+			if gm.SeenByClass[c] {
+				logp[c] += math.Log(stats.GaussianPDF(x, gm.Mu[c], gm.Sigma[c]) + 1e-300)
+			}
+		}
+	}
+	// Normalize in log space.
+	maxLog := math.Inf(-1)
+	for _, lp := range logp {
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	d := mlcore.NewDistribution(m.K)
+	total := 0.0
+	for c, lp := range logp {
+		p := math.Exp(lp - maxLog)
+		d.Counts[c] = p
+		total += p
+	}
+	if total > 0 {
+		for c := range d.Counts {
+			d.Counts[c] = d.Counts[c] / total * m.TotalW
+		}
+	}
+	d.Total = m.TotalW
+	return d
+}

@@ -1,0 +1,146 @@
+package nbayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/mlcore"
+)
+
+func nbSchema(t testing.TB) *dataset.Schema {
+	t.Helper()
+	return dataset.MustSchema(
+		dataset.NewNominal("f1", "x", "y"),
+		dataset.NewNumeric("f2", 0, 100),
+		dataset.NewNominal("class", "c0", "c1"),
+	)
+}
+
+func nbInstances(t testing.TB, tab *dataset.Table) *mlcore.Instances {
+	t.Helper()
+	return mlcore.NewInstances(tab, []int{0, 1}, 2, func(r int) int {
+		v := tab.Get(r, 2)
+		if v.IsNull() {
+			return -1
+		}
+		return v.NomIdx()
+	})
+}
+
+// mixedTable: class 0 -> f1=x mostly, f2 ~ N(20, 5); class 1 -> f1=y
+// mostly, f2 ~ N(80, 5).
+func mixedTable(t testing.TB, n int, seed int64) *dataset.Table {
+	t.Helper()
+	tab := dataset.NewTable(nbSchema(t))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		c := rng.Intn(2)
+		f1 := c
+		if rng.Float64() < 0.1 {
+			f1 = 1 - f1
+		}
+		mu := 20.0
+		if c == 1 {
+			mu = 80
+		}
+		x := mu + rng.NormFloat64()*5
+		if x < 0 {
+			x = 0
+		}
+		if x > 100 {
+			x = 100
+		}
+		tab.AppendRow([]dataset.Value{dataset.Nom(f1), dataset.Num(x), dataset.Nom(c)})
+	}
+	return tab
+}
+
+func TestNaiveBayesLearnsMixedFeatures(t *testing.T) {
+	tab := mixedTable(t, 2000, 31)
+	model, err := (&Trainer{}).Train(nbInstances(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for r := 0; r < tab.NumRows(); r++ {
+		d := model.Predict(tab.Row(r))
+		best, _ := d.Best()
+		if best == tab.Get(r, 2).NomIdx() {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(tab.NumRows()); acc < 0.95 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+}
+
+func TestNaiveBayesSupportIsTrainingWeight(t *testing.T) {
+	tab := mixedTable(t, 500, 32)
+	model, err := (&Trainer{}).Train(nbInstances(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.Predict(tab.Row(0))
+	if math.Abs(d.N()-500) > 1e-9 {
+		t.Fatalf("support = %g, want 500", d.N())
+	}
+	sum := 0.0
+	for c := 0; c < d.K(); c++ {
+		sum += d.P(c)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+}
+
+func TestNaiveBayesHandlesNulls(t *testing.T) {
+	tab := mixedTable(t, 500, 33)
+	for r := 0; r < 100; r++ {
+		tab.Set(r, 0, dataset.Null())
+		tab.Set(r, 1, dataset.Null())
+	}
+	model, err := (&Trainer{}).Train(nbInstances(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-null row: prediction falls back to the prior.
+	d := model.Predict([]dataset.Value{dataset.Null(), dataset.Null(), dataset.Null()})
+	if d.N() <= 0 {
+		t.Fatalf("null-row prediction must still carry support")
+	}
+	if p0 := d.P(0); p0 < 0.3 || p0 > 0.7 {
+		t.Fatalf("prior-ish prediction expected, got P(0)=%g", p0)
+	}
+}
+
+func TestNaiveBayesFailsWithoutLabels(t *testing.T) {
+	tab := mixedTable(t, 20, 34)
+	for r := 0; r < 20; r++ {
+		tab.Set(r, 2, dataset.Null())
+	}
+	if _, err := (&Trainer{}).Train(nbInstances(t, tab)); err == nil {
+		t.Fatalf("training without labels must fail")
+	}
+}
+
+func TestNaiveBayesUnseenClassGaussian(t *testing.T) {
+	// One class never observes the numeric attribute: prediction must not
+	// produce NaNs.
+	tab := dataset.NewTable(nbSchema(t))
+	for i := 0; i < 50; i++ {
+		tab.AppendRow([]dataset.Value{dataset.Nom(0), dataset.Num(10), dataset.Nom(0)})
+		tab.AppendRow([]dataset.Value{dataset.Nom(1), dataset.Null(), dataset.Nom(1)})
+	}
+	model, err := (&Trainer{}).Train(nbInstances(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.Predict([]dataset.Value{dataset.Nom(1), dataset.Num(10), dataset.Null()})
+	for c := 0; c < d.K(); c++ {
+		if math.IsNaN(d.P(c)) {
+			t.Fatalf("NaN probability")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package pollute implements the controlled data corruption of §4.2:
+// components that "simulate the strategies for identification and analysis
+// of different forms of data pollution", each parameterized with an
+// activation probability. Every corruption is logged, which gives the test
+// environment its ground truth ("pollutes this data in a controlled and
+// logged procedure", §4).
+//
+// The five polluters of the paper are implemented: wrong-value, null-value,
+// limiter, switcher, and duplicator (which duplicates or deletes records).
+package pollute
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/stats"
+)
+
+// Kind identifies the corruption a log event records.
+type Kind uint8
+
+const (
+	// WrongValue replaced a cell with a different value.
+	WrongValue Kind = iota
+	// NullValue replaced a cell with null.
+	NullValue
+	// Limit clamped a numeric cell to a bound.
+	Limit
+	// Switch swapped the values of two attributes within a record.
+	Switch
+	// Duplicate appended a spurious copy of a record.
+	Duplicate
+	// Delete removed a record.
+	Delete
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case WrongValue:
+		return "wrong-value"
+	case NullValue:
+		return "null-value"
+	case Limit:
+		return "limit"
+	case Switch:
+		return "switch"
+	case Duplicate:
+		return "duplicate"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one logged corruption.
+type Event struct {
+	// RecordID identifies the affected record in the dirty table (for
+	// Delete: the removed record's former ID; for Duplicate: the fresh
+	// copy's ID).
+	RecordID int64
+	Kind     Kind
+	// Attr is the corrupted column (-1 for record-level events).
+	Attr int
+	// Before and After are the cell values around the corruption.
+	Before, After dataset.Value
+	// OtherAttr/OtherBefore/OtherAfter describe the second half of a Switch.
+	OtherAttr               int
+	OtherBefore, OtherAfter dataset.Value
+	// DupOfID is the source record of a Duplicate.
+	DupOfID int64
+}
+
+// Log is the complete record of a pollution run.
+type Log struct {
+	Events []Event
+}
+
+// CorruptedIDs returns the set of record IDs present in the dirty table
+// that carry at least one error: cell-level corruptions and spurious
+// duplicates. Deleted records are not included (a record-marking audit tool
+// cannot flag an absent record; deletions concern the completeness
+// dimension and are reported separately via DeletedIDs).
+func (l *Log) CorruptedIDs() map[int64]bool {
+	out := make(map[int64]bool)
+	for _, e := range l.Events {
+		switch e.Kind {
+		case Delete:
+			// not in the dirty table
+		default:
+			out[e.RecordID] = true
+		}
+	}
+	return out
+}
+
+// DeletedIDs returns the IDs removed by the duplicator's delete mode.
+func (l *Log) DeletedIDs() map[int64]bool {
+	out := make(map[int64]bool)
+	for _, e := range l.Events {
+		if e.Kind == Delete {
+			out[e.RecordID] = true
+		}
+	}
+	return out
+}
+
+// CellEvents returns the events that modified a cell in place (everything
+// except duplicates/deletes), keyed by record ID.
+func (l *Log) CellEvents() map[int64][]Event {
+	out := make(map[int64][]Event)
+	for _, e := range l.Events {
+		switch e.Kind {
+		case Duplicate, Delete:
+		default:
+			out[e.RecordID] = append(out[e.RecordID], e)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies events per corruption kind.
+func (l *Log) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range l.Events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// CellPolluter corrupts (at most) one record in place.
+type CellPolluter interface {
+	// Name identifies the polluter in logs and reports.
+	Name() string
+	// Corrupt applies the pollution to row r of the table and returns the
+	// events describing what changed (empty when the attempt was a no-op,
+	// e.g. nulling an already-null cell).
+	Corrupt(t *dataset.Table, r int, rng *rand.Rand) []Event
+}
+
+// Configured pairs a polluter with its activation probability.
+type Configured struct {
+	Prob float64
+	P    CellPolluter
+}
+
+// Plan is a complete pollution configuration: cell-level polluters plus the
+// record-level duplicator.
+type Plan struct {
+	Cell []Configured
+	// DuplicateProb is the per-record probability of appending a spurious
+	// duplicate; DeleteProb the per-record probability of deletion.
+	DuplicateProb float64
+	DeleteProb    float64
+}
+
+// Scale multiplies every activation probability by the common pollution
+// factor of §6.1 ("we vary the activation probabilities of the employed
+// pollution procedures by multiplying them with a common pollution
+// factor"), clamping at 1.
+func (p Plan) Scale(factor float64) Plan {
+	scaled := Plan{
+		Cell:          make([]Configured, len(p.Cell)),
+		DuplicateProb: stats.Clamp(p.DuplicateProb*factor, 0, 1),
+		DeleteProb:    stats.Clamp(p.DeleteProb*factor, 0, 1),
+	}
+	for i, c := range p.Cell {
+		scaled.Cell[i] = Configured{Prob: stats.Clamp(c.Prob*factor, 0, 1), P: c.P}
+	}
+	return scaled
+}
+
+// Run corrupts a clone of the clean table according to the plan and returns
+// the dirty table together with the complete corruption log. The clean
+// table is never modified. Record IDs are preserved, so the ground truth
+// can be joined back against the clean table.
+func Run(clean *dataset.Table, plan Plan, rng *rand.Rand) (*dataset.Table, *Log) {
+	dirty := clean.Clone()
+	log := &Log{}
+
+	// Phase 1: cell-level pollution, record by record.
+	for r := 0; r < dirty.NumRows(); r++ {
+		for _, c := range plan.Cell {
+			if rng.Float64() >= c.Prob {
+				continue
+			}
+			events := c.P.Corrupt(dirty, r, rng)
+			log.Events = append(log.Events, events...)
+		}
+	}
+
+	// Phase 2: record-level duplication/deletion over the original row
+	// range (corruptions apply to the already cell-polluted rows, matching
+	// a pipeline where load glitches hit the same feed).
+	n := dirty.NumRows()
+	var deletions []int
+	for r := 0; r < n; r++ {
+		if plan.DuplicateProb > 0 && rng.Float64() < plan.DuplicateProb {
+			id := dirty.DuplicateRow(r)
+			log.Events = append(log.Events, Event{
+				RecordID: id, Kind: Duplicate, Attr: -1, OtherAttr: -1, DupOfID: dirty.ID(r),
+			})
+		}
+		if plan.DeleteProb > 0 && rng.Float64() < plan.DeleteProb {
+			deletions = append(deletions, r)
+		}
+	}
+	// Delete back to front so indices stay valid.
+	for i := len(deletions) - 1; i >= 0; i-- {
+		r := deletions[i]
+		log.Events = append(log.Events, Event{
+			RecordID: dirty.ID(r), Kind: Delete, Attr: -1, OtherAttr: -1,
+		})
+		dirty.DeleteRow(r)
+	}
+	return dirty, log
+}

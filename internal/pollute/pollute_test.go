@@ -1,0 +1,358 @@
+package pollute
+
+import (
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/stats"
+)
+
+func polluteSchema(t testing.TB) *dataset.Schema {
+	t.Helper()
+	return dataset.MustSchema(
+		dataset.NewNominal("color", "red", "green", "blue"),
+		dataset.NewNominal("shade", "green", "blue", "black"),
+		dataset.NewNumeric("size", 0, 1000),
+		dataset.NewNumeric("weight", 0, 1000),
+	)
+}
+
+func cleanTable(t testing.TB, n int) *dataset.Table {
+	t.Helper()
+	s := polluteSchema(t)
+	tab := dataset.NewTable(s)
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < n; i++ {
+		tab.AppendRow([]dataset.Value{
+			dataset.Nom(rng.Intn(3)),
+			dataset.Nom(rng.Intn(3)),
+			dataset.Num(float64(rng.Intn(1001))),
+			dataset.Num(float64(rng.Intn(1001))),
+		})
+	}
+	return tab
+}
+
+func TestWrongValueChangesCell(t *testing.T) {
+	tab := cleanTable(t, 50)
+	rng := rand.New(rand.NewSource(1))
+	p := &WrongValuePolluter{}
+	for r := 0; r < 50; r++ {
+		before := tab.Row(r)
+		events := p.Corrupt(tab, r, rng)
+		if len(events) != 1 {
+			t.Fatalf("row %d: %d events", r, len(events))
+		}
+		e := events[0]
+		if e.Kind != WrongValue || e.After.Equal(e.Before) {
+			t.Fatalf("bad event: %+v", e)
+		}
+		if !tab.Get(r, e.Attr).Equal(e.After) || before[e.Attr].Equal(tab.Get(r, e.Attr)) {
+			t.Fatalf("event does not describe the actual change")
+		}
+	}
+}
+
+func TestWrongValueRespectsDistribution(t *testing.T) {
+	tab := cleanTable(t, 2000)
+	rng := rand.New(rand.NewSource(2))
+	// Force every replacement on attribute 0 to "blue" (index 2).
+	p := &WrongValuePolluter{
+		Attrs: []int{0},
+		Cat:   map[int]*stats.Categorical{0: stats.MustCategorical(0, 0, 1)},
+	}
+	for r := 0; r < 2000; r++ {
+		if events := p.Corrupt(tab, r, rng); len(events) == 1 {
+			if events[0].After.NomIdx() != 2 {
+				t.Fatalf("replacement ignored the distribution")
+			}
+		} else if tab.Get(r, 0).NomIdx() != 2 {
+			// A no-op is only acceptable when the cell was already "blue".
+			t.Fatalf("no-op on a corruptible cell")
+		}
+	}
+}
+
+func TestWrongValueDegenerateDomainNoop(t *testing.T) {
+	s := dataset.MustSchema(dataset.NewNominal("only", "x"))
+	tab := dataset.NewTable(s)
+	tab.AppendRow([]dataset.Value{dataset.Nom(0)})
+	p := &WrongValuePolluter{}
+	if events := p.Corrupt(tab, 0, rand.New(rand.NewSource(3))); len(events) != 0 {
+		t.Fatalf("single-value domain cannot be wrong-valued: %v", events)
+	}
+}
+
+func TestNullValuePolluter(t *testing.T) {
+	tab := cleanTable(t, 10)
+	rng := rand.New(rand.NewSource(4))
+	p := &NullValuePolluter{Attrs: []int{2}}
+	events := p.Corrupt(tab, 0, rng)
+	if len(events) != 1 || events[0].Kind != NullValue || !events[0].After.IsNull() {
+		t.Fatalf("bad events: %+v", events)
+	}
+	if !tab.Get(0, 2).IsNull() {
+		t.Fatalf("cell not nulled")
+	}
+	// Nulling again is a no-op.
+	if events := p.Corrupt(tab, 0, rng); len(events) != 0 {
+		t.Fatalf("nulling a null must be a no-op")
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	tab := cleanTable(t, 1)
+	tab.Set(0, 2, dataset.Num(900))
+	p := &Limiter{Attr: 2, Lo: 0, Hi: 500}
+	events := p.Corrupt(tab, 0, rand.New(rand.NewSource(5)))
+	if len(events) != 1 || events[0].After.Float() != 500 {
+		t.Fatalf("limiter failed: %+v", events)
+	}
+	// Value already inside the window: no-op.
+	tab.Set(0, 2, dataset.Num(100))
+	if events := p.Corrupt(tab, 0, rand.New(rand.NewSource(6))); len(events) != 0 {
+		t.Fatalf("limiter must not log no-ops")
+	}
+	// Null cell: no-op.
+	tab.Set(0, 2, dataset.Null())
+	if events := p.Corrupt(tab, 0, rand.New(rand.NewSource(7))); len(events) != 0 {
+		t.Fatalf("limiter on null must be a no-op")
+	}
+}
+
+func TestSwitcherNumeric(t *testing.T) {
+	tab := cleanTable(t, 1)
+	tab.Set(0, 2, dataset.Num(11))
+	tab.Set(0, 3, dataset.Num(22))
+	p := &Switcher{AttrA: 2, AttrB: 3}
+	events := p.Corrupt(tab, 0, rand.New(rand.NewSource(8)))
+	if len(events) != 1 || events[0].Kind != Switch {
+		t.Fatalf("bad events: %+v", events)
+	}
+	if tab.Get(0, 2).Float() != 22 || tab.Get(0, 3).Float() != 11 {
+		t.Fatalf("values not swapped")
+	}
+	// Equal values: swap is invisible, no event.
+	tab.Set(0, 2, dataset.Num(5))
+	tab.Set(0, 3, dataset.Num(5))
+	if events := p.Corrupt(tab, 0, rand.New(rand.NewSource(9))); len(events) != 0 {
+		t.Fatalf("invisible swap must not be logged")
+	}
+}
+
+func TestSwitcherNominalCrossDomain(t *testing.T) {
+	tab := cleanTable(t, 1)
+	// color=green (#1), shade=blue (#1): both strings exist in both domains.
+	tab.Set(0, 0, dataset.Nom(1))
+	tab.Set(0, 1, dataset.Nom(1))
+	p := &Switcher{AttrA: 0, AttrB: 1}
+	events := p.Corrupt(tab, 0, rand.New(rand.NewSource(10)))
+	if len(events) != 1 {
+		t.Fatalf("swap should have happened: %v", events)
+	}
+	s := tab.Schema()
+	if s.Attr(0).Format(tab.Get(0, 0)) != "blue" || s.Attr(1).Format(tab.Get(0, 1)) != "green" {
+		t.Fatalf("cross-domain swap wrong: %s / %s",
+			s.Attr(0).Format(tab.Get(0, 0)), s.Attr(1).Format(tab.Get(0, 1)))
+	}
+}
+
+func TestSwitcherUntranslatableHalfStays(t *testing.T) {
+	tab := cleanTable(t, 1)
+	// color=red: "red" is not in shade's domain, so shade keeps its value;
+	// shade=black is not in color's domain either -> complete no-op.
+	tab.Set(0, 0, dataset.Nom(0))
+	tab.Set(0, 1, dataset.Nom(2))
+	p := &Switcher{AttrA: 0, AttrB: 1}
+	if events := p.Corrupt(tab, 0, rand.New(rand.NewSource(11))); len(events) != 0 {
+		t.Fatalf("untranslatable swap must be a no-op: %v", events)
+	}
+}
+
+func TestSwitcherTypeMismatchNoop(t *testing.T) {
+	tab := cleanTable(t, 1)
+	p := &Switcher{AttrA: 0, AttrB: 2}
+	if events := p.Corrupt(tab, 0, rand.New(rand.NewSource(12))); len(events) != 0 {
+		t.Fatalf("nominal/numeric switch must be a no-op")
+	}
+}
+
+func TestRunLogMatchesTableDiff(t *testing.T) {
+	// The central ground-truth invariant: replaying the log against the
+	// clean table must yield exactly the dirty table — every difference is
+	// logged, and nothing else changed.
+	clean := cleanTable(t, 400)
+	plan := Plan{
+		Cell: []Configured{
+			{Prob: 0.10, P: &WrongValuePolluter{}},
+			{Prob: 0.05, P: &NullValuePolluter{}},
+			{Prob: 0.05, P: &Limiter{Attr: 2, Lo: 100, Hi: 800}},
+			{Prob: 0.05, P: &Switcher{AttrA: 2, AttrB: 3}},
+		},
+		DuplicateProb: 0.03,
+		DeleteProb:    0.02,
+	}
+	rng := rand.New(rand.NewSource(13))
+	dirty, log := Run(clean, plan, rng)
+
+	// 1. The clean table is untouched.
+	if clean.NumRows() != 400 {
+		t.Fatalf("clean table modified")
+	}
+
+	// 2. Rebuild the dirty table from clean + log.
+	rebuilt := clean.Clone()
+	idx := rebuilt.RowIndexByID()
+	for _, e := range log.Events {
+		switch e.Kind {
+		case Duplicate:
+			src, ok := idx[e.DupOfID]
+			if !ok {
+				t.Fatalf("duplicate of unknown record %d", e.DupOfID)
+			}
+			id := rebuilt.DuplicateRow(src)
+			if id != e.RecordID {
+				t.Fatalf("duplicate got ID %d, log says %d", id, e.RecordID)
+			}
+			idx[id] = rebuilt.NumRows() - 1
+		case Delete:
+			r, ok := idx[e.RecordID]
+			if !ok {
+				t.Fatalf("delete of unknown record %d", e.RecordID)
+			}
+			rebuilt.DeleteRow(r)
+			idx = rebuilt.RowIndexByID()
+		case Switch:
+			r := idx[e.RecordID]
+			if !rebuilt.Get(r, e.Attr).Equal(e.Before) || !rebuilt.Get(r, e.OtherAttr).Equal(e.OtherBefore) {
+				t.Fatalf("switch Before mismatch at record %d", e.RecordID)
+			}
+			rebuilt.Set(r, e.Attr, e.After)
+			rebuilt.Set(r, e.OtherAttr, e.OtherAfter)
+		default:
+			r := idx[e.RecordID]
+			if !rebuilt.Get(r, e.Attr).Equal(e.Before) {
+				t.Fatalf("event Before does not match table state at record %d", e.RecordID)
+			}
+			rebuilt.Set(r, e.Attr, e.After)
+		}
+	}
+	if rebuilt.NumRows() != dirty.NumRows() {
+		t.Fatalf("row counts differ: rebuilt %d, dirty %d", rebuilt.NumRows(), dirty.NumRows())
+	}
+	for r := 0; r < dirty.NumRows(); r++ {
+		if rebuilt.ID(r) != dirty.ID(r) {
+			t.Fatalf("ID order differs at row %d", r)
+		}
+		for c := 0; c < dirty.NumCols(); c++ {
+			if !rebuilt.Get(r, c).Equal(dirty.Get(r, c)) {
+				t.Fatalf("cell (%d,%d): rebuilt %v, dirty %v", r, c, rebuilt.Get(r, c), dirty.Get(r, c))
+			}
+		}
+	}
+}
+
+func TestRunCorruptedIDsConsistency(t *testing.T) {
+	clean := cleanTable(t, 300)
+	plan := Plan{
+		Cell: []Configured{
+			{Prob: 0.15, P: &WrongValuePolluter{}},
+			{Prob: 0.05, P: &NullValuePolluter{}},
+		},
+		DuplicateProb: 0.05,
+		DeleteProb:    0.03,
+	}
+	dirty, log := Run(clean, plan, rand.New(rand.NewSource(14)))
+	corrupted := log.CorruptedIDs()
+	deleted := log.DeletedIDs()
+	present := make(map[int64]bool)
+	for r := 0; r < dirty.NumRows(); r++ {
+		present[dirty.ID(r)] = true
+	}
+	for id := range corrupted {
+		if deleted[id] {
+			continue // corrupted then deleted: gone from the dirty table
+		}
+		if !present[id] {
+			t.Fatalf("corrupted ID %d missing from dirty table", id)
+		}
+	}
+	for id := range deleted {
+		if present[id] {
+			t.Fatalf("deleted ID %d still present", id)
+		}
+	}
+	if len(corrupted) == 0 || len(deleted) == 0 {
+		t.Fatalf("test should exercise both kinds (corrupted=%d deleted=%d)", len(corrupted), len(deleted))
+	}
+}
+
+func TestRunActivationProbability(t *testing.T) {
+	clean := cleanTable(t, 5000)
+	plan := Plan{Cell: []Configured{{Prob: 0.2, P: &NullValuePolluter{}}}}
+	_, log := Run(clean, plan, rand.New(rand.NewSource(15)))
+	// Nulling hits a random attr; a tiny fraction are no-ops (already
+	// null) — none here since the clean table has no nulls.
+	rate := float64(len(log.Events)) / 5000
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("activation rate %g, want ~0.2", rate)
+	}
+}
+
+func TestPlanScale(t *testing.T) {
+	plan := Plan{
+		Cell:          []Configured{{Prob: 0.2, P: &NullValuePolluter{}}},
+		DuplicateProb: 0.4,
+		DeleteProb:    0.1,
+	}
+	scaled := plan.Scale(3)
+	if got := scaled.Cell[0].Prob; got < 0.6-1e-12 || got > 0.6+1e-12 {
+		t.Fatalf("cell prob = %g", got)
+	}
+	if scaled.DuplicateProb != 1 { // clamped
+		t.Fatalf("dup prob = %g", scaled.DuplicateProb)
+	}
+	if got := scaled.DeleteProb; got < 0.3-1e-12 || got > 0.3+1e-12 {
+		t.Fatalf("delete prob = %g", got)
+	}
+	// Original untouched.
+	if plan.Cell[0].Prob != 0.2 {
+		t.Fatalf("Scale mutated the original plan")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{WrongValue, NullValue, Limit, Switch, Duplicate, Delete}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("Kind strings must be unique and non-empty: %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestLogHelpers(t *testing.T) {
+	log := &Log{Events: []Event{
+		{RecordID: 1, Kind: WrongValue, Attr: 0},
+		{RecordID: 1, Kind: NullValue, Attr: 2},
+		{RecordID: 2, Kind: Duplicate, Attr: -1, DupOfID: 1},
+		{RecordID: 3, Kind: Delete, Attr: -1},
+	}}
+	if got := log.CorruptedIDs(); !got[1] || !got[2] || got[3] {
+		t.Fatalf("CorruptedIDs = %v", got)
+	}
+	if got := log.DeletedIDs(); !got[3] || len(got) != 1 {
+		t.Fatalf("DeletedIDs = %v", got)
+	}
+	cells := log.CellEvents()
+	if len(cells[1]) != 2 || len(cells[2]) != 0 {
+		t.Fatalf("CellEvents = %v", cells)
+	}
+	counts := log.CountByKind()
+	if counts[WrongValue] != 1 || counts[Delete] != 1 {
+		t.Fatalf("CountByKind = %v", counts)
+	}
+}

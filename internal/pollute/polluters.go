@@ -1,0 +1,173 @@
+package pollute
+
+import (
+	"math/rand"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/stats"
+)
+
+// WrongValuePolluter assigns a new value to one attribute "according to a
+// probability distribution defined in the same way as in section 4.1.4"
+// (§4.2). Attribute choice is uniform over Attrs (or the whole schema when
+// Attrs is empty); the replacement value is drawn from the configured
+// distribution (falling back to uniform over the attribute's domain) and is
+// guaranteed to differ from the old value.
+type WrongValuePolluter struct {
+	// Attrs restricts the columns this polluter may hit (empty = all).
+	Attrs []int
+	// Cat supplies replacement distributions for nominal attributes.
+	Cat map[int]*stats.Categorical
+	// Num supplies replacement distributions for numeric/date attributes.
+	Num map[int]stats.Dist
+}
+
+// Name implements CellPolluter.
+func (p *WrongValuePolluter) Name() string { return "wrong-value" }
+
+// Corrupt implements CellPolluter.
+func (p *WrongValuePolluter) Corrupt(t *dataset.Table, r int, rng *rand.Rand) []Event {
+	attr := pickAttr(t, p.Attrs, rng)
+	a := t.Schema().Attr(attr)
+	old := t.Get(r, attr)
+	var nv dataset.Value
+	for tries := 0; tries < 16; tries++ {
+		if a.Type == dataset.NominalType {
+			if c, ok := p.Cat[attr]; ok {
+				nv = dataset.Nom(c.Sample(rng))
+			} else {
+				nv = dataset.Nom(rng.Intn(a.NumValues()))
+			}
+		} else {
+			if d, ok := p.Num[attr]; ok {
+				nv = dataset.Num(stats.Truncated{D: d, Lo: a.Min, Hi: a.Max}.Sample(rng))
+			} else {
+				nv = dataset.Num(a.Min + rng.Float64()*(a.Max-a.Min))
+			}
+		}
+		if !nv.Equal(old) {
+			t.Set(r, attr, nv)
+			return []Event{{RecordID: t.ID(r), Kind: WrongValue, Attr: attr, OtherAttr: -1, Before: old, After: nv}}
+		}
+	}
+	// Degenerate domain (single value): nothing to corrupt.
+	return nil
+}
+
+// NullValuePolluter replaces the value of an attribute by a null value.
+type NullValuePolluter struct {
+	Attrs []int
+}
+
+// Name implements CellPolluter.
+func (p *NullValuePolluter) Name() string { return "null-value" }
+
+// Corrupt implements CellPolluter.
+func (p *NullValuePolluter) Corrupt(t *dataset.Table, r int, rng *rand.Rand) []Event {
+	attr := pickAttr(t, p.Attrs, rng)
+	old := t.Get(r, attr)
+	if old.IsNull() {
+		return nil // already null: no corruption happened
+	}
+	t.Set(r, attr, dataset.Null())
+	return []Event{{RecordID: t.ID(r), Kind: NullValue, Attr: attr, OtherAttr: -1, Before: old, After: dataset.Null()}}
+}
+
+// Limiter cuts off a numerical value according to a maximal or minimal
+// bound — the truncation glitch of legacy load processes.
+type Limiter struct {
+	// Attr is the numeric/date column to clamp.
+	Attr int
+	// Lo and Hi are the clamping bounds.
+	Lo, Hi float64
+}
+
+// Name implements CellPolluter.
+func (p *Limiter) Name() string { return "limiter" }
+
+// Corrupt implements CellPolluter.
+func (p *Limiter) Corrupt(t *dataset.Table, r int, rng *rand.Rand) []Event {
+	old := t.Get(r, p.Attr)
+	if old.IsNull() || !old.IsNumber() {
+		return nil
+	}
+	clamped := stats.Clamp(old.Float(), p.Lo, p.Hi)
+	if clamped == old.Float() {
+		return nil // value already within the limiter's window
+	}
+	nv := dataset.Num(clamped)
+	t.Set(r, p.Attr, nv)
+	return []Event{{RecordID: t.ID(r), Kind: Limit, Attr: p.Attr, OtherAttr: -1, Before: old, After: nv}}
+}
+
+// Switcher swaps the values of two attributes — the classic transposed-
+// columns mistake. Nominal values are swapped via their domain strings and
+// only when each value exists in the other attribute's domain (otherwise
+// the swap is not representable and becomes a no-op); numbers always swap.
+type Switcher struct {
+	AttrA, AttrB int
+}
+
+// Name implements CellPolluter.
+func (p *Switcher) Name() string { return "switcher" }
+
+// Corrupt implements CellPolluter.
+func (p *Switcher) Corrupt(t *dataset.Table, r int, rng *rand.Rand) []Event {
+	s := t.Schema()
+	aAttr, bAttr := s.Attr(p.AttrA), s.Attr(p.AttrB)
+	va, vb := t.Get(r, p.AttrA), t.Get(r, p.AttrB)
+	if va.IsNull() && vb.IsNull() {
+		return nil
+	}
+	var na, nb dataset.Value // new values for A and B
+	switch {
+	case aAttr.Type == dataset.NominalType && bAttr.Type == dataset.NominalType:
+		na, nb = crossNominal(aAttr, bAttr, va, vb)
+		if na.Equal(va) && nb.Equal(vb) {
+			return nil
+		}
+	case aAttr.IsNumberLike() && bAttr.IsNumberLike():
+		na, nb = vb, va
+	default:
+		return nil // incompatible attribute pair
+	}
+	if na.Equal(va) && nb.Equal(vb) {
+		return nil
+	}
+	t.Set(r, p.AttrA, na)
+	t.Set(r, p.AttrB, nb)
+	return []Event{{
+		RecordID: t.ID(r), Kind: Switch,
+		Attr: p.AttrA, Before: va, After: na,
+		OtherAttr: p.AttrB, OtherBefore: vb, OtherAfter: nb,
+	}}
+}
+
+// crossNominal translates a nominal swap across (possibly different)
+// domains; non-translatable halves stay put.
+func crossNominal(aAttr, bAttr *dataset.Attribute, va, vb dataset.Value) (na, nb dataset.Value) {
+	na, nb = va, vb
+	if !vb.IsNull() {
+		if idx, ok := aAttr.Index(bAttr.Domain[vb.NomIdx()]); ok {
+			na = dataset.Nom(idx)
+		}
+	} else {
+		na = dataset.Null()
+	}
+	if !va.IsNull() {
+		if idx, ok := bAttr.Index(aAttr.Domain[va.NomIdx()]); ok {
+			nb = dataset.Nom(idx)
+		}
+	} else {
+		nb = dataset.Null()
+	}
+	return na, nb
+}
+
+// pickAttr selects a column uniformly from attrs (or the full schema).
+func pickAttr(t *dataset.Table, attrs []int, rng *rand.Rand) int {
+	if len(attrs) == 0 {
+		return rng.Intn(t.NumCols())
+	}
+	return attrs[rng.Intn(len(attrs))]
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.75, 0.674490},
+		{0.025, -1.959964},
+		{0.999, 3.090232},
+		{0.001, -3.090232},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("NormalQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	err := quick.Check(func(x float64) bool {
+		p := math.Abs(math.Mod(x, 1))
+		if p <= 0.0001 || p >= 0.9999 {
+			return true
+		}
+		return math.Abs(NormalQuantile(p)+NormalQuantile(1-p)) < 1e-8
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%g) must panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestWilsonBoundsOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		p := rng.Float64()
+		n := float64(1 + rng.Intn(100000))
+		conf := 0.5 + rng.Float64()*0.49
+		lo := LeftBound(p, n, conf)
+		hi := RightBound(p, n, conf)
+		if !(lo >= 0 && lo <= 1 && hi >= 0 && hi <= 1) {
+			t.Fatalf("bounds escape [0,1]: lo=%g hi=%g (p=%g n=%g)", lo, hi, p, n)
+		}
+		if lo > hi {
+			t.Fatalf("leftBound %g > rightBound %g (p=%g n=%g conf=%g)", lo, hi, p, n, conf)
+		}
+		// The Wilson interval always contains the observed proportion.
+		if p < lo-1e-12 || p > hi+1e-12 {
+			t.Fatalf("observed p=%g outside [%g,%g] (n=%g conf=%g)", p, lo, hi, n, conf)
+		}
+	}
+}
+
+func TestWilsonBoundsShrinkWithN(t *testing.T) {
+	prevWidth := math.Inf(1)
+	for _, n := range []float64{1, 10, 100, 1000, 10000, 100000} {
+		w := RightBound(0.3, n, 0.95) - LeftBound(0.3, n, 0.95)
+		if w >= prevWidth {
+			t.Fatalf("interval width must shrink with n: n=%g width=%g prev=%g", n, w, prevWidth)
+		}
+		prevWidth = w
+	}
+}
+
+func TestWilsonBoundsAtExtremes(t *testing.T) {
+	// At p=1 the left bound must stay strictly below 1 for finite n
+	// (that's what makes small pure leaves weak evidence).
+	if lb := LeftBound(1, 5, 0.95); lb >= 1 || lb <= 0 {
+		t.Fatalf("LeftBound(1, 5) = %g", lb)
+	}
+	// At p=0 the right bound must stay strictly above 0 for finite n.
+	if rb := RightBound(0, 5, 0.95); rb <= 0 || rb >= 1 {
+		t.Fatalf("RightBound(0, 5) = %g", rb)
+	}
+	// And both converge with n -> infinity.
+	if lb := LeftBound(1, 1e9, 0.95); lb < 0.9999 {
+		t.Fatalf("LeftBound(1, 1e9) = %g, should approach 1", lb)
+	}
+	if rb := RightBound(0, 1e9, 0.95); rb > 0.0001 {
+		t.Fatalf("RightBound(0, 1e9) = %g, should approach 0", rb)
+	}
+}
+
+func TestWilsonZeroSampleIsVacuous(t *testing.T) {
+	if lb := LeftBound(0.7, 0, 0.95); lb != 0 {
+		t.Fatalf("LeftBound with n=0 = %g, want 0", lb)
+	}
+	if rb := RightBound(0.7, 0, 0.95); rb != 1 {
+		t.Fatalf("RightBound with n=0 = %g, want 1", rb)
+	}
+}
+
+func TestErrorConfidenceBasics(t *testing.T) {
+	// Identical observed and predicted probabilities: no error evidence.
+	if ec := ErrorConfidence(0.5, 0.5, 1000, 0.95); ec != 0 {
+		t.Fatalf("equal probabilities must give 0, got %g", ec)
+	}
+	// Strong contrast on a large sample: confidence near 1.
+	if ec := ErrorConfidence(1, 0, 100000, 0.95); ec < 0.99 {
+		t.Fatalf("perfect contrast on 100k samples gives %g", ec)
+	}
+	// Same contrast on a tiny sample: much weaker.
+	small := ErrorConfidence(1, 0, 5, 0.95)
+	large := ErrorConfidence(1, 0, 5000, 0.95)
+	if small >= large {
+		t.Fatalf("error confidence must grow with sample size: %g >= %g", small, large)
+	}
+}
+
+func TestErrorConfidenceMatchesPaperExample(t *testing.T) {
+	// §6.2: rule BRV=404 -> GBM=901 based on 16118 instances with exactly
+	// one deviation is assigned an error confidence of 99.95%.
+	n := 16118.0
+	ec := ErrorConfidence((n-1)/n, 1/n, n, 0.95)
+	if math.Abs(ec-0.9995) > 0.0005 {
+		t.Fatalf("paper example: error confidence = %.6f, want ~0.9995", ec)
+	}
+}
+
+func TestErrorConfidenceNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 5000; i++ {
+		pHat := rng.Float64()
+		pObs := rng.Float64()
+		n := float64(rng.Intn(100000))
+		ec := ErrorConfidence(pHat, pObs, n, 0.95)
+		if ec < 0 || ec > 1 {
+			t.Fatalf("errorConf out of [0,1]: %g", ec)
+		}
+		if pObs >= pHat && ec != 0 {
+			t.Fatalf("observed >= predicted must give 0 confidence, got %g (pHat=%g pObs=%g)", ec, pHat, pObs)
+		}
+	}
+}
+
+func TestMinInstForConfidence(t *testing.T) {
+	mi := MinInstForConfidence(0.8, 0.95)
+	if mi < 2 {
+		t.Fatalf("minInst for 80%% = %d, suspiciously small", mi)
+	}
+	// Verify the defining property: mi reaches the confidence, mi-1 doesn't.
+	if ErrorConfidence(1, 0, float64(mi), 0.95) < 0.8 {
+		t.Fatalf("minInst %d does not reach 0.8", mi)
+	}
+	if ErrorConfidence(1, 0, float64(mi-1), 0.95) >= 0.8 {
+		t.Fatalf("minInst-1 = %d already reaches 0.8", mi-1)
+	}
+	if MinInstForConfidence(0, 0.95) != 1 {
+		t.Fatalf("minConf 0 should give 1")
+	}
+	if MinInstForConfidence(1, 0.95) != 1<<31-1 {
+		t.Fatalf("minConf 1 should give sentinel")
+	}
+	// Higher thresholds need more instances.
+	if MinInstForConfidence(0.95, 0.95) <= mi {
+		t.Fatalf("minInst must grow with minConf")
+	}
+}

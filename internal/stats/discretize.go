@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Discretizer maps a continuous value to one of k bins. The paper uses
+// equal-frequency binning to let C4.5 induce "decision trees for numerical
+// class attributes" (§5): the class attribute is discretized before
+// induction, and bin representatives serve as proposed corrections.
+type Discretizer struct {
+	// Cuts are the k-1 ascending cut points; value v falls into the first
+	// bin i with v <= Cuts[i], or bin k-1 if it exceeds every cut.
+	Cuts []float64
+	// Reps are per-bin representative values (the median of the training
+	// values that fell into the bin), used when a bin prediction must be
+	// turned back into a concrete corrected value (§5.3).
+	Reps []float64
+}
+
+// NewEqualFrequency builds a discretizer with (up to) k equal-frequency
+// bins from the given training values. Duplicate cut candidates are merged,
+// so heavily tied data may yield fewer than k bins. Values must be non-empty.
+func NewEqualFrequency(values []float64, k int) (*Discretizer, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("stats: cannot discretize zero values")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("stats: need at least one bin, got %d", k)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+
+	var cuts []float64
+	n := len(sorted)
+	for i := 1; i < k; i++ {
+		// Cut after the i-th equal-frequency block.
+		pos := i * n / k
+		if pos <= 0 || pos >= n {
+			continue
+		}
+		cut := (sorted[pos-1] + sorted[pos]) / 2
+		// Merge duplicate / non-increasing cuts caused by ties.
+		if len(cuts) == 0 || cut > cuts[len(cuts)-1] {
+			if sorted[pos-1] < sorted[pos] {
+				cuts = append(cuts, cut)
+			}
+		}
+	}
+	d := &Discretizer{Cuts: cuts}
+	d.computeReps(sorted)
+	return d, nil
+}
+
+func (d *Discretizer) computeReps(sorted []float64) {
+	k := d.NumBins()
+	buckets := make([][]float64, k)
+	for _, v := range sorted {
+		b := d.Bin(v)
+		buckets[b] = append(buckets[b], v)
+	}
+	d.Reps = make([]float64, k)
+	for i, bucket := range buckets {
+		switch {
+		case len(bucket) == 0:
+			// Empty bin (possible only at the extremes with pathological
+			// data): fall back to the nearest cut.
+			if i < len(d.Cuts) {
+				d.Reps[i] = d.Cuts[i]
+			} else if len(d.Cuts) > 0 {
+				d.Reps[i] = d.Cuts[len(d.Cuts)-1]
+			}
+		default:
+			d.Reps[i] = bucket[len(bucket)/2] // median (bucket is sorted)
+		}
+	}
+}
+
+// NumBins returns the number of bins (len(Cuts)+1).
+func (d *Discretizer) NumBins() int { return len(d.Cuts) + 1 }
+
+// Bin maps a value to its bin index in [0, NumBins()).
+func (d *Discretizer) Bin(v float64) int {
+	return sort.SearchFloat64s(d.Cuts, v)
+}
+
+// Rep returns the representative value of bin b.
+func (d *Discretizer) Rep(b int) float64 { return d.Reps[b] }
+
+// Labels renders human-readable interval labels for each bin, using the
+// format function (e.g. an Attribute's number formatting).
+func (d *Discretizer) Labels(format func(float64) string) []string {
+	k := d.NumBins()
+	labels := make([]string, k)
+	for i := 0; i < k; i++ {
+		switch {
+		case k == 1:
+			labels[i] = "(-inf,+inf)"
+		case i == 0:
+			labels[i] = fmt.Sprintf("(-inf,%s]", format(d.Cuts[0]))
+		case i == k-1:
+			labels[i] = fmt.Sprintf("(%s,+inf)", format(d.Cuts[i-1]))
+		default:
+			labels[i] = fmt.Sprintf("(%s,%s]", format(d.Cuts[i-1]), format(d.Cuts[i]))
+		}
+	}
+	return labels
+}

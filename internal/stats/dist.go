@@ -1,0 +1,190 @@
+// Package stats provides the statistical machinery the paper relies on:
+// parameterizable sampling distributions for the test-data generator
+// (§4.1.4: "Our system offers uniform, normal and exponential distributions
+// that can be parameterized by the user"), one-sided confidence-interval
+// bounds leftBound/rightBound used by both C4.5's pessimistic error (§5.1.2)
+// and the error-confidence measure (Def. 7), entropy and information-gain
+// helpers (§5.1.1), and equal-frequency discretization (§5: "these
+// attributes are discretized into equal frequency bins").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a continuous sampling distribution over float64.
+type Dist interface {
+	// Sample draws one value using the given source.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution's expectation (used in tests and for
+	// correction heuristics).
+	Mean() float64
+	// String describes the distribution for logs and experiment reports.
+	String() string
+}
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Lo + rng.Float64()*(u.Hi-u.Lo) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// String implements Dist.
+func (u Uniform) String() string { return fmt.Sprintf("uniform[%g,%g]", u.Lo, u.Hi) }
+
+// Normal is the Gaussian distribution N(Mu, Sigma²).
+type Normal struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) float64 { return n.Mu + n.Sigma*rng.NormFloat64() }
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// String implements Dist.
+func (n Normal) String() string { return fmt.Sprintf("normal(%g,%g)", n.Mu, n.Sigma) }
+
+// Exponential is the exponential distribution with the given rate,
+// shifted by Shift (values are Shift + Exp(Rate)).
+type Exponential struct {
+	Rate  float64
+	Shift float64
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 { return e.Shift + rng.ExpFloat64()/e.Rate }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.Shift + 1/e.Rate }
+
+// String implements Dist.
+func (e Exponential) String() string { return fmt.Sprintf("exp(rate=%g,shift=%g)", e.Rate, e.Shift) }
+
+// Truncated clips another distribution into [Lo, Hi] by rejection sampling
+// (falling back to clamping after maxRejects draws, so sampling always
+// terminates even for badly mis-parameterized distributions).
+type Truncated struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+const maxRejects = 64
+
+// Sample implements Dist.
+func (t Truncated) Sample(rng *rand.Rand) float64 {
+	for i := 0; i < maxRejects; i++ {
+		v := t.D.Sample(rng)
+		if v >= t.Lo && v <= t.Hi {
+			return v
+		}
+	}
+	return Clamp(t.D.Sample(rng), t.Lo, t.Hi)
+}
+
+// Mean implements Dist (approximation: the untruncated mean clamped to the
+// interval; exact truncated means are not needed anywhere).
+func (t Truncated) Mean() float64 { return Clamp(t.D.Mean(), t.Lo, t.Hi) }
+
+// String implements Dist.
+func (t Truncated) String() string { return fmt.Sprintf("trunc[%g,%g](%s)", t.Lo, t.Hi, t.D) }
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Categorical is a discrete distribution over indices 0..len(W)-1 with
+// unnormalized non-negative weights. It drives nominal start distributions
+// for the test-data generator.
+type Categorical struct {
+	W   []float64
+	cum []float64
+}
+
+// NewCategorical validates the weights and precomputes the cumulative sums.
+func NewCategorical(weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("stats: categorical distribution needs at least one weight")
+	}
+	c := &Categorical{W: weights, cum: make([]float64, len(weights))}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("stats: categorical weight %d is %g", i, w)
+		}
+		total += w
+		c.cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: categorical weights sum to %g", total)
+	}
+	return c, nil
+}
+
+// MustCategorical is NewCategorical but panics on error.
+func MustCategorical(weights ...float64) *Categorical {
+	c, err := NewCategorical(weights)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// UniformCategorical returns the uniform distribution over n categories.
+func UniformCategorical(n int) *Categorical {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return MustCategorical(w...)
+}
+
+// ZipfCategorical returns a skewed categorical where weight(i) ∝ 1/(i+1)^s.
+// Skewed nominal marginals are typical for code attributes in QUIS-like
+// tables (a few very frequent codes, a long tail).
+func ZipfCategorical(n int, s float64) *Categorical {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return MustCategorical(w...)
+}
+
+// Sample draws a category index.
+func (c *Categorical) Sample(rng *rand.Rand) int {
+	total := c.cum[len(c.cum)-1]
+	x := rng.Float64() * total
+	i := sort.SearchFloat64s(c.cum, x)
+	if i >= len(c.W) {
+		i = len(c.W) - 1
+	}
+	// SearchFloat64s returns the first index with cum >= x; skip zero-weight
+	// categories that share the same cumulative value.
+	for i < len(c.W)-1 && c.W[i] == 0 {
+		i++
+	}
+	return i
+}
+
+// P returns the normalized probability of category i.
+func (c *Categorical) P(i int) float64 {
+	return c.W[i] / c.cum[len(c.cum)-1]
+}
+
+// Len returns the number of categories.
+func (c *Categorical) Len() int { return len(c.W) }
+
+// String implements fmt.Stringer.
+func (c *Categorical) String() string { return fmt.Sprintf("categorical(%d)", len(c.W)) }

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEntropyKnownValues(t *testing.T) {
+	cases := []struct {
+		counts []float64
+		want   float64
+	}{
+		{[]float64{1, 1}, 1},
+		{[]float64{1, 1, 1, 1}, 2},
+		{[]float64{10, 0}, 0},
+		{[]float64{}, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{3, 1}, 0.811278},
+	}
+	for _, c := range cases {
+		if got := Entropy(c.counts); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Entropy(%v) = %g, want %g", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestEntropyBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 2000; i++ {
+		k := 1 + rng.Intn(10)
+		counts := make([]float64, k)
+		for j := range counts {
+			counts[j] = rng.Float64() * 100
+		}
+		h := Entropy(counts)
+		if h < 0 || h > math.Log2(float64(k))+1e-9 {
+			t.Fatalf("entropy %g outside [0, log2(%d)]", h, k)
+		}
+	}
+}
+
+func TestInfoGainPerfectSplit(t *testing.T) {
+	parent := []float64{5, 5}
+	children := [][]float64{{5, 0}, {0, 5}}
+	if g := InfoGain(parent, children); math.Abs(g-1) > 1e-9 {
+		t.Fatalf("perfect split gain = %g, want 1", g)
+	}
+}
+
+func TestInfoGainUselessSplit(t *testing.T) {
+	parent := []float64{6, 6}
+	children := [][]float64{{3, 3}, {3, 3}}
+	if g := InfoGain(parent, children); math.Abs(g) > 1e-9 {
+		t.Fatalf("useless split gain = %g, want 0", g)
+	}
+}
+
+func TestInfoGainNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 2000; i++ {
+		k := 2 + rng.Intn(4)
+		branches := 2 + rng.Intn(4)
+		children := make([][]float64, branches)
+		parent := make([]float64, k)
+		for b := range children {
+			children[b] = make([]float64, k)
+			for j := range children[b] {
+				v := float64(rng.Intn(20))
+				children[b][j] = v
+				parent[j] += v
+			}
+		}
+		if g := InfoGain(parent, children); g < -1e-9 {
+			t.Fatalf("info gain negative: %g", g)
+		}
+	}
+}
+
+func TestInfoGainEmptyParent(t *testing.T) {
+	if g := InfoGain([]float64{0, 0}, nil); g != 0 {
+		t.Fatalf("empty parent gain = %g", g)
+	}
+}
+
+func TestGainRatio(t *testing.T) {
+	// Balanced binary split: splitInfo = 1, so ratio == gain.
+	sizes := []float64{5, 5}
+	if gr := GainRatio(0.5, sizes); math.Abs(gr-0.5) > 1e-9 {
+		t.Fatalf("GainRatio = %g, want 0.5", gr)
+	}
+	// Degenerate split: everything in one branch -> ratio forced to 0.
+	if gr := GainRatio(0.5, []float64{10, 0}); gr != 0 {
+		t.Fatalf("degenerate split ratio = %g, want 0", gr)
+	}
+}
+
+func TestSplitInfoMatchesEntropy(t *testing.T) {
+	sizes := []float64{2, 6}
+	if SplitInfo(sizes) != Entropy(sizes) {
+		t.Fatalf("SplitInfo must equal Entropy of branch sizes")
+	}
+}

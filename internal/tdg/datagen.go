@@ -1,0 +1,515 @@
+package tdg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dataaudit/internal/bayesnet"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/stats"
+)
+
+// StartDists are the start distributions of §4.1.4: independent univariate
+// distributions per attribute, optionally overridden for a group of nominal
+// attributes by a Bayesian network ("we developed a method for the
+// intuitive specification of multivariate start distributions based on the
+// graphical representation of stochastic dependencies among attributes in
+// Bayesian networks").
+type StartDists struct {
+	// Cat maps nominal attribute indices to categorical start distributions;
+	// unmapped nominal attributes start uniform over their domain.
+	Cat map[int]*stats.Categorical
+	// Num maps numeric/date attribute indices to continuous distributions
+	// (truncated to the attribute's range); unmapped ones start uniform.
+	Num map[int]stats.Dist
+	// Net, if non-nil, jointly samples the nominal attributes it covers;
+	// it takes precedence over Cat for those attributes.
+	Net *bayesnet.Network
+}
+
+// DataGenParams parameterize record generation.
+type DataGenParams struct {
+	// NumRecords is the number of records to generate.
+	NumRecords int
+	// Start are the start distributions (zero value = all uniform).
+	Start StartDists
+	// MaxRepairPasses bounds the number of full repair sweeps per record
+	// (default 12).
+	MaxRepairPasses int
+	// MaxRedraws bounds how often a non-converging record is redrawn from
+	// scratch (default 200).
+	MaxRedraws int
+	// PremiseBreakProb is the base probability that a violated rule is
+	// repaired by falsifying its premise instead of satisfying its
+	// conclusion (default 0.15). The probability escalates towards 0.9 in
+	// later repair passes so that records caught between rules with
+	// overlapping premises and contradictory conclusions still converge.
+	PremiseBreakProb float64
+}
+
+// WithDefaults fills unset fields.
+func (p DataGenParams) WithDefaults() DataGenParams {
+	if p.NumRecords == 0 {
+		p.NumRecords = 10000
+	}
+	if p.MaxRepairPasses == 0 {
+		p.MaxRepairPasses = 12
+	}
+	if p.MaxRedraws == 0 {
+		p.MaxRedraws = 200
+	}
+	if p.PremiseBreakProb == 0 {
+		p.PremiseBreakProb = 0.15
+	}
+	return p
+}
+
+// generator carries the per-run state of §4.1.4 data generation.
+type generator struct {
+	schema  *dataset.Schema
+	rules   []Rule
+	p       DataGenParams
+	rng     *rand.Rand
+	concDNF [][]Conj // per rule: DNF of the conclusion
+	premNeg [][]Conj // per rule: DNF of the negated premise
+
+	// sampledStrings caches, per equality-class root, the domain string
+	// most recently sampled for that class; valueForAttr translates it into
+	// each member attribute's own domain index at commit time.
+	sampledStrings map[int]string
+}
+
+// Generate creates records that follow the rule set: each record starts
+// from the start distributions and is then successively adjusted by the
+// rules it violates ("selecting values for each attribute according to
+// independent probability distributions and successively adjusting these
+// guesses by rules that are violated", §4.1.4). Every returned record
+// satisfies every rule.
+func Generate(schema *dataset.Schema, rules []Rule, p DataGenParams, rng *rand.Rand) (*dataset.Table, error) {
+	p = p.WithDefaults()
+	g := &generator{schema: schema, rules: rules, p: p, rng: rng}
+	g.concDNF = make([][]Conj, len(rules))
+	g.premNeg = make([][]Conj, len(rules))
+	for i, r := range rules {
+		d, err := DNF(r.Conclusion)
+		if err != nil {
+			return nil, fmt.Errorf("tdg: rule %d conclusion: %w", i, err)
+		}
+		g.concDNF[i] = d
+		nd, err := DNF(Negate(r.Premise))
+		if err != nil {
+			return nil, fmt.Errorf("tdg: rule %d premise negation: %w", i, err)
+		}
+		g.premNeg[i] = nd
+	}
+
+	table := dataset.NewTable(schema)
+	row := make([]dataset.Value, schema.Len())
+	for i := 0; i < p.NumRecords; i++ {
+		ok := false
+		for redraw := 0; redraw <= p.MaxRedraws; redraw++ {
+			g.drawStart(row)
+			if g.repair(row) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("tdg: record %d did not converge after %d redraws; the rule set is likely too contradictory for repair", i, p.MaxRedraws)
+		}
+		table.AppendRow(row)
+	}
+	return table, nil
+}
+
+// drawStart fills row with independent (or network-jointed) start values.
+func (g *generator) drawStart(row []dataset.Value) {
+	DrawStartRow(g.schema, g.p.Start, g.rng, row)
+}
+
+// DrawStartRow fills row with one sample from the start distributions
+// (shared between data generation and the rule generator's coverage
+// estimation).
+func DrawStartRow(schema *dataset.Schema, start StartDists, rng *rand.Rand, row []dataset.Value) {
+	covered := make(map[int]bool)
+	if start.Net != nil {
+		start.Net.Sample(rng, row)
+		for _, n := range start.Net.Nodes {
+			covered[n.Attr] = true
+		}
+	}
+	for i := 0; i < schema.Len(); i++ {
+		if covered[i] {
+			continue
+		}
+		a := schema.Attr(i)
+		if a.Type == dataset.NominalType {
+			if c, ok := start.Cat[i]; ok {
+				row[i] = dataset.Nom(c.Sample(rng))
+			} else {
+				row[i] = dataset.Nom(rng.Intn(len(a.Domain)))
+			}
+			continue
+		}
+		if d, ok := start.Num[i]; ok {
+			row[i] = dataset.Num(stats.Truncated{D: d, Lo: a.Min, Hi: a.Max}.Sample(rng))
+		} else {
+			row[i] = dataset.Num(a.Min + rng.Float64()*(a.Max-a.Min))
+		}
+	}
+}
+
+// repair sweeps the rules, fixing each violated one by resampling the
+// attributes of a randomly chosen satisfiable disjunct of its conclusion
+// (falling back to falsifying the premise when no conclusion disjunct can
+// be realized). It returns true when the record satisfies every rule.
+func (g *generator) repair(row []dataset.Value) bool {
+	for pass := 0; pass < g.p.MaxRepairPasses; pass++ {
+		// Escalate the premise-breaking probability with the pass number:
+		// early passes favor satisfying conclusions (which creates the
+		// detectable structure); late passes increasingly dissolve the
+		// conflict by making premises false.
+		breakProb := g.p.PremiseBreakProb
+		if g.p.MaxRepairPasses > 1 {
+			frac := float64(pass) / float64(g.p.MaxRepairPasses-1)
+			breakProb += (0.9 - breakProb) * frac
+		}
+		clean := true
+		for ri := range g.rules {
+			if !g.rules[ri].Violated(g.schema, row) {
+				continue
+			}
+			clean = false
+			if !g.fixRule(ri, row, breakProb) {
+				return false
+			}
+		}
+		if clean {
+			return true
+		}
+	}
+	for ri := range g.rules {
+		if g.rules[ri].Violated(g.schema, row) {
+			return false
+		}
+	}
+	return true
+}
+
+// fixRule makes one violated rule hold on the row, either by satisfying its
+// conclusion or (with probability breakProb, or as a fallback) by
+// falsifying its premise.
+func (g *generator) fixRule(ri int, row []dataset.Value, breakProb float64) bool {
+	first, second := g.concDNF[ri], g.premNeg[ri]
+	if g.rng.Float64() < breakProb {
+		first, second = second, first
+	}
+	return g.tryDisjuncts(first, row) || g.tryDisjuncts(second, row)
+}
+
+// tryDisjuncts attempts the disjuncts in random order, but defers those
+// that would set attributes to null: TDG-negation (Table 1) offers
+// "A isnull" as an escape hatch in every negated comparison, and taking it
+// eagerly would salt the clean data with nulls that no domain rule calls
+// for (real QUIS-style code attributes are null for structural reasons,
+// not to dodge a dependency).
+func (g *generator) tryDisjuncts(ds []Conj, row []dataset.Value) bool {
+	order := g.rng.Perm(len(ds))
+	for _, di := range order {
+		if conjForcesNull(ds[di]) {
+			continue
+		}
+		if g.sampleConj(ds[di], row) {
+			return true
+		}
+	}
+	for _, di := range order {
+		if !conjForcesNull(ds[di]) {
+			continue
+		}
+		if g.sampleConj(ds[di], row) {
+			return true
+		}
+	}
+	return false
+}
+
+// conjForcesNull reports whether the conjunction contains an IsNull atom.
+func conjForcesNull(c Conj) bool {
+	for _, a := range c {
+		if a.Kind == IsNull {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleConj resamples exactly the attributes mentioned in the conjunction
+// so that the conjunction holds afterwards; other attributes are untouched.
+// Returns false when the conjunction is unsatisfiable or sampling ran into
+// a dead end.
+func (g *generator) sampleConj(conj Conj, row []dataset.Value) bool {
+	s := newSolver(g.schema)
+	for _, a := range conj {
+		s.apply(a)
+		if s.unsat {
+			return false
+		}
+	}
+	if !s.check() {
+		return false
+	}
+
+	// Collect the root classes of the mentioned attributes. rootSeen keeps
+	// a deterministic first-seen order so that sampling consumes random
+	// numbers in a reproducible sequence.
+	mentioned := make(map[int][]int) // root -> member attrs (mentioned only)
+	var rootSeen []int
+	var atomAttrs []int
+	for _, a := range conj {
+		atomAttrs = a.Attrs(atomAttrs[:0])
+		for _, attr := range atomAttrs {
+			r := s.find(attr)
+			if _, ok := mentioned[r]; !ok {
+				rootSeen = append(rootSeen, r)
+			}
+			mentioned[r] = append(mentioned[r], attr)
+		}
+	}
+
+	// Assignment order: topologically ordered classes first (so that
+	// strict-order predecessors are fixed before their successors), then
+	// the rest in first-seen order.
+	var orderRoots []int
+	inOrder := make(map[int]bool)
+	for _, r := range s.order {
+		if _, ok := mentioned[r]; ok {
+			orderRoots = append(orderRoots, r)
+			inOrder[r] = true
+		}
+	}
+	for _, r := range rootSeen {
+		if !inOrder[r] {
+			orderRoots = append(orderRoots, r)
+		}
+	}
+
+	// A couple of global retries paper over rare dead ends caused by
+	// disequality interactions.
+	for attempt := 0; attempt < 4; attempt++ {
+		if g.tryAssign(s, orderRoots, mentioned, row) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryAssign samples one concrete assignment for the given classes into a
+// scratch copy and commits it on success.
+func (g *generator) tryAssign(s *solver, roots []int, mentioned map[int][]int, row []dataset.Value) bool {
+	g.sampledStrings = make(map[int]string, len(roots))
+	scratch := make(map[int]dataset.Value, len(roots)) // root -> sampled value
+	for _, root := range roots {
+		d := s.dom[root]
+		if d.mustNull && !d.mustNotNull {
+			scratch[root] = dataset.Null()
+			continue
+		}
+		var v dataset.Value
+		var ok bool
+		if d.nominal {
+			v, ok = g.sampleNominalClass(s, root, d, scratch)
+		} else {
+			v, ok = g.sampleNumberClass(s, root, d, scratch)
+		}
+		if !ok {
+			return false
+		}
+		scratch[root] = v
+	}
+	// Commit: write each member attribute's representation of the class
+	// value.
+	for root, members := range mentioned {
+		v := scratch[root]
+		for _, attr := range members {
+			row[attr] = g.valueForAttr(attr, v, s, root)
+		}
+	}
+	return true
+}
+
+// valueForAttr translates a class value into the member attribute's own
+// representation (nominal classes carry a shared domain string which may
+// have different indices in different member domains).
+func (g *generator) valueForAttr(attr int, v dataset.Value, s *solver, root int) dataset.Value {
+	if v.IsNull() || !s.dom[root].nominal {
+		return v
+	}
+	// v was sampled as an index into *some* member's domain; recover the
+	// string from the class's sampled string cache instead: we store the
+	// string-coded value in sampledStrings.
+	str := g.sampledStrings[root]
+	idx, ok := g.schema.Attr(attr).Index(str)
+	if !ok {
+		// Cannot happen: the allowed set was intersected over all members.
+		panic(fmt.Sprintf("tdg: class value %q missing from domain of attribute %s", str, g.schema.Attr(attr).Name))
+	}
+	return dataset.Nom(idx)
+}
+
+// sampleNominalClass picks a domain string from the class's allowed set,
+// honoring disequality partners already assigned, weighted by the start
+// distribution of one member attribute when available.
+func (g *generator) sampleNominalClass(s *solver, root int, d *classDomain, scratch map[int]dataset.Value) (dataset.Value, bool) {
+	// Build the candidate list minus values taken by assigned ≠-partners.
+	taken := make(map[string]bool)
+	for _, e := range s.neq {
+		ra, rb := s.find(e[0]), s.find(e[1])
+		var other int
+		switch root {
+		case ra:
+			other = rb
+		case rb:
+			other = ra
+		default:
+			continue
+		}
+		if v, ok := scratch[other]; ok && !v.IsNull() && s.dom[other].nominal {
+			taken[g.sampledStrings[other]] = true
+		}
+	}
+	var candidates []string
+	for v := range d.allowed {
+		if !taken[v] {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return dataset.Value{}, false
+	}
+	sort.Strings(candidates) // map order must not leak into the RNG stream
+	str := g.pickNominal(root, candidates, s)
+	if g.sampledStrings == nil {
+		g.sampledStrings = make(map[int]string)
+	}
+	g.sampledStrings[root] = str
+	// Encode with the root attribute's own index (translated per member at
+	// commit time).
+	idx, ok := g.schema.Attr(root).Index(str)
+	if !ok {
+		// The root attribute may not contain the string if the class was
+		// merged across attributes with different domains; use any member
+		// that does. valueForAttr re-translates anyway, so the index here
+		// only needs to be valid for *some* attribute.
+		idx = 0
+	}
+	return dataset.Nom(idx), true
+}
+
+// pickNominal samples a candidate string, weighted by the categorical start
+// distribution of the root attribute when one exists.
+func (g *generator) pickNominal(root int, candidates []string, s *solver) string {
+	if cat, ok := g.p.Start.Cat[root]; ok {
+		weights := make([]float64, len(candidates))
+		attr := g.schema.Attr(root)
+		total := 0.0
+		for i, str := range candidates {
+			if idx, found := attr.Index(str); found {
+				weights[i] = cat.P(idx)
+				total += weights[i]
+			}
+		}
+		if total > 0 {
+			c, err := stats.NewCategorical(weights)
+			if err == nil {
+				return candidates[c.Sample(g.rng)]
+			}
+		}
+	}
+	return candidates[g.rng.Intn(len(candidates))]
+}
+
+// sampleNumberClass samples a number from the class interval, honoring
+// strict-order neighbors and disequality partners already assigned.
+func (g *generator) sampleNumberClass(s *solver, root int, d *classDomain, scratch map[int]dataset.Value) (dataset.Value, bool) {
+	lo, hi := d.lo, d.hi
+	loOpen, hiOpen := d.loOpen, d.hiOpen
+	// Tighten by assigned strict-order predecessors (u < root) and
+	// successors (root < v).
+	for u, vs := range s.edges {
+		for _, v := range vs {
+			if v == root {
+				if val, ok := scratch[u]; ok && !val.IsNull() {
+					if val.Float() > lo || (val.Float() == lo && !loOpen) {
+						lo, loOpen = val.Float(), true
+					}
+				}
+			}
+			if u == root {
+				if val, ok := scratch[v]; ok && !val.IsNull() {
+					if val.Float() < hi || (val.Float() == hi && !hiOpen) {
+						hi, hiOpen = val.Float(), true
+					}
+				}
+			}
+		}
+	}
+	if lo > hi || (lo == hi && (loOpen || hiOpen)) {
+		return dataset.Value{}, false
+	}
+	bad := func(x float64) bool {
+		if x < lo || x > hi {
+			return true
+		}
+		if x == lo && loOpen {
+			return true
+		}
+		if x == hi && hiOpen {
+			return true
+		}
+		if d.excl[x] {
+			return true
+		}
+		for _, e := range s.neq {
+			ra, rb := s.find(e[0]), s.find(e[1])
+			var other int
+			switch root {
+			case ra:
+				other = rb
+			case rb:
+				other = ra
+			default:
+				continue
+			}
+			if v, ok := scratch[other]; ok && !v.IsNull() && !s.dom[other].nominal && v.Float() == x {
+				return true
+			}
+		}
+		return false
+	}
+	if lo == hi {
+		if bad(lo) {
+			return dataset.Value{}, false
+		}
+		return dataset.Num(lo), true
+	}
+	// Prefer the start distribution truncated into the interval.
+	if dist, ok := g.p.Start.Num[root]; ok {
+		trunc := stats.Truncated{D: dist, Lo: lo, Hi: hi}
+		for i := 0; i < 8; i++ {
+			if x := trunc.Sample(g.rng); !bad(x) {
+				return dataset.Num(x), true
+			}
+		}
+	}
+	// Fall back to uniform interior sampling (open-interval safe).
+	for i := 0; i < 16; i++ {
+		u := g.rng.Float64()
+		x := lo + (0.001+0.998*u)*(hi-lo)
+		if !bad(x) {
+			return dataset.Num(x), true
+		}
+	}
+	return dataset.Value{}, false
+}

@@ -1,0 +1,261 @@
+package tdg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/bayesnet"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/stats"
+)
+
+func oneAttrSchema(t testing.TB) *dataset.Schema {
+	t.Helper()
+	return dataset.MustSchema(dataset.NewNominal("X", "x1", "x2"))
+}
+
+func TestGenerateSatisfiesHandWrittenRules(t *testing.T) {
+	s := tdgSchema(t)
+	rules := []Rule{
+		// A = a1 → B = b1
+		{Premise: Atom{Kind: EqConst, A: 0, Val: v(0)}, Conclusion: Atom{Kind: EqConst, A: 1, Val: v(2)}},
+		// C = c1 → N < 50
+		{Premise: Atom{Kind: EqConst, A: 2, Val: v(0)}, Conclusion: Atom{Kind: LtConst, A: 3, Val: n(50)}},
+		// N > 80 → M > 100 ∧ C = c2
+		{Premise: Atom{Kind: GtConst, A: 3, Val: n(80)}, Conclusion: And{Subs: []Formula{
+			Atom{Kind: GtConst, A: 4, Val: n(100)},
+			Atom{Kind: EqConst, A: 2, Val: v(1)},
+		}}},
+		// B = a2 → N < M (relational conclusion)
+		{Premise: Atom{Kind: EqConst, A: 1, Val: v(0)}, Conclusion: Atom{Kind: LtAttr, A: 3, B: 4}},
+	}
+	rng := rand.New(rand.NewSource(91))
+	table, err := Generate(s, rules, DataGenParams{NumRecords: 2000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.NumRows() != 2000 {
+		t.Fatalf("rows = %d", table.NumRows())
+	}
+	if err := table.Validate(); err != nil {
+		t.Fatalf("generated data out of domain: %v", err)
+	}
+	buf := make([]dataset.Value, s.Len())
+	for r := 0; r < table.NumRows(); r++ {
+		rowVals := table.RowInto(r, buf)
+		for ri, rule := range rules {
+			if rule.Violated(s, rowVals) {
+				t.Fatalf("record %d violates rule %d (%s)", r, ri, rule.Render(s))
+			}
+		}
+	}
+}
+
+func TestGenerateSatisfiesGeneratedRuleSetProperty(t *testing.T) {
+	// End-to-end property (the §4.1.4 post-condition): generated records
+	// satisfy every rule of a *randomly generated* natural rule set.
+	s := tdgSchema(t)
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(920 + seed))
+		rules, err := GenerateRuleSet(s, RuleGenParams{NumRules: 20}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := Generate(s, rules, DataGenParams{NumRecords: 500}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]dataset.Value, s.Len())
+		for r := 0; r < table.NumRows(); r++ {
+			rowVals := table.RowInto(r, buf)
+			for ri, rule := range rules {
+				if rule.Violated(s, rowVals) {
+					t.Fatalf("seed %d: record %d violates rule %d (%s)", seed, r, ri, rule.Render(s))
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateStartDistributionsRespected(t *testing.T) {
+	s := tdgSchema(t)
+	// No rules: start distributions shine through unmodified.
+	start := StartDists{
+		Cat: map[int]*stats.Categorical{0: stats.MustCategorical(8, 1, 1)},
+		Num: map[int]stats.Dist{3: stats.Normal{Mu: 30, Sigma: 5}},
+	}
+	rng := rand.New(rand.NewSource(93))
+	table, err := Generate(s, nil, DataGenParams{NumRecords: 20000, Start: start}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countA1 := 0
+	var nVals []float64
+	for r := 0; r < table.NumRows(); r++ {
+		if table.Get(r, 0).NomIdx() == 0 {
+			countA1++
+		}
+		nVals = append(nVals, table.Get(r, 3).Float())
+	}
+	if p := float64(countA1) / float64(table.NumRows()); math.Abs(p-0.8) > 0.02 {
+		t.Fatalf("categorical start ignored: P(a1) = %g, want ~0.8", p)
+	}
+	if m := stats.Mean(nVals); math.Abs(m-30) > 0.5 {
+		t.Fatalf("numeric start ignored: mean = %g, want ~30", m)
+	}
+}
+
+func TestGenerateWithBayesNetStart(t *testing.T) {
+	s := tdgSchema(t)
+	// Couple A and C: when A = a1, C is almost surely c1.
+	net, err := bayesnet.New(s, []*bayesnet.Node{
+		{Attr: 0, CPT: []*stats.Categorical{stats.MustCategorical(0.5, 0.25, 0.25)}},
+		{Attr: 2, Parents: []int{0}, CPT: []*stats.Categorical{
+			stats.MustCategorical(0.95, 0.05),
+			stats.MustCategorical(0.10, 0.90),
+			stats.MustCategorical(0.50, 0.50),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(94))
+	table, err := Generate(s, nil, DataGenParams{NumRecords: 20000, Start: StartDists{Net: net}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bothA1C1, a1 := 0, 0
+	for r := 0; r < table.NumRows(); r++ {
+		if table.Get(r, 0).NomIdx() == 0 {
+			a1++
+			if table.Get(r, 2).NomIdx() == 0 {
+				bothA1C1++
+			}
+		}
+	}
+	if p := float64(bothA1C1) / float64(a1); math.Abs(p-0.95) > 0.02 {
+		t.Fatalf("network coupling lost: P(c1|a1) = %g, want ~0.95", p)
+	}
+}
+
+func TestGenerateNullConclusion(t *testing.T) {
+	s := tdgSchema(t)
+	// Forcing A to null through premise falsification: two rules demand
+	// contradictory values whenever A is not null, so the only stable
+	// records have A isnull.
+	rules := []Rule{
+		{Premise: Atom{Kind: IsNotNull, A: 0}, Conclusion: Atom{Kind: EqConst, A: 0, Val: v(0)}},
+		{Premise: Atom{Kind: IsNotNull, A: 0}, Conclusion: Atom{Kind: NeqConst, A: 0, Val: v(0)}},
+	}
+	rng := rand.New(rand.NewSource(95))
+	table, err := Generate(s, rules, DataGenParams{NumRecords: 50, MaxRepairPasses: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < table.NumRows(); r++ {
+		if !table.Get(r, 0).IsNull() {
+			t.Fatalf("record %d: A should have been forced to null", r)
+		}
+	}
+}
+
+func TestGenerateImpossibleRuleSetFails(t *testing.T) {
+	s := tdgSchema(t)
+	// Tautological premises with contradictory conclusions: repair can
+	// neither satisfy both conclusions nor falsify the premises.
+	taut := Or{Subs: []Formula{Atom{Kind: IsNull, A: 0}, Atom{Kind: IsNotNull, A: 0}}}
+	rules := []Rule{
+		{Premise: taut, Conclusion: Atom{Kind: EqConst, A: 1, Val: v(0)}},
+		{Premise: taut, Conclusion: Atom{Kind: NeqConst, A: 1, Val: v(0)}},
+	}
+	rng := rand.New(rand.NewSource(96))
+	_, err := Generate(s, rules, DataGenParams{NumRecords: 5, MaxRepairPasses: 4, MaxRedraws: 5}, rng)
+	if err == nil {
+		t.Fatalf("impossible rule set must make generation fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := tdgSchema(t)
+	rules := []Rule{
+		{Premise: Atom{Kind: EqConst, A: 0, Val: v(0)}, Conclusion: Atom{Kind: EqConst, A: 1, Val: v(2)}},
+	}
+	gen := func(seed int64) *dataset.Table {
+		tab, err := Generate(s, rules, DataGenParams{NumRecords: 200}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	a, b := gen(7), gen(7)
+	for r := 0; r < a.NumRows(); r++ {
+		for c := 0; c < a.NumCols(); c++ {
+			if !a.Get(r, c).Equal(b.Get(r, c)) {
+				t.Fatalf("generation not deterministic at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestGenerateRelationalEqualityConclusion(t *testing.T) {
+	s := tdgSchema(t)
+	// A = a2 → A = B (cross-domain equality; "a2"/"a3" are shared strings).
+	rules := []Rule{
+		{Premise: Atom{Kind: EqConst, A: 0, Val: v(1)}, Conclusion: Atom{Kind: EqAttr, A: 0, B: 1}},
+	}
+	rng := rand.New(rand.NewSource(97))
+	table, err := Generate(s, rules, DataGenParams{NumRecords: 500}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]dataset.Value, s.Len())
+	sawPremise := false
+	for r := 0; r < table.NumRows(); r++ {
+		rowVals := table.RowInto(r, buf)
+		if rules[0].Violated(s, rowVals) {
+			t.Fatalf("record %d violates the relational rule", r)
+		}
+		if rules[0].Premise.Eval(s, rowVals) {
+			sawPremise = true
+		}
+	}
+	if !sawPremise {
+		t.Fatalf("premise never fired; test is vacuous")
+	}
+}
+
+func TestGenerateOrderConclusionChain(t *testing.T) {
+	s := tdgSchema(t)
+	// C = c1 → N < M ∧ M < D: exercises the strict-order topological
+	// sampling path.
+	rules := []Rule{
+		{Premise: Atom{Kind: EqConst, A: 2, Val: v(0)}, Conclusion: And{Subs: []Formula{
+			Atom{Kind: LtAttr, A: 3, B: 4},
+			Atom{Kind: LtAttr, A: 4, B: 5},
+		}}},
+	}
+	rng := rand.New(rand.NewSource(98))
+	table, err := Generate(s, rules, DataGenParams{NumRecords: 800}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]dataset.Value, s.Len())
+	fired := 0
+	for r := 0; r < table.NumRows(); r++ {
+		rowVals := table.RowInto(r, buf)
+		if rules[0].Violated(s, rowVals) {
+			t.Fatalf("record %d violates the order-chain rule", r)
+		}
+		if rules[0].Premise.Eval(s, rowVals) {
+			fired++
+			nv, mv, dv := rowVals[3].Float(), rowVals[4].Float(), rowVals[5].Float()
+			if !(nv < mv && mv < dv) {
+				t.Fatalf("order chain broken: %g, %g, %g", nv, mv, dv)
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatalf("premise never fired")
+	}
+}

@@ -1,0 +1,143 @@
+package tdg
+
+import (
+	"errors"
+	"fmt"
+
+	"dataaudit/internal/dataset"
+)
+
+// ErrDNFTooLarge is returned when DNF expansion would exceed the disjunct
+// cap. The rule generator keeps formulae small (complexity is one of its
+// parameters, §4.1.2), so this only triggers on adversarial input.
+var ErrDNFTooLarge = errors.New("tdg: DNF expansion exceeds the disjunct limit")
+
+// MaxDNFDisjuncts caps DNF expansion; 4096 comfortably covers every
+// formula the generator can produce at its default complexity limits.
+const MaxDNFDisjuncts = 4096
+
+// Conj is a conjunction of atoms — one disjunct of a DNF.
+type Conj []Atom
+
+// DNF converts a TDG-formula into disjunctive normal form: a slice of
+// conjunctions of atoms such that the formula is true iff at least one
+// conjunction is true. (§4.1.3: "First, the TDG-formula α is transformed
+// into disjunctive normal form. α is satisfiable iff one of these
+// disjuncts is satisfiable.")
+func DNF(f Formula) ([]Conj, error) {
+	switch g := f.(type) {
+	case Atom:
+		return []Conj{{g}}, nil
+	case Or:
+		var out []Conj
+		for _, s := range g.Subs {
+			d, err := DNF(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d...)
+			if len(out) > MaxDNFDisjuncts {
+				return nil, ErrDNFTooLarge
+			}
+		}
+		if len(g.Subs) == 0 {
+			// An empty disjunction is false: no disjuncts.
+			return nil, nil
+		}
+		return out, nil
+	case And:
+		// Cartesian product of the sub-DNFs.
+		out := []Conj{{}}
+		for _, s := range g.Subs {
+			d, err := DNF(s)
+			if err != nil {
+				return nil, err
+			}
+			if len(out)*len(d) > MaxDNFDisjuncts {
+				return nil, ErrDNFTooLarge
+			}
+			next := make([]Conj, 0, len(out)*len(d))
+			for _, left := range out {
+				for _, right := range d {
+					merged := make(Conj, 0, len(left)+len(right))
+					merged = append(merged, left...)
+					merged = append(merged, right...)
+					next = append(next, merged)
+				}
+			}
+			out = next
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("tdg: unknown formula type %T", f)
+	}
+}
+
+// EvalConj evaluates a conjunction of atoms on a row.
+func EvalConj(schema *dataset.Schema, c Conj, row []dataset.Value) bool {
+	for _, a := range c {
+		if !a.Eval(schema, row) {
+			return false
+		}
+	}
+	return true
+}
+
+// WellTyped reports whether a formula only combines attributes and
+// constants in type-correct ways per Definition 1: propositional order
+// comparisons and relational order comparisons require number-like
+// attributes, equality between attributes requires both nominal or both
+// number-like, and constants must lie within the attribute's domain.
+func WellTyped(schema *dataset.Schema, f Formula) bool {
+	switch g := f.(type) {
+	case Atom:
+		return atomWellTyped(schema, g)
+	case And:
+		for _, s := range g.Subs {
+			if !WellTyped(schema, s) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, s := range g.Subs {
+			if !WellTyped(schema, s) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func atomWellTyped(schema *dataset.Schema, a Atom) bool {
+	if a.A < 0 || a.A >= schema.Len() {
+		return false
+	}
+	attrA := schema.Attr(a.A)
+	switch a.Kind {
+	case IsNull, IsNotNull:
+		return true
+	case EqConst, NeqConst:
+		return !a.Val.IsNull() && attrA.Contains(a.Val)
+	case LtConst, GtConst:
+		return attrA.IsNumberLike() && a.Val.IsNumber() && attrA.Contains(a.Val)
+	case EqAttr, NeqAttr:
+		if a.B < 0 || a.B >= schema.Len() || a.B == a.A {
+			return false
+		}
+		attrB := schema.Attr(a.B)
+		if attrA.Type == dataset.NominalType && attrB.Type == dataset.NominalType {
+			return true
+		}
+		return attrA.IsNumberLike() && attrB.IsNumberLike()
+	case LtAttr, GtAttr:
+		if a.B < 0 || a.B >= schema.Len() || a.B == a.A {
+			return false
+		}
+		return attrA.IsNumberLike() && schema.Attr(a.B).IsNumberLike()
+	default:
+		return false
+	}
+}

@@ -1,0 +1,131 @@
+package tdg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+func TestDNFAtom(t *testing.T) {
+	a := Atom{Kind: EqConst, A: 0, Val: v(0)}
+	d, err := DNF(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || len(d[0]) != 1 || d[0][0] != a {
+		t.Fatalf("DNF(atom) = %v", d)
+	}
+}
+
+func TestDNFDistribution(t *testing.T) {
+	// (a ∨ b) ∧ (c ∨ d) -> 4 disjuncts of 2 atoms.
+	a := Atom{Kind: EqConst, A: 0, Val: v(0)}
+	b := Atom{Kind: EqConst, A: 0, Val: v(1)}
+	c := Atom{Kind: EqConst, A: 1, Val: v(0)}
+	d := Atom{Kind: EqConst, A: 1, Val: v(1)}
+	f := And{Subs: []Formula{Or{Subs: []Formula{a, b}}, Or{Subs: []Formula{c, d}}}}
+	ds, err := DNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("expected 4 disjuncts, got %d", len(ds))
+	}
+	for _, conj := range ds {
+		if len(conj) != 2 {
+			t.Fatalf("disjunct size = %d", len(conj))
+		}
+	}
+}
+
+func TestDNFEmptyOr(t *testing.T) {
+	ds, err := DNF(Or{})
+	if err != nil || len(ds) != 0 {
+		t.Fatalf("empty Or must produce no disjuncts: %v, %v", ds, err)
+	}
+}
+
+func TestDNFEmptyAnd(t *testing.T) {
+	ds, err := DNF(And{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || len(ds[0]) != 0 {
+		t.Fatalf("empty And must produce one empty disjunct (true): %v", ds)
+	}
+}
+
+func TestDNFTooLarge(t *testing.T) {
+	// 13 binary disjunctions conjoined: 2^13 = 8192 > cap.
+	or := Or{Subs: []Formula{
+		Atom{Kind: EqConst, A: 0, Val: v(0)},
+		Atom{Kind: EqConst, A: 0, Val: v(1)},
+	}}
+	subs := make([]Formula, 13)
+	for i := range subs {
+		subs[i] = or
+	}
+	_, err := DNF(And{Subs: subs})
+	if !errors.Is(err, ErrDNFTooLarge) {
+		t.Fatalf("expected ErrDNFTooLarge, got %v", err)
+	}
+}
+
+func TestDNFSemanticEquivalenceProperty(t *testing.T) {
+	s := tdgSchema(t)
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 2000; i++ {
+		f := randomWellTypedFormula(s, rng, 2)
+		ds, err := DNF(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := randomRow(s, rng, 0.15)
+		want := f.Eval(s, r)
+		got := false
+		for _, conj := range ds {
+			if EvalConj(s, conj, r) {
+				got = true
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("DNF changed semantics of %s", f.Render(s))
+		}
+	}
+}
+
+func TestWellTyped(t *testing.T) {
+	s := tdgSchema(t)
+	good := []Formula{
+		Atom{Kind: EqConst, A: 0, Val: v(2)},
+		Atom{Kind: LtConst, A: 3, Val: n(50)},
+		Atom{Kind: EqAttr, A: 0, B: 1},
+		Atom{Kind: LtAttr, A: 3, B: 5}, // numeric vs date: both number-like
+		Atom{Kind: IsNull, A: 2},
+		And{Subs: []Formula{Atom{Kind: IsNotNull, A: 0}, Atom{Kind: GtConst, A: 4, Val: n(60)}}},
+	}
+	for _, f := range good {
+		if !WellTyped(s, f) {
+			t.Errorf("%s should be well-typed", f.Render(s))
+		}
+	}
+	bad := []Formula{
+		Atom{Kind: LtConst, A: 0, Val: n(5)},           // order on nominal
+		Atom{Kind: EqConst, A: 0, Val: v(17)},          // constant outside domain
+		Atom{Kind: EqConst, A: 3, Val: n(4000)},        // numeric constant out of range
+		Atom{Kind: EqAttr, A: 0, B: 3},                 // nominal = numeric
+		Atom{Kind: LtAttr, A: 0, B: 1},                 // order between nominals
+		Atom{Kind: EqAttr, A: 0, B: 0},                 // self-comparison
+		Atom{Kind: EqConst, A: 99, Val: v(0)},          // attribute out of range
+		Atom{Kind: EqConst, A: 0, Val: dataset.Null()}, // null constant
+		Or{Subs: []Formula{Atom{Kind: LtConst, A: 0, Val: n(5)}}},
+	}
+	for _, f := range bad {
+		if WellTyped(s, f) {
+			t.Errorf("%v should be ill-typed", f)
+		}
+	}
+}

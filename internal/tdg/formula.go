@@ -1,0 +1,345 @@
+// Package tdg implements the paper's rule-pattern-based test data generator
+// (§4): TDG-formulae (Definitions 1–3), TDG-negation (Table 1), a pragmatic
+// satisfiability test (§4.1.3), naturalness constraints on formulae, rules
+// and rule sets (Definitions 4–6), parameterized random generation of
+// natural rule sets (§4.1.2), and generation of records that follow a rule
+// set starting from parameterized univariate distributions or a Bayesian
+// network (§4.1.4).
+package tdg
+
+import (
+	"fmt"
+	"strings"
+
+	"dataaudit/internal/dataset"
+)
+
+// AtomKind enumerates the atomic TDG-formulae of Definition 1.
+type AtomKind uint8
+
+const (
+	// EqConst is A = a (propositional equality with a domain constant).
+	EqConst AtomKind = iota
+	// NeqConst is A ≠ a.
+	NeqConst
+	// LtConst is N < n for numerical/date attributes.
+	LtConst
+	// GtConst is N > n for numerical/date attributes.
+	GtConst
+	// IsNull is A isnull.
+	IsNull
+	// IsNotNull is A isnotnull.
+	IsNotNull
+	// EqAttr is A = B (relational equality between two attributes).
+	EqAttr
+	// NeqAttr is A ≠ B.
+	NeqAttr
+	// LtAttr is N < M for numerical/date attributes.
+	LtAttr
+	// GtAttr is N > M for numerical/date attributes.
+	GtAttr
+)
+
+func (k AtomKind) isRelational() bool { return k >= EqAttr }
+
+func (k AtomKind) opString() string {
+	switch k {
+	case EqConst, EqAttr:
+		return "="
+	case NeqConst, NeqAttr:
+		return "≠"
+	case LtConst, LtAttr:
+		return "<"
+	case GtConst, GtAttr:
+		return ">"
+	case IsNull:
+		return "isnull"
+	case IsNotNull:
+		return "isnotnull"
+	default:
+		return "?op?"
+	}
+}
+
+// Formula is a TDG-formula: an atomic formula or a finite conjunction or
+// disjunction of TDG-formulae (Definition 2). Negation is intentionally
+// absent from the language; use Negate for the explicit TDG-negation of
+// Table 1.
+type Formula interface {
+	// Eval evaluates the formula on a row. Comparisons involving a null
+	// operand evaluate to false (the semantics implied by Table 1, where
+	// the negation of every comparison explicitly adds "∨ A isnull").
+	Eval(schema *dataset.Schema, row []dataset.Value) bool
+	// Render pretty-prints the formula with attribute names and formatted
+	// domain values.
+	Render(schema *dataset.Schema) string
+	// Attrs appends the indices of all attributes mentioned to dst.
+	Attrs(dst []int) []int
+}
+
+// Atom is an atomic TDG-formula (Definition 1).
+type Atom struct {
+	Kind AtomKind
+	A    int           // first attribute (column index)
+	B    int           // second attribute for relational kinds
+	Val  dataset.Value // constant for propositional kinds
+}
+
+// And is a finite conjunction α1 ∧ … ∧ αn.
+type And struct{ Subs []Formula }
+
+// Or is a finite disjunction α1 ∨ … ∨ αn.
+type Or struct{ Subs []Formula }
+
+// Eval implements Formula.
+func (a Atom) Eval(schema *dataset.Schema, row []dataset.Value) bool {
+	va := row[a.A]
+	switch a.Kind {
+	case IsNull:
+		return va.IsNull()
+	case IsNotNull:
+		return !va.IsNull()
+	}
+	if va.IsNull() {
+		return false
+	}
+	if a.Kind.isRelational() {
+		vb := row[a.B]
+		if vb.IsNull() {
+			return false
+		}
+		return evalRelational(a.Kind, schema, a.A, va, a.B, vb)
+	}
+	return evalPropositional(a.Kind, va, a.Val)
+}
+
+func evalPropositional(kind AtomKind, v, c dataset.Value) bool {
+	switch kind {
+	case EqConst:
+		return v.Equal(c)
+	case NeqConst:
+		return !v.Equal(c)
+	case LtConst:
+		return v.IsNumber() && c.IsNumber() && v.Float() < c.Float()
+	case GtConst:
+		return v.IsNumber() && c.IsNumber() && v.Float() > c.Float()
+	default:
+		return false
+	}
+}
+
+func evalRelational(kind AtomKind, schema *dataset.Schema, ai int, va dataset.Value, bi int, vb dataset.Value) bool {
+	attrA, attrB := schema.Attr(ai), schema.Attr(bi)
+	switch kind {
+	case EqAttr, NeqAttr:
+		eq := false
+		switch {
+		case attrA.Type == dataset.NominalType && attrB.Type == dataset.NominalType:
+			// Nominal attributes may have different (overlapping) domains;
+			// cross-attribute equality compares the domain strings.
+			eq = attrA.Domain[va.NomIdx()] == attrB.Domain[vb.NomIdx()]
+		case attrA.IsNumberLike() && attrB.IsNumberLike():
+			eq = va.Float() == vb.Float()
+		default:
+			return false // type mismatch: never true
+		}
+		if kind == EqAttr {
+			return eq
+		}
+		return !eq
+	case LtAttr:
+		return attrA.IsNumberLike() && attrB.IsNumberLike() && va.Float() < vb.Float()
+	case GtAttr:
+		return attrA.IsNumberLike() && attrB.IsNumberLike() && va.Float() > vb.Float()
+	default:
+		return false
+	}
+}
+
+// Render implements Formula.
+func (a Atom) Render(schema *dataset.Schema) string {
+	attr := schema.Attr(a.A)
+	switch a.Kind {
+	case IsNull, IsNotNull:
+		return fmt.Sprintf("%s %s", attr.Name, a.Kind.opString())
+	case EqAttr, NeqAttr, LtAttr, GtAttr:
+		return fmt.Sprintf("%s %s %s", attr.Name, a.Kind.opString(), schema.Attr(a.B).Name)
+	default:
+		return fmt.Sprintf("%s %s %s", attr.Name, a.Kind.opString(), attr.Format(a.Val))
+	}
+}
+
+// Attrs implements Formula.
+func (a Atom) Attrs(dst []int) []int {
+	dst = append(dst, a.A)
+	if a.Kind.isRelational() {
+		dst = append(dst, a.B)
+	}
+	return dst
+}
+
+// Eval implements Formula.
+func (f And) Eval(schema *dataset.Schema, row []dataset.Value) bool {
+	for _, s := range f.Subs {
+		if !s.Eval(schema, row) {
+			return false
+		}
+	}
+	return true
+}
+
+// Render implements Formula.
+func (f And) Render(schema *dataset.Schema) string { return renderJoin(schema, f.Subs, " ∧ ") }
+
+// Attrs implements Formula.
+func (f And) Attrs(dst []int) []int { return attrsOf(f.Subs, dst) }
+
+// Eval implements Formula.
+func (f Or) Eval(schema *dataset.Schema, row []dataset.Value) bool {
+	for _, s := range f.Subs {
+		if s.Eval(schema, row) {
+			return true
+		}
+	}
+	return false
+}
+
+// Render implements Formula.
+func (f Or) Render(schema *dataset.Schema) string { return renderJoin(schema, f.Subs, " ∨ ") }
+
+// Attrs implements Formula.
+func (f Or) Attrs(dst []int) []int { return attrsOf(f.Subs, dst) }
+
+func renderJoin(schema *dataset.Schema, subs []Formula, sep string) string {
+	parts := make([]string, len(subs))
+	for i, s := range subs {
+		p := s.Render(schema)
+		if _, atom := s.(Atom); !atom {
+			p = "(" + p + ")"
+		}
+		parts[i] = p
+	}
+	return strings.Join(parts, sep)
+}
+
+func attrsOf(subs []Formula, dst []int) []int {
+	for _, s := range subs {
+		dst = s.Attrs(dst)
+	}
+	return dst
+}
+
+// Rule is a TDG-rule α → β (Definition 3).
+type Rule struct {
+	Premise    Formula
+	Conclusion Formula
+}
+
+// Holds reports whether the implication is satisfied on the row.
+func (r Rule) Holds(schema *dataset.Schema, row []dataset.Value) bool {
+	return !r.Premise.Eval(schema, row) || r.Conclusion.Eval(schema, row)
+}
+
+// Violated reports whether the row violates the rule (premise true,
+// conclusion false).
+func (r Rule) Violated(schema *dataset.Schema, row []dataset.Value) bool {
+	return r.Premise.Eval(schema, row) && !r.Conclusion.Eval(schema, row)
+}
+
+// Render pretty-prints the rule.
+func (r Rule) Render(schema *dataset.Schema) string {
+	return r.Premise.Render(schema) + " → " + r.Conclusion.Render(schema)
+}
+
+// UniqueAttrs returns the sorted, de-duplicated attribute indices a formula
+// mentions.
+func UniqueAttrs(f Formula) []int {
+	raw := f.Attrs(nil)
+	seen := make(map[int]bool, len(raw))
+	var out []int
+	for _, a := range raw {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Negate computes the TDG-negation α̃ of a TDG-formula α following Table 1
+// of the paper: α evaluates to true iff Negate(α) evaluates to false.
+// The result is again a TDG-formula (the language stays negation-free).
+func Negate(f Formula) Formula {
+	switch g := f.(type) {
+	case Atom:
+		return negateAtom(g)
+	case And:
+		subs := make([]Formula, len(g.Subs))
+		for i, s := range g.Subs {
+			subs[i] = Negate(s)
+		}
+		return Or{Subs: subs}
+	case Or:
+		subs := make([]Formula, len(g.Subs))
+		for i, s := range g.Subs {
+			subs[i] = Negate(s)
+		}
+		return And{Subs: subs}
+	default:
+		panic(fmt.Sprintf("tdg: unknown formula type %T", f))
+	}
+}
+
+func negateAtom(a Atom) Formula {
+	null := Atom{Kind: IsNull, A: a.A}
+	switch a.Kind {
+	case EqConst:
+		return Or{Subs: []Formula{Atom{Kind: NeqConst, A: a.A, Val: a.Val}, null}}
+	case NeqConst:
+		return Or{Subs: []Formula{Atom{Kind: EqConst, A: a.A, Val: a.Val}, null}}
+	case LtConst:
+		return Or{Subs: []Formula{
+			Atom{Kind: GtConst, A: a.A, Val: a.Val},
+			Atom{Kind: EqConst, A: a.A, Val: a.Val},
+			null,
+		}}
+	case GtConst:
+		return Or{Subs: []Formula{
+			Atom{Kind: LtConst, A: a.A, Val: a.Val},
+			Atom{Kind: EqConst, A: a.A, Val: a.Val},
+			null,
+		}}
+	case IsNull:
+		return Atom{Kind: IsNotNull, A: a.A}
+	case IsNotNull:
+		return Atom{Kind: IsNull, A: a.A}
+	case EqAttr:
+		return Or{Subs: []Formula{
+			Atom{Kind: NeqAttr, A: a.A, B: a.B},
+			null,
+			Atom{Kind: IsNull, A: a.B},
+		}}
+	case NeqAttr:
+		return Or{Subs: []Formula{
+			Atom{Kind: EqAttr, A: a.A, B: a.B},
+			null,
+			Atom{Kind: IsNull, A: a.B},
+		}}
+	case LtAttr:
+		return Or{Subs: []Formula{
+			Atom{Kind: GtAttr, A: a.A, B: a.B},
+			Atom{Kind: EqAttr, A: a.A, B: a.B},
+			null,
+			Atom{Kind: IsNull, A: a.B},
+		}}
+	case GtAttr:
+		return Or{Subs: []Formula{
+			Atom{Kind: LtAttr, A: a.A, B: a.B},
+			Atom{Kind: EqAttr, A: a.A, B: a.B},
+			null,
+			Atom{Kind: IsNull, A: a.B},
+		}}
+	default:
+		panic(fmt.Sprintf("tdg: unknown atom kind %d", a.Kind))
+	}
+}

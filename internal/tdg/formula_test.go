@@ -1,0 +1,376 @@
+package tdg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+// tdgSchema is the shared test schema: three nominal attributes (two with
+// overlapping domains), two numerics and a date — the attribute-type mix of
+// the paper's QUIS example domain.
+func tdgSchema(t testing.TB) *dataset.Schema {
+	t.Helper()
+	return dataset.MustSchema(
+		dataset.NewNominal("A", "a1", "a2", "a3"),
+		dataset.NewNominal("B", "a2", "a3", "b1"),
+		dataset.NewNominal("C", "c1", "c2"),
+		dataset.NewNumeric("N", 0, 100),
+		dataset.NewNumeric("M", 50, 150),
+		dataset.NewDate("D", dataset.MustParseDate("2000-01-01"), dataset.MustParseDate("2010-12-31")),
+	)
+}
+
+// row builds a full row; callers index attributes positionally
+// (A=0, B=1, C=2, N=3, M=4, D=5).
+func row(vals ...dataset.Value) []dataset.Value { return vals }
+
+func v(idx int) dataset.Value   { return dataset.Nom(idx) }
+func n(f float64) dataset.Value { return dataset.Num(f) }
+
+func defaultRow() []dataset.Value {
+	return row(v(0), v(1), v(0), n(10), n(60), n(12000))
+}
+
+func TestAtomEvalPropositional(t *testing.T) {
+	s := tdgSchema(t)
+	r := defaultRow()
+	cases := []struct {
+		name string
+		a    Atom
+		want bool
+	}{
+		{"A=a1 true", Atom{Kind: EqConst, A: 0, Val: v(0)}, true},
+		{"A=a2 false", Atom{Kind: EqConst, A: 0, Val: v(1)}, false},
+		{"A!=a2 true", Atom{Kind: NeqConst, A: 0, Val: v(1)}, true},
+		{"A!=a1 false", Atom{Kind: NeqConst, A: 0, Val: v(0)}, false},
+		{"N<20 true", Atom{Kind: LtConst, A: 3, Val: n(20)}, true},
+		{"N<10 false (strict)", Atom{Kind: LtConst, A: 3, Val: n(10)}, false},
+		{"N>5 true", Atom{Kind: GtConst, A: 3, Val: n(5)}, true},
+		{"N>10 false (strict)", Atom{Kind: GtConst, A: 3, Val: n(10)}, false},
+		{"A isnotnull", Atom{Kind: IsNotNull, A: 0}, true},
+		{"A isnull false", Atom{Kind: IsNull, A: 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Eval(s, r); got != c.want {
+			t.Errorf("%s: got %v", c.name, got)
+		}
+	}
+}
+
+func TestAtomEvalNullSemantics(t *testing.T) {
+	s := tdgSchema(t)
+	r := defaultRow()
+	r[0] = dataset.Null()
+	r[3] = dataset.Null()
+	// Every comparison with a null operand is false (Table 1 semantics).
+	falseOnNull := []Atom{
+		{Kind: EqConst, A: 0, Val: v(0)},
+		{Kind: NeqConst, A: 0, Val: v(0)},
+		{Kind: LtConst, A: 3, Val: n(50)},
+		{Kind: GtConst, A: 3, Val: n(5)},
+		{Kind: EqAttr, A: 0, B: 1},
+		{Kind: NeqAttr, A: 0, B: 1},
+		{Kind: LtAttr, A: 3, B: 4},
+		{Kind: GtAttr, A: 3, B: 4},
+		{Kind: EqAttr, A: 1, B: 0}, // null on the B side
+		{Kind: LtAttr, A: 4, B: 3},
+	}
+	for _, a := range falseOnNull {
+		if a.Eval(s, r) {
+			t.Errorf("%s must be false on null operand", a.Render(s))
+		}
+	}
+	if !(Atom{Kind: IsNull, A: 0}).Eval(s, r) {
+		t.Errorf("isnull must be true on null")
+	}
+	if (Atom{Kind: IsNotNull, A: 0}).Eval(s, r) {
+		t.Errorf("isnotnull must be false on null")
+	}
+}
+
+func TestAtomEvalRelational(t *testing.T) {
+	s := tdgSchema(t)
+	// A=a1(#0), B=a2(#0 in B's domain) -> strings differ ("a1" vs "a2").
+	r := defaultRow()
+	r[1] = v(0) // B = "a2"
+	if (Atom{Kind: EqAttr, A: 0, B: 1}).Eval(s, r) {
+		t.Errorf("a1 = a2 must be false")
+	}
+	if !(Atom{Kind: NeqAttr, A: 0, B: 1}).Eval(s, r) {
+		t.Errorf("a1 ≠ a2 must be true")
+	}
+	// A="a2"(#1), B="a2"(#0): same string, different indices.
+	r[0] = v(1)
+	if !(Atom{Kind: EqAttr, A: 0, B: 1}).Eval(s, r) {
+		t.Errorf("cross-domain string equality must hold")
+	}
+	// Numeric relational.
+	r[3], r[4] = n(10), n(60)
+	if !(Atom{Kind: LtAttr, A: 3, B: 4}).Eval(s, r) {
+		t.Errorf("10 < 60 must be true")
+	}
+	if (Atom{Kind: GtAttr, A: 3, B: 4}).Eval(s, r) {
+		t.Errorf("10 > 60 must be false")
+	}
+	r[4] = n(10)
+	if (Atom{Kind: LtAttr, A: 3, B: 4}).Eval(s, r) || (Atom{Kind: GtAttr, A: 3, B: 4}).Eval(s, r) {
+		t.Errorf("equal values: both strict comparisons false")
+	}
+	if !(Atom{Kind: EqAttr, A: 3, B: 4}).Eval(s, r) {
+		t.Errorf("numeric equality must hold")
+	}
+}
+
+func TestCompositeEval(t *testing.T) {
+	s := tdgSchema(t)
+	r := defaultRow()
+	tA := Atom{Kind: EqConst, A: 0, Val: v(0)} // true
+	fA := Atom{Kind: EqConst, A: 0, Val: v(1)} // false
+	and := And{Subs: []Formula{tA, fA}}
+	or := Or{Subs: []Formula{fA, tA}}
+	if and.Eval(s, r) {
+		t.Errorf("And with false conjunct must be false")
+	}
+	if !or.Eval(s, r) {
+		t.Errorf("Or with true disjunct must be true")
+	}
+	if !(And{Subs: []Formula{tA, tA}}).Eval(s, r) {
+		t.Errorf("all-true And must be true")
+	}
+	if (Or{Subs: []Formula{fA, fA}}).Eval(s, r) {
+		t.Errorf("all-false Or must be false")
+	}
+	// Empty composites: And = true, Or = false (standard identities).
+	if !(And{}).Eval(s, r) || (Or{}).Eval(s, r) {
+		t.Errorf("empty composite identities broken")
+	}
+}
+
+func TestRuleHoldsViolated(t *testing.T) {
+	s := tdgSchema(t)
+	r := defaultRow()
+	premTrue := Atom{Kind: EqConst, A: 0, Val: v(0)}
+	concFalse := Atom{Kind: EqConst, A: 2, Val: v(1)}
+	concTrue := Atom{Kind: EqConst, A: 2, Val: v(0)}
+	violated := Rule{Premise: premTrue, Conclusion: concFalse}
+	if !violated.Violated(s, r) || violated.Holds(s, r) {
+		t.Errorf("rule with true premise and false conclusion must be violated")
+	}
+	holds := Rule{Premise: premTrue, Conclusion: concTrue}
+	if holds.Violated(s, r) || !holds.Holds(s, r) {
+		t.Errorf("rule with true conclusion must hold")
+	}
+	vacuous := Rule{Premise: concFalse, Conclusion: concFalse}
+	if !vacuous.Holds(s, r) {
+		t.Errorf("false premise must make the rule hold vacuously")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	s := tdgSchema(t)
+	f := And{Subs: []Formula{
+		Atom{Kind: EqConst, A: 0, Val: v(0)},
+		Or{Subs: []Formula{
+			Atom{Kind: LtConst, A: 3, Val: n(5)},
+			Atom{Kind: IsNull, A: 2},
+		}},
+	}}
+	got := f.Render(s)
+	for _, want := range []string{"A = a1", "N < 5", "C isnull", "∧", "∨", "("} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Render = %q, missing %q", got, want)
+		}
+	}
+	rule := Rule{Premise: Atom{Kind: EqConst, A: 0, Val: v(0)}, Conclusion: Atom{Kind: EqAttr, A: 1, B: 2}}
+	if rr := rule.Render(s); !strings.Contains(rr, "→") || !strings.Contains(rr, "B = C") {
+		t.Errorf("rule Render = %q", rr)
+	}
+}
+
+func TestUniqueAttrs(t *testing.T) {
+	f := And{Subs: []Formula{
+		Atom{Kind: EqConst, A: 2, Val: v(0)},
+		Atom{Kind: EqAttr, A: 0, B: 1},
+		Atom{Kind: LtConst, A: 0, Val: n(1)},
+	}}
+	got := UniqueAttrs(f)
+	if len(got) != 3 {
+		t.Fatalf("UniqueAttrs = %v", got)
+	}
+	seen := map[int]bool{}
+	for _, a := range got {
+		if seen[a] {
+			t.Fatalf("duplicate in UniqueAttrs: %v", got)
+		}
+		seen[a] = true
+	}
+	for _, want := range []int{0, 1, 2} {
+		if !seen[want] {
+			t.Fatalf("missing attribute %d in %v", want, got)
+		}
+	}
+}
+
+func TestNegateTable1Cases(t *testing.T) {
+	s := tdgSchema(t)
+	// For every atom kind and several row situations (value matches, value
+	// differs, null), f and Negate(f) must evaluate to opposite truth
+	// values: this is exactly the defining property of Table 1.
+	atoms := []Atom{
+		{Kind: EqConst, A: 0, Val: v(0)},
+		{Kind: NeqConst, A: 0, Val: v(0)},
+		{Kind: LtConst, A: 3, Val: n(50)},
+		{Kind: GtConst, A: 3, Val: n(50)},
+		{Kind: IsNull, A: 0},
+		{Kind: IsNotNull, A: 0},
+		{Kind: EqAttr, A: 0, B: 1},
+		{Kind: NeqAttr, A: 0, B: 1},
+		{Kind: LtAttr, A: 3, B: 4},
+		{Kind: GtAttr, A: 3, B: 4},
+		{Kind: EqAttr, A: 3, B: 4},
+	}
+	rows := [][]dataset.Value{
+		defaultRow(),
+		row(v(1), v(0), v(1), n(50), n(50), n(11000)),           // boundary values, shared string
+		row(dataset.Null(), v(0), v(0), n(99), n(51), n(11000)), // null A
+		row(v(2), dataset.Null(), v(0), dataset.Null(), n(150), dataset.Null()),
+	}
+	for _, a := range atoms {
+		na := Negate(a)
+		for ri, r := range rows {
+			if a.Eval(s, r) == na.Eval(s, r) {
+				t.Errorf("Negate(%s) not complementary on row %d", a.Render(s), ri)
+			}
+		}
+	}
+}
+
+func TestNegateComposites(t *testing.T) {
+	s := tdgSchema(t)
+	f := And{Subs: []Formula{
+		Atom{Kind: EqConst, A: 0, Val: v(0)},
+		Or{Subs: []Formula{
+			Atom{Kind: LtConst, A: 3, Val: n(20)},
+			Atom{Kind: IsNull, A: 1},
+		}},
+	}}
+	nf := Negate(f)
+	if _, ok := nf.(Or); !ok {
+		t.Fatalf("negation of And must be Or (De Morgan)")
+	}
+	for _, r := range [][]dataset.Value{
+		defaultRow(),
+		row(v(0), dataset.Null(), v(0), n(80), n(60), n(11000)),
+		row(v(1), v(0), v(0), n(10), n(60), n(11000)),
+	} {
+		if f.Eval(s, r) == nf.Eval(s, r) {
+			t.Fatalf("composite negation not complementary")
+		}
+	}
+}
+
+// randomWellTypedFormula draws a random well-typed formula for property
+// tests.
+func randomWellTypedFormula(s *dataset.Schema, rng *rand.Rand, depth int) Formula {
+	if depth == 0 || rng.Float64() < 0.5 {
+		return randomWellTypedAtom(s, rng)
+	}
+	k := 2 + rng.Intn(2)
+	subs := make([]Formula, k)
+	for i := range subs {
+		subs[i] = randomWellTypedFormula(s, rng, depth-1)
+	}
+	if rng.Float64() < 0.5 {
+		return Or{Subs: subs}
+	}
+	return And{Subs: subs}
+}
+
+func randomWellTypedAtom(s *dataset.Schema, rng *rand.Rand) Atom {
+	for {
+		a := rng.Intn(s.Len())
+		attr := s.Attr(a)
+		switch rng.Intn(10) {
+		case 0:
+			return Atom{Kind: IsNull, A: a}
+		case 1:
+			return Atom{Kind: IsNotNull, A: a}
+		case 2, 3:
+			if attr.Type == dataset.NominalType {
+				return Atom{Kind: NeqConst, A: a, Val: dataset.Nom(rng.Intn(len(attr.Domain)))}
+			}
+			return Atom{Kind: LtConst, A: a, Val: dataset.Num(attr.Min + rng.Float64()*(attr.Max-attr.Min))}
+		case 4, 5, 6:
+			if attr.Type == dataset.NominalType {
+				return Atom{Kind: EqConst, A: a, Val: dataset.Nom(rng.Intn(len(attr.Domain)))}
+			}
+			return Atom{Kind: GtConst, A: a, Val: dataset.Num(attr.Min + rng.Float64()*(attr.Max-attr.Min))}
+		default:
+			b := rng.Intn(s.Len())
+			if b == a {
+				continue
+			}
+			bAttr := s.Attr(b)
+			if attr.Type == dataset.NominalType && bAttr.Type == dataset.NominalType {
+				if rng.Intn(2) == 0 {
+					return Atom{Kind: EqAttr, A: a, B: b}
+				}
+				return Atom{Kind: NeqAttr, A: a, B: b}
+			}
+			if attr.IsNumberLike() && bAttr.IsNumberLike() {
+				kinds := []AtomKind{EqAttr, NeqAttr, LtAttr, GtAttr}
+				return Atom{Kind: kinds[rng.Intn(4)], A: a, B: b}
+			}
+		}
+	}
+}
+
+func randomRow(s *dataset.Schema, rng *rand.Rand, nullProb float64) []dataset.Value {
+	r := make([]dataset.Value, s.Len())
+	for i := range r {
+		if rng.Float64() < nullProb {
+			r[i] = dataset.Null()
+			continue
+		}
+		a := s.Attr(i)
+		if a.Type == dataset.NominalType {
+			r[i] = dataset.Nom(rng.Intn(len(a.Domain)))
+		} else {
+			r[i] = dataset.Num(a.Min + rng.Float64()*(a.Max-a.Min))
+		}
+	}
+	return r
+}
+
+func TestNegationComplementaryProperty(t *testing.T) {
+	// E9 / Table 1: for random well-typed formulae and random rows
+	// (including nulls), α is true iff Negate(α) is false.
+	s := tdgSchema(t)
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 3000; i++ {
+		f := randomWellTypedFormula(s, rng, 2)
+		nf := Negate(f)
+		r := randomRow(s, rng, 0.2)
+		if f.Eval(s, r) == nf.Eval(s, r) {
+			t.Fatalf("negation property violated for %s", f.Render(s))
+		}
+	}
+}
+
+func TestDoubleNegationSemantics(t *testing.T) {
+	// Negate(Negate(α)) is not syntactically α, but must be semantically
+	// equivalent.
+	s := tdgSchema(t)
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 1000; i++ {
+		f := randomWellTypedFormula(s, rng, 2)
+		nnf := Negate(Negate(f))
+		r := randomRow(s, rng, 0.2)
+		if f.Eval(s, r) != nnf.Eval(s, r) {
+			t.Fatalf("double negation changed semantics of %s", f.Render(s))
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package tdg
+
+import (
+	"dataaudit/internal/dataset"
+)
+
+// NaturalFormula implements Definition 4: a TDG-formula is natural iff it
+// is a satisfiable atom, or a conjunction/disjunction of natural formulae
+// in which no subformula is already implied by the remaining subformulae
+// (and, for conjunctions, the whole conjunction is satisfiable).
+//
+// Degenerate composites (zero subformulae) are not natural; one-element
+// composites are treated as transparent wrappers (natural iff the single
+// subformula is natural).
+func NaturalFormula(schema *dataset.Schema, f Formula) (bool, error) {
+	switch g := f.(type) {
+	case Atom:
+		if !atomWellTyped(schema, g) {
+			return false, nil
+		}
+		return Satisfiable(schema, g)
+	case And:
+		if len(g.Subs) == 0 {
+			return false, nil
+		}
+		for _, s := range g.Subs {
+			if ok, err := NaturalFormula(schema, s); err != nil || !ok {
+				return false, err
+			}
+		}
+		if len(g.Subs) == 1 {
+			return true, nil
+		}
+		if ok, err := Satisfiable(schema, g); err != nil || !ok {
+			return false, err
+		}
+		// ∀i: αi must not be implied by the conjunction of the others.
+		for i := range g.Subs {
+			others := And{Subs: withoutIndex(g.Subs, i)}
+			implied, err := Implies(schema, others, g.Subs[i])
+			if err != nil {
+				return false, err
+			}
+			if implied {
+				return false, nil
+			}
+		}
+		return true, nil
+	case Or:
+		if len(g.Subs) == 0 {
+			return false, nil
+		}
+		for _, s := range g.Subs {
+			if ok, err := NaturalFormula(schema, s); err != nil || !ok {
+				return false, err
+			}
+		}
+		if len(g.Subs) == 1 {
+			return true, nil
+		}
+		// ∀i: αi must not be implied by the disjunction of the others.
+		for i := range g.Subs {
+			others := Or{Subs: withoutIndex(g.Subs, i)}
+			implied, err := Implies(schema, others, g.Subs[i])
+			if err != nil {
+				return false, err
+			}
+			if implied {
+				return false, nil
+			}
+		}
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+func withoutIndex(subs []Formula, i int) []Formula {
+	out := make([]Formula, 0, len(subs)-1)
+	out = append(out, subs[:i]...)
+	out = append(out, subs[i+1:]...)
+	return out
+}
+
+// NaturalRule implements Definition 5: both sides natural, α ∧ β
+// satisfiable, and the rule not tautological (α must not imply β).
+func NaturalRule(schema *dataset.Schema, r Rule) (bool, error) {
+	for _, side := range []Formula{r.Premise, r.Conclusion} {
+		ok, err := NaturalFormula(schema, side)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	both := And{Subs: []Formula{r.Premise, r.Conclusion}}
+	if ok, err := Satisfiable(schema, both); err != nil || !ok {
+		return false, err
+	}
+	tauto, err := Implies(schema, r.Premise, r.Conclusion)
+	if err != nil {
+		return false, err
+	}
+	return !tauto, nil
+}
+
+// pairCompatible checks the Definition 6 condition for an ordered pair of
+// natural rules (αi → βi, αj → βj): whenever αj ⇒ αi, the combined
+// consequences must be satisfiable together with αj, and αj ∧ βi must not
+// already imply βj (otherwise rule j adds no new dependency).
+func pairCompatible(schema *dataset.Schema, ri, rj Rule) (bool, error) {
+	stronger, err := Implies(schema, rj.Premise, ri.Premise)
+	if err != nil {
+		return false, err
+	}
+	if !stronger {
+		return true, nil
+	}
+	joint := And{Subs: []Formula{rj.Premise, ri.Conclusion, rj.Conclusion}}
+	if ok, err := Satisfiable(schema, joint); err != nil || !ok {
+		return false, err
+	}
+	redundant, err := Implies(schema, And{Subs: []Formula{rj.Premise, ri.Conclusion}}, rj.Conclusion)
+	if err != nil {
+		return false, err
+	}
+	return !redundant, nil
+}
+
+// OverlapConsistent checks the condition Definition 6 deliberately skips
+// for cost reasons ("it is expensive to check this condition"): whenever
+// two premises can hold simultaneously, the combined conclusions must be
+// satisfiable there too. Without it, rules with overlapping incomparable
+// premises and contradictory conclusions force the data generator into
+// premise-breaking, which leaves soft, inexplicable minorities in the data
+// — the main source of false positives for any deviation detector.
+func OverlapConsistent(schema *dataset.Schema, a, b Rule) (bool, error) {
+	overlap := And{Subs: []Formula{a.Premise, b.Premise}}
+	sat, err := Satisfiable(schema, overlap)
+	if err != nil {
+		return false, err
+	}
+	if !sat {
+		return true, nil // disjoint premises cannot conflict
+	}
+	joint := And{Subs: []Formula{a.Premise, b.Premise, a.Conclusion, b.Conclusion}}
+	return Satisfiable(schema, joint)
+}
+
+// CompatibleWithSet checks both Definition 6 directions between a candidate
+// rule and every rule already in the set; with strictOverlap it adds the
+// OverlapConsistent requirement.
+func CompatibleWithSet(schema *dataset.Schema, set []Rule, r Rule, strictOverlap bool) (bool, error) {
+	for _, existing := range set {
+		if ok, err := pairCompatible(schema, existing, r); err != nil || !ok {
+			return false, err
+		}
+		if ok, err := pairCompatible(schema, r, existing); err != nil || !ok {
+			return false, err
+		}
+		if strictOverlap {
+			if ok, err := OverlapConsistent(schema, existing, r); err != nil || !ok {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// NaturalRuleSet implements Definition 6 for a whole set: every rule is a
+// natural TDG-rule and every ordered pair satisfies the compatibility
+// condition.
+func NaturalRuleSet(schema *dataset.Schema, rules []Rule) (bool, error) {
+	for _, r := range rules {
+		if ok, err := NaturalRule(schema, r); err != nil || !ok {
+			return false, err
+		}
+	}
+	for i := range rules {
+		for j := range rules {
+			if i == j {
+				continue
+			}
+			if ok, err := pairCompatible(schema, rules[i], rules[j]); err != nil || !ok {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}

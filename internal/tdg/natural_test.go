@@ -1,0 +1,232 @@
+package tdg
+
+import (
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+func mustNaturalFormula(t *testing.T, s *dataset.Schema, f Formula) bool {
+	t.Helper()
+	ok, err := NaturalFormula(s, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func mustNaturalRule(t *testing.T, s *dataset.Schema, r Rule) bool {
+	t.Helper()
+	ok, err := NaturalRule(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestNaturalFormulaAtoms(t *testing.T) {
+	s := tdgSchema(t)
+	if !mustNaturalFormula(t, s, Atom{Kind: EqConst, A: 0, Val: v(0)}) {
+		t.Errorf("satisfiable atom must be natural")
+	}
+	// An unsatisfiable atom (numeric bound outside the attribute range).
+	if mustNaturalFormula(t, s, Atom{Kind: GtConst, A: 3, Val: n(100)}) {
+		t.Errorf("unsatisfiable atom must not be natural")
+	}
+	// An ill-typed atom.
+	if mustNaturalFormula(t, s, Atom{Kind: LtConst, A: 0, Val: n(5)}) {
+		t.Errorf("ill-typed atom must not be natural")
+	}
+}
+
+func TestNaturalFormulaConjunctions(t *testing.T) {
+	s := tdgSchema(t)
+	aEq := Atom{Kind: EqConst, A: 0, Val: v(0)}
+	bEq := Atom{Kind: EqConst, A: 1, Val: v(0)}
+	// Independent conjuncts: natural.
+	if !mustNaturalFormula(t, s, And{Subs: []Formula{aEq, bEq}}) {
+		t.Errorf("independent conjunction must be natural")
+	}
+	// Unsatisfiable conjunction: not natural (paper's second example:
+	// A = Val1 ∧ A = Val2).
+	if mustNaturalFormula(t, s, And{Subs: []Formula{aEq, Atom{Kind: EqConst, A: 0, Val: v(1)}}}) {
+		t.Errorf("contradictory conjunction must not be natural")
+	}
+	// Redundant conjunct: A < 10 already implies A < 50.
+	if mustNaturalFormula(t, s, And{Subs: []Formula{
+		Atom{Kind: LtConst, A: 3, Val: n(10)},
+		Atom{Kind: LtConst, A: 3, Val: n(50)},
+	}}) {
+		t.Errorf("conjunction with implied conjunct must not be natural")
+	}
+	// Equality implies disequality with another value: redundant.
+	if mustNaturalFormula(t, s, And{Subs: []Formula{
+		aEq,
+		Atom{Kind: NeqConst, A: 0, Val: v(1)},
+	}}) {
+		t.Errorf("A=a1 ∧ A≠a2 has a redundant conjunct")
+	}
+	// Empty conjunction: not natural.
+	if mustNaturalFormula(t, s, And{}) {
+		t.Errorf("empty conjunction must not be natural")
+	}
+	// Single-element wrapper: transparent.
+	if !mustNaturalFormula(t, s, And{Subs: []Formula{aEq}}) {
+		t.Errorf("singleton wrapper around a natural formula must be natural")
+	}
+}
+
+func TestNaturalFormulaDisjunctions(t *testing.T) {
+	s := tdgSchema(t)
+	aEq := Atom{Kind: EqConst, A: 0, Val: v(0)}
+	bEq := Atom{Kind: EqConst, A: 1, Val: v(0)}
+	if !mustNaturalFormula(t, s, Or{Subs: []Formula{aEq, bEq}}) {
+		t.Errorf("independent disjunction must be natural")
+	}
+	// Duplicate disjunct is implied by the rest.
+	if mustNaturalFormula(t, s, Or{Subs: []Formula{aEq, aEq}}) {
+		t.Errorf("duplicate disjunct must not be natural")
+	}
+	// A < 10 is implied by the looser A < 50 disjunct.
+	if mustNaturalFormula(t, s, Or{Subs: []Formula{
+		Atom{Kind: LtConst, A: 3, Val: n(10)},
+		Atom{Kind: LtConst, A: 3, Val: n(50)},
+	}}) {
+		t.Errorf("disjunction with absorbed disjunct must not be natural")
+	}
+}
+
+func TestNaturalRulePaperExamples(t *testing.T) {
+	s := tdgSchema(t)
+	// Paper §4.1.2, first example: A = Val1 → A = Val2 is contradictory
+	// (premise and conclusion cannot hold together).
+	r1 := Rule{
+		Premise:    Atom{Kind: EqConst, A: 0, Val: v(0)},
+		Conclusion: Atom{Kind: EqConst, A: 0, Val: v(1)},
+	}
+	if mustNaturalRule(t, s, r1) {
+		t.Errorf("contradictory rule must not be natural")
+	}
+	// Second example: A = Val1 ∧ A = Val2 → B = Val1 has an unnatural
+	// premise.
+	r2 := Rule{
+		Premise: And{Subs: []Formula{
+			Atom{Kind: EqConst, A: 0, Val: v(0)},
+			Atom{Kind: EqConst, A: 0, Val: v(1)},
+		}},
+		Conclusion: Atom{Kind: EqConst, A: 1, Val: v(0)},
+	}
+	if mustNaturalRule(t, s, r2) {
+		t.Errorf("rule with contradictory premise must not be natural")
+	}
+	// Third example: A = Val1 → A ≠ Val2 is tautological.
+	r3 := Rule{
+		Premise:    Atom{Kind: EqConst, A: 0, Val: v(0)},
+		Conclusion: Atom{Kind: NeqConst, A: 0, Val: v(1)},
+	}
+	if mustNaturalRule(t, s, r3) {
+		t.Errorf("tautological rule must not be natural")
+	}
+	// A healthy dependency: A = a1 → B = b1.
+	r4 := Rule{
+		Premise:    Atom{Kind: EqConst, A: 0, Val: v(0)},
+		Conclusion: Atom{Kind: EqConst, A: 1, Val: v(2)},
+	}
+	if !mustNaturalRule(t, s, r4) {
+		t.Errorf("well-formed dependency must be natural")
+	}
+}
+
+func TestNaturalRuleSetContradiction(t *testing.T) {
+	s := tdgSchema(t)
+	// Paper's mutually contradictory pair:
+	//   A = Val1 → B = Val1
+	//   A = Val1 → B = Val2
+	prem := Atom{Kind: EqConst, A: 0, Val: v(0)}
+	ruleA := Rule{Premise: prem, Conclusion: Atom{Kind: EqConst, A: 1, Val: v(0)}}
+	ruleB := Rule{Premise: prem, Conclusion: Atom{Kind: EqConst, A: 1, Val: v(1)}}
+	ok, err := NaturalRuleSet(s, []Rule{ruleA, ruleB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("mutually contradictory rules must not form a natural rule set")
+	}
+	// CompatibleWithSet must reject the second rule incrementally, too.
+	compat, err := CompatibleWithSet(s, []Rule{ruleA}, ruleB, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compat {
+		t.Errorf("CompatibleWithSet must reject the contradictory rule")
+	}
+}
+
+func TestNaturalRuleSetRedundancy(t *testing.T) {
+	s := tdgSchema(t)
+	// Paper's redundancy example:
+	//   A = Val1 ∧ B = Val2 → C = Val1
+	//   A = Val1 → C = Val1
+	// The first rule is redundant given the second.
+	specific := Rule{
+		Premise: And{Subs: []Formula{
+			Atom{Kind: EqConst, A: 0, Val: v(0)},
+			Atom{Kind: EqConst, A: 1, Val: v(1)},
+		}},
+		Conclusion: Atom{Kind: EqConst, A: 2, Val: v(0)},
+	}
+	general := Rule{
+		Premise:    Atom{Kind: EqConst, A: 0, Val: v(0)},
+		Conclusion: Atom{Kind: EqConst, A: 2, Val: v(0)},
+	}
+	ok, err := NaturalRuleSet(s, []Rule{general, specific})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("redundant rule pair must not form a natural rule set")
+	}
+}
+
+func TestNaturalRuleSetCompatiblePair(t *testing.T) {
+	s := tdgSchema(t)
+	// Two rules with overlapping premises whose consequences are
+	// independent and non-redundant:
+	//   A = a1          → B = b1
+	//   A = a1 ∧ C = c1 → N < 50
+	rules := []Rule{
+		{
+			Premise:    Atom{Kind: EqConst, A: 0, Val: v(0)},
+			Conclusion: Atom{Kind: EqConst, A: 1, Val: v(2)},
+		},
+		{
+			Premise: And{Subs: []Formula{
+				Atom{Kind: EqConst, A: 0, Val: v(0)},
+				Atom{Kind: EqConst, A: 2, Val: v(0)},
+			}},
+			Conclusion: Atom{Kind: LtConst, A: 3, Val: n(50)},
+		},
+	}
+	ok, err := NaturalRuleSet(s, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("independent overlapping rules must form a natural rule set")
+	}
+}
+
+func TestNaturalRuleSetRejectsUnnaturalMember(t *testing.T) {
+	s := tdgSchema(t)
+	tauto := Rule{
+		Premise:    Atom{Kind: EqConst, A: 0, Val: v(0)},
+		Conclusion: Atom{Kind: NeqConst, A: 0, Val: v(1)},
+	}
+	ok, err := NaturalRuleSet(s, []Rule{tauto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("a set containing an unnatural rule must be rejected")
+	}
+}

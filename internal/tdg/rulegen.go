@@ -1,0 +1,495 @@
+package tdg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dataaudit/internal/dataset"
+)
+
+// RuleGenParams parameterize random rule generation (§4.1.2: "the rule
+// generation process can be further parameterized to govern the complexity
+// of a rule (e.g. nesting depth or number of atomic subformulae)").
+type RuleGenParams struct {
+	// NumRules is the size of the natural rule set to generate.
+	NumRules int
+	// MaxAtoms bounds the number of subformulae per composite (>= 2).
+	MaxAtoms int
+	// MaxDepth bounds formula nesting: 1 generates bare atoms, 2 flat
+	// conjunctions/disjunctions of atoms, 3 one level of nesting, ...
+	MaxDepth int
+	// RelationalProb is the chance an atom is relational (A = B, N < M, …).
+	RelationalProb float64
+	// NullTestProb is the chance an atom is a null test.
+	NullTestProb float64
+	// DisjunctionProb is the chance a composite is a disjunction.
+	DisjunctionProb float64
+	// CompositeProb is the chance a formula position below MaxDepth becomes
+	// a composite rather than an atom.
+	CompositeProb float64
+	// MaxTries bounds the total number of candidate rules drawn before
+	// generation gives up (0 = 400 per requested rule).
+	MaxTries int
+	// MaxPremiseCoverage rejects candidate rules whose premise holds on
+	// more than this fraction of uniformly sampled rows (default 0.3; set
+	// >= 1 to disable). Domain dependencies like the paper's QUIS examples
+	// (BRV = 404 → GBM = 901) are narrow: a rule whose premise covers most
+	// of the table would make one conclusion value dominate the whole
+	// attribute marginal, which no real code attribute exhibits.
+	MaxPremiseCoverage float64
+	// MaxConclusionsPerAttr caps how many rules may constrain the same
+	// attribute in their conclusion (0 derives ~2·NumRules/#attributes;
+	// negative disables). Without the cap, many stacked rules on one
+	// attribute compound into strong *soft* regularities whose legitimate
+	// minority values are indistinguishable from errors.
+	MaxConclusionsPerAttr int
+	// NoStrictOverlapCheck disables the OverlapConsistent requirement
+	// (leaving exactly the pairwise Definition 6 of the paper). The strict
+	// check is on by default: contradictory rules on overlapping premises
+	// force premise-breaking during data generation, leaving soft
+	// minorities that read as false positives.
+	NoStrictOverlapCheck bool
+	// MaxValueLoad caps, per (attribute, value), the cumulative premise
+	// coverage of rules that conclude exactly that value (default 0.4;
+	// >= 1 disables). It bounds how far the rule set can concentrate an
+	// attribute's marginal: a marginal pushed past the error-confidence
+	// flagging threshold would make every legitimate minority record look
+	// like an error, which contradicts the ≈99 % specificity the paper
+	// reports for its generated workloads.
+	MaxValueLoad float64
+	// Start, when set, makes coverage estimation sample rows from the
+	// actual start distributions instead of uniformly — a skewed Bayesian
+	// network start can make a syntactically narrow premise cover half the
+	// table.
+	Start *StartDists
+	// MaxAttrLoad caps, per attribute, the cumulative premise coverage of
+	// all rules whose conclusion constrains that attribute in any form
+	// (default 0.6; >= 1 disables). It complements MaxValueLoad for
+	// conclusion shapes that do not pin a single value (A = B links,
+	// disjunctions, inequalities) but still stack up concentration.
+	MaxAttrLoad float64
+	// MaxRegionConcentration bounds how strongly a rule may concentrate
+	// its premise population inside its conclusion region (and vice
+	// versa): with premise coverage p and conclusion background coverage
+	// v, the post-repair conditional concentration is ≈ p/(p + (1−p)·v),
+	// and candidates exceeding the bound are rejected (default 0.7;
+	// >= 1 disables). A rule like X = x → KM > h with a rare KM-region
+	// floods that region with X = x records; past the error-confidence
+	// flagging threshold, every legitimate other value there would read
+	// as an error.
+	MaxRegionConcentration float64
+}
+
+// WithDefaults fills unset fields with the defaults used throughout the
+// evaluation (§6.1 base configuration).
+func (p RuleGenParams) WithDefaults() RuleGenParams {
+	if p.NumRules == 0 {
+		p.NumRules = 100
+	}
+	if p.MaxAtoms == 0 {
+		p.MaxAtoms = 3
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 2
+	}
+	if p.RelationalProb == 0 {
+		p.RelationalProb = 0.10
+	}
+	if p.NullTestProb == 0 {
+		p.NullTestProb = 0.03
+	}
+	if p.DisjunctionProb == 0 {
+		p.DisjunctionProb = 0.30
+	}
+	if p.CompositeProb == 0 {
+		p.CompositeProb = 0.50
+	}
+	if p.MaxTries == 0 {
+		p.MaxTries = 400 * p.NumRules
+	}
+	if p.MaxPremiseCoverage == 0 {
+		p.MaxPremiseCoverage = 0.3
+	}
+	if p.MaxValueLoad == 0 {
+		p.MaxValueLoad = 0.4
+	}
+	if p.MaxRegionConcentration == 0 {
+		p.MaxRegionConcentration = 0.7
+	}
+	if p.MaxAttrLoad == 0 {
+		p.MaxAttrLoad = 0.6
+	}
+	return p
+}
+
+// ruleGen holds the generation state.
+type ruleGen struct {
+	schema *dataset.Schema
+	p      RuleGenParams
+	rng    *rand.Rand
+
+	nominalAttrs []int
+	numberAttrs  []int
+
+	// inConclusion suppresses IsNull atoms while drawing conclusions:
+	// a rule that *prescribes* nulls would salt the clean data with
+	// missing values, which real domain dependencies never do (missing
+	// values are a quality problem, not a constraint).
+	inConclusion bool
+}
+
+// GenerateRuleSet draws a natural rule set (Definition 6) of the requested
+// size. Generation is rejection-based: candidate atoms, formulae and rules
+// are drawn at random and checked against Definitions 4–6; incompatible
+// candidates are discarded. An error is returned when MaxTries candidates
+// were exhausted before NumRules rules were accepted (e.g. because the
+// schema is too narrow for the requested structural strength).
+func GenerateRuleSet(schema *dataset.Schema, p RuleGenParams, rng *rand.Rand) ([]Rule, error) {
+	p = p.WithDefaults()
+	g := &ruleGen{schema: schema, p: p, rng: rng}
+	for i := 0; i < schema.Len(); i++ {
+		if schema.Attr(i).Type == dataset.NominalType {
+			g.nominalAttrs = append(g.nominalAttrs, i)
+		} else {
+			g.numberAttrs = append(g.numberAttrs, i)
+		}
+	}
+	maxPerAttr := p.MaxConclusionsPerAttr
+	if maxPerAttr == 0 {
+		maxPerAttr = 2*p.NumRules/schema.Len() + 1
+	}
+	conclusionUse := make([]int, schema.Len())
+	valueLoad := make(map[[2]int]float64)
+	attrLoad := make([]float64, schema.Len())
+
+	// The soft load caps guard the audit's specificity, but a dense rule
+	// request on a narrow schema can saturate them before NumRules is
+	// reached; escalation relaxes them stepwise (the hard concentration
+	// bound stays) rather than failing.
+	maxValueLoad, maxAttrLoad := p.MaxValueLoad, p.MaxAttrLoad
+	escalations := 0
+	triesThisRound := 0
+
+	var rules []Rule
+	for tries := 0; len(rules) < p.NumRules; tries++ {
+		triesThisRound++
+		if triesThisRound >= p.MaxTries/3 {
+			if escalations >= 2 {
+				return rules, fmt.Errorf("tdg: generated only %d of %d rules after %d tries", len(rules), p.NumRules, tries)
+			}
+			escalations++
+			triesThisRound = 0
+			maxValueLoad *= 1.3
+			maxAttrLoad *= 1.3
+		}
+		r, ok := g.candidateRule()
+		if !ok {
+			continue
+		}
+		cov := g.coverage(r.Premise)
+		if p.MaxPremiseCoverage < 1 && cov > p.MaxPremiseCoverage {
+			continue
+		}
+		if p.MaxRegionConcentration < 1 && cov > 0 {
+			covC := g.coverage(r.Conclusion)
+			conc := cov / (cov + (1-cov)*covC)
+			if conc > p.MaxRegionConcentration {
+				continue
+			}
+		}
+		contribs, ok := valueContribs(r.Conclusion, cov)
+		if !ok {
+			continue // DNF blow-up: discard exotic candidates
+		}
+		if maxValueLoad < 1 && overloadsValues(contribs, valueLoad, maxValueLoad) {
+			continue
+		}
+		conclusionAttrs := UniqueAttrs(r.Conclusion)
+		if maxAttrLoad < 1 && overloadsAttrs(conclusionAttrs, cov, attrLoad, maxAttrLoad) {
+			continue
+		}
+		if maxPerAttr > 0 && conclusionOverused(r.Conclusion, conclusionUse, maxPerAttr) {
+			continue
+		}
+		if natural, err := NaturalRule(g.schema, r); err != nil || !natural {
+			continue
+		}
+		if compatible, err := CompatibleWithSet(g.schema, rules, r, !p.NoStrictOverlapCheck); err != nil || !compatible {
+			continue
+		}
+		rules = append(rules, r)
+		for _, a := range conclusionAttrs {
+			conclusionUse[a]++
+			attrLoad[a] += cov
+		}
+		for key, w := range contribs {
+			valueLoad[key] += w
+		}
+	}
+	return rules, nil
+}
+
+// overloadsAttrs reports whether adding cov to each attribute would exceed
+// the attribute-level load cap.
+func overloadsAttrs(attrs []int, cov float64, load []float64, max float64) bool {
+	for _, a := range attrs {
+		if load[a]+cov > max {
+			return true
+		}
+	}
+	return false
+}
+
+// valueContribs estimates how much marginal mass the rule shifts onto each
+// (attribute, nominal value) pair its conclusion prescribes: the premise
+// coverage, split evenly over the conclusion's DNF disjuncts.
+func valueContribs(conclusion Formula, coverage float64) (map[[2]int]float64, bool) {
+	ds, err := DNF(conclusion)
+	if err != nil || len(ds) == 0 {
+		return nil, err == nil
+	}
+	per := coverage / float64(len(ds))
+	out := make(map[[2]int]float64)
+	for _, conj := range ds {
+		for _, a := range conj {
+			if a.Kind == EqConst && a.Val.IsNominal() {
+				out[[2]int{a.A, a.Val.NomIdx()}] += per
+			}
+		}
+	}
+	return out, true
+}
+
+// overloadsValues reports whether adding the contributions would push any
+// (attribute, value) past the cap.
+func overloadsValues(contribs map[[2]int]float64, load map[[2]int]float64, max float64) bool {
+	for key, w := range contribs {
+		if load[key]+w > max {
+			return true
+		}
+	}
+	return false
+}
+
+// conclusionOverused reports whether adding the conclusion would push any
+// attribute past the per-attribute cap.
+func conclusionOverused(conclusion Formula, use []int, max int) bool {
+	for _, a := range UniqueAttrs(conclusion) {
+		if use[a]+1 > max {
+			return true
+		}
+	}
+	return false
+}
+
+// coverage estimates the fraction of start-distribution rows that satisfy
+// the formula (uniform sampling when no start distributions are supplied).
+func (g *ruleGen) coverage(f Formula) float64 {
+	const samples = 256
+	row := make([]dataset.Value, g.schema.Len())
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if g.p.Start != nil {
+			DrawStartRow(g.schema, *g.p.Start, g.rng, row)
+		} else {
+			for a := 0; a < g.schema.Len(); a++ {
+				attr := g.schema.Attr(a)
+				if attr.Type == dataset.NominalType {
+					row[a] = dataset.Nom(g.rng.Intn(len(attr.Domain)))
+				} else {
+					row[a] = dataset.Num(attr.Min + g.rng.Float64()*(attr.Max-attr.Min))
+				}
+			}
+		}
+		if f.Eval(g.schema, row) {
+			hits++
+		}
+	}
+	return float64(hits) / samples
+}
+
+// candidateRule draws one raw rule candidate (before the Definition 5/6
+// checks).
+func (g *ruleGen) candidateRule() (Rule, bool) {
+	premise, ok := g.candidateFormula(g.p.MaxDepth, nil)
+	if !ok {
+		return Rule{}, false
+	}
+	// Prefer conclusions over attributes the premise does not mention: such
+	// rules encode dependencies *between* attributes, which is what both
+	// QUIS-style domain rules and the multiple-classification auditing
+	// approach are about. Fall back to any formula after a few tries.
+	used := make(map[int]bool)
+	for _, a := range UniqueAttrs(premise) {
+		used[a] = true
+	}
+	g.inConclusion = true
+	defer func() { g.inConclusion = false }()
+	for attempt := 0; attempt < 8; attempt++ {
+		conclusion, ok := g.candidateFormula(g.p.MaxDepth-1, used)
+		if !ok {
+			continue
+		}
+		return Rule{Premise: premise, Conclusion: conclusion}, true
+	}
+	conclusion, ok := g.candidateFormula(g.p.MaxDepth-1, nil)
+	if !ok {
+		return Rule{}, false
+	}
+	return Rule{Premise: premise, Conclusion: conclusion}, true
+}
+
+// candidateFormula draws a formula of at most the given depth, avoiding the
+// given attributes if possible.
+func (g *ruleGen) candidateFormula(depth int, avoid map[int]bool) (Formula, bool) {
+	if depth <= 1 || g.rng.Float64() >= g.p.CompositeProb {
+		a, ok := g.candidateAtom(avoid)
+		if !ok {
+			return nil, false
+		}
+		return a, true
+	}
+	k := 2 + g.rng.Intn(g.p.MaxAtoms-1)
+	subs := make([]Formula, 0, k)
+	for i := 0; i < k; i++ {
+		s, ok := g.candidateFormula(depth-1, avoid)
+		if !ok {
+			return nil, false
+		}
+		subs = append(subs, s)
+	}
+	if g.rng.Float64() < g.p.DisjunctionProb {
+		return Or{Subs: subs}, true
+	}
+	return And{Subs: subs}, true
+}
+
+// candidateAtom draws one well-typed atom, avoiding the given attributes if
+// possible.
+func (g *ruleGen) candidateAtom(avoid map[int]bool) (Atom, bool) {
+	attr := g.pickAttr(avoid)
+	if attr < 0 {
+		return Atom{}, false
+	}
+	a := g.schema.Attr(attr)
+
+	if g.rng.Float64() < g.p.NullTestProb {
+		// isnotnull in premises is vacuous on clean generated data, but
+		// isnull/isnotnull are part of the language (Definition 1); generate
+		// both with a strong lean towards isnotnull, and never prescribe
+		// nulls in conclusions.
+		kind := IsNotNull
+		if !g.inConclusion && g.rng.Float64() < 0.25 {
+			kind = IsNull
+		}
+		return Atom{Kind: kind, A: attr}, true
+	}
+
+	if g.rng.Float64() < g.p.RelationalProb {
+		if b := g.pickPartner(attr); b >= 0 {
+			return g.relationalAtom(attr, b), true
+		}
+	}
+	return g.propositionalAtom(attr, a), true
+}
+
+func (g *ruleGen) pickAttr(avoid map[int]bool) int {
+	n := g.schema.Len()
+	if len(avoid) >= n {
+		avoid = nil
+	}
+	for tries := 0; tries < 16; tries++ {
+		i := g.rng.Intn(n)
+		if avoid == nil || !avoid[i] {
+			return i
+		}
+	}
+	return g.rng.Intn(n)
+}
+
+// pickPartner returns a type-compatible second attribute for a relational
+// atom, or -1. Nominal partners additionally need overlapping domains —
+// otherwise A = B is unsatisfiable and A ≠ B vacuous.
+func (g *ruleGen) pickPartner(attr int) int {
+	a := g.schema.Attr(attr)
+	var candidates []int
+	if a.Type == dataset.NominalType {
+		for _, j := range g.nominalAttrs {
+			if j == attr {
+				continue
+			}
+			if domainsOverlap(a, g.schema.Attr(j)) {
+				candidates = append(candidates, j)
+			}
+		}
+	} else {
+		for _, j := range g.numberAttrs {
+			if j != attr && rangesOverlap(a, g.schema.Attr(j)) {
+				candidates = append(candidates, j)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[g.rng.Intn(len(candidates))]
+}
+
+func domainsOverlap(a, b *dataset.Attribute) bool {
+	for _, v := range a.Domain {
+		if _, ok := b.Index(v); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func rangesOverlap(a, b *dataset.Attribute) bool {
+	return a.Min <= b.Max && b.Min <= a.Max
+}
+
+func (g *ruleGen) relationalAtom(attrA, attrB int) Atom {
+	if g.schema.Attr(attrA).Type == dataset.NominalType {
+		kind := EqAttr
+		if g.rng.Float64() < 0.25 {
+			kind = NeqAttr
+		}
+		return Atom{Kind: kind, A: attrA, B: attrB}
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return Atom{Kind: EqAttr, A: attrA, B: attrB}
+	case 1:
+		return Atom{Kind: NeqAttr, A: attrA, B: attrB}
+	case 2:
+		return Atom{Kind: LtAttr, A: attrA, B: attrB}
+	default:
+		return Atom{Kind: GtAttr, A: attrA, B: attrB}
+	}
+}
+
+func (g *ruleGen) propositionalAtom(attr int, a *dataset.Attribute) Atom {
+	if a.Type == dataset.NominalType {
+		val := dataset.Nom(g.rng.Intn(len(a.Domain)))
+		kind := EqConst
+		// Inequality atoms are fine as premises but make weak conclusions
+		// (they barely constrain the attribute); conclusions lean hard on
+		// value-determining equalities, like real domain dependencies.
+		neqProb := 0.2
+		if g.inConclusion {
+			neqProb = 0.05
+		}
+		if g.rng.Float64() < neqProb && len(a.Domain) > 2 {
+			kind = NeqConst
+		}
+		return Atom{Kind: kind, A: attr, Val: val}
+	}
+	// For continuous attributes, equality with a constant has measure-zero
+	// support; use strict order comparisons with an interior cut point.
+	cut := a.Min + (0.1+0.8*g.rng.Float64())*(a.Max-a.Min)
+	kind := LtConst
+	if g.rng.Float64() < 0.5 {
+		kind = GtConst
+	}
+	return Atom{Kind: kind, A: attr, Val: dataset.Num(cut)}
+}

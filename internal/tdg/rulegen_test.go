@@ -1,0 +1,96 @@
+package tdg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateRuleSetProducesNaturalSet(t *testing.T) {
+	s := tdgSchema(t)
+	rng := rand.New(rand.NewSource(81))
+	rules, err := GenerateRuleSet(s, RuleGenParams{NumRules: 25, MaxValueLoad: 2, MaxAttrLoad: 2, MaxRegionConcentration: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 25 {
+		t.Fatalf("generated %d rules, want 25", len(rules))
+	}
+	ok, err := NaturalRuleSet(s, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		for _, r := range rules {
+			t.Logf("rule: %s", r.Render(s))
+		}
+		t.Fatalf("generated rule set is not natural")
+	}
+}
+
+func TestGenerateRuleSetWellTyped(t *testing.T) {
+	s := tdgSchema(t)
+	rng := rand.New(rand.NewSource(82))
+	rules, err := GenerateRuleSet(s, RuleGenParams{NumRules: 30, RelationalProb: 0.4, NullTestProb: 0.1, MaxValueLoad: 2, MaxAttrLoad: 2, MaxRegionConcentration: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if !WellTyped(s, r.Premise) || !WellTyped(s, r.Conclusion) {
+			t.Fatalf("ill-typed rule generated: %s", r.Render(s))
+		}
+	}
+}
+
+func TestGenerateRuleSetDeterministic(t *testing.T) {
+	s := tdgSchema(t)
+	gen := func(seed int64) []Rule {
+		rules, err := GenerateRuleSet(s, RuleGenParams{NumRules: 10}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rules
+	}
+	a, b := gen(99), gen(99)
+	for i := range a {
+		if a[i].Render(s) != b[i].Render(s) {
+			t.Fatalf("rule generation is not deterministic at rule %d", i)
+		}
+	}
+	c := gen(100)
+	same := true
+	for i := range a {
+		if a[i].Render(s) != c[i].Render(s) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical rule sets")
+	}
+}
+
+func TestGenerateRuleSetRespectsDepth(t *testing.T) {
+	s := tdgSchema(t)
+	rng := rand.New(rand.NewSource(83))
+	rules, err := GenerateRuleSet(s, RuleGenParams{NumRules: 20, MaxDepth: 1, MaxValueLoad: 2, MaxAttrLoad: 2, MaxRegionConcentration: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if _, ok := r.Premise.(Atom); !ok {
+			t.Fatalf("MaxDepth=1 must yield atomic premises, got %s", r.Premise.Render(s))
+		}
+	}
+}
+
+func TestGenerateRuleSetGivesUpGracefully(t *testing.T) {
+	// A one-attribute schema with a two-value domain supports very few
+	// mutually compatible natural rules; an absurd request must error out
+	// rather than loop forever.
+	s := oneAttrSchema(t)
+	rng := rand.New(rand.NewSource(84))
+	rules, err := GenerateRuleSet(s, RuleGenParams{NumRules: 50, MaxTries: 2000}, rng)
+	if err == nil {
+		t.Fatalf("expected exhaustion error, got %d rules", len(rules))
+	}
+}

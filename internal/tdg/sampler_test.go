@@ -1,0 +1,57 @@
+package tdg
+
+import (
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+// TestSampleConjProducesSatisfyingAssignments is the property test for the
+// assignment sampler behind rule repair: for random satisfiable
+// conjunctions, sampleConj must rewrite the row so that the conjunction
+// holds, touching only mentioned attributes.
+func TestSampleConjProducesSatisfyingAssignments(t *testing.T) {
+	s := tdgSchema(t)
+	rng := rand.New(rand.NewSource(101))
+	g := &generator{schema: s, rng: rng, p: DataGenParams{}.WithDefaults()}
+	attempts, successes := 0, 0
+	for i := 0; i < 3000; i++ {
+		k := 1 + rng.Intn(3)
+		conj := make(Conj, k)
+		for j := range conj {
+			conj[j] = randomWellTypedAtom(s, rng)
+		}
+		if !SatConj(s, conj) {
+			continue
+		}
+		attempts++
+		row := randomRow(s, rng, 0.1)
+		before := append([]dataset.Value(nil), row...)
+		if !g.sampleConj(conj, row) {
+			// The sampler may fail on rare pathological conjunctions; it
+			// must never succeed wrongly, which is what we check below.
+			continue
+		}
+		successes++
+		if !EvalConj(s, conj, row) {
+			t.Fatalf("sampleConj claimed success but conjunction is false: %v", conj)
+		}
+		// Untouched attributes keep their values.
+		mentioned := map[int]bool{}
+		var buf []int
+		for _, a := range conj {
+			for _, attr := range a.Attrs(buf[:0]) {
+				mentioned[attr] = true
+			}
+		}
+		for c := range row {
+			if !mentioned[c] && !row[c].Equal(before[c]) {
+				t.Fatalf("sampleConj touched unmentioned attribute %d", c)
+			}
+		}
+	}
+	if attempts == 0 || float64(successes)/float64(attempts) < 0.9 {
+		t.Fatalf("sampler success rate too low: %d/%d", successes, attempts)
+	}
+}

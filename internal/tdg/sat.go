@@ -1,0 +1,384 @@
+package tdg
+
+import (
+	"dataaudit/internal/dataset"
+)
+
+// This file implements the paper's pragmatic satisfiability test (§4.1.3):
+//
+//	"The main idea of the procedure is to initialize the current domain
+//	 ranges of every attribute defined in the schema for the target table
+//	 with their domain ranges and then successively restrict them by
+//	 integrating the constraints of each atomic TDG-formula in the
+//	 conjunction. [...] The integration of relational constraints [...]
+//	 are reflected by the instantiation of links between attributes while
+//	 considering the transitive nature of the operators <, > and =."
+//
+// Like the paper's, the test is *correct for unsatisfiability*: whenever it
+// reports UNSAT, the conjunction truly has no satisfying assignment. It may
+// (rarely, and irrelevantly in practice) report SAT for unsatisfiable
+// corner cases — e.g. disequality constraints that encode a graph-coloring
+// conflict across three or more attributes.
+
+// classDomain is the current domain range of one equality class of
+// attributes.
+type classDomain struct {
+	nominal bool
+	// nominal classes: the set of still-allowed domain strings.
+	allowed map[string]bool
+	// number classes: the current interval and excluded points.
+	lo, hi         float64
+	loOpen, hiOpen bool
+	excl           map[float64]bool
+
+	mustNull, mustNotNull bool
+}
+
+// solver carries the propagation state for one conjunction of atoms.
+type solver struct {
+	schema *dataset.Schema
+	parent []int          // union-find over attribute indices
+	dom    []*classDomain // indexed by attribute; authoritative at roots
+	neq    [][2]int       // disequality links (attribute indices)
+	lt     [][2]int       // strict order links a < b (attribute indices)
+	unsat  bool
+
+	// Populated by check() for use by the assignment sampler (datagen.go).
+	edges map[int][]int // strict-order DAG over root classes
+	order []int         // topological order of the classes in edges
+}
+
+func newSolver(schema *dataset.Schema) *solver {
+	s := &solver{schema: schema, parent: make([]int, schema.Len()), dom: make([]*classDomain, schema.Len())}
+	for i := range s.parent {
+		s.parent[i] = i
+		a := schema.Attr(i)
+		d := &classDomain{}
+		if a.Type == dataset.NominalType {
+			d.nominal = true
+			d.allowed = make(map[string]bool, len(a.Domain))
+			for _, v := range a.Domain {
+				d.allowed[v] = true
+			}
+		} else {
+			d.lo, d.hi = a.Min, a.Max
+		}
+		s.dom[i] = d
+	}
+	return s
+}
+
+func (s *solver) find(i int) int {
+	for s.parent[i] != i {
+		s.parent[i] = s.parent[s.parent[i]]
+		i = s.parent[i]
+	}
+	return i
+}
+
+// union merges the equality classes of attributes a and b, intersecting
+// their domains.
+func (s *solver) union(a, b int) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	da, db := s.dom[ra], s.dom[rb]
+	if da.nominal != db.nominal {
+		s.unsat = true // type mismatch: A = B can never hold
+		return
+	}
+	s.parent[rb] = ra
+	if da.nominal {
+		for v := range da.allowed {
+			if !db.allowed[v] {
+				delete(da.allowed, v)
+			}
+		}
+	} else {
+		s.intersectLower(da, db.lo, db.loOpen)
+		s.intersectUpper(da, db.hi, db.hiOpen)
+		for p := range db.excl {
+			s.exclude(da, p)
+		}
+	}
+	da.mustNull = da.mustNull || db.mustNull
+	da.mustNotNull = da.mustNotNull || db.mustNotNull
+}
+
+func (s *solver) intersectLower(d *classDomain, lo float64, open bool) {
+	if lo > d.lo || (lo == d.lo && open && !d.loOpen) {
+		d.lo, d.loOpen = lo, open
+	}
+}
+
+func (s *solver) intersectUpper(d *classDomain, hi float64, open bool) {
+	if hi < d.hi || (hi == d.hi && open && !d.hiOpen) {
+		d.hi, d.hiOpen = hi, open
+	}
+}
+
+func (s *solver) exclude(d *classDomain, p float64) {
+	if d.excl == nil {
+		d.excl = make(map[float64]bool)
+	}
+	d.excl[p] = true
+}
+
+// apply integrates one atom's constraint.
+func (s *solver) apply(a Atom) {
+	if s.unsat {
+		return
+	}
+	d := s.dom[s.find(a.A)]
+	switch a.Kind {
+	case IsNull:
+		d.mustNull = true
+	case IsNotNull:
+		d.mustNotNull = true
+	case EqConst:
+		d.mustNotNull = true
+		if d.nominal {
+			str := s.schema.Attr(a.A).Domain[a.Val.NomIdx()]
+			if !d.allowed[str] {
+				s.unsat = true
+				return
+			}
+			d.allowed = map[string]bool{str: true}
+		} else {
+			v := a.Val.Float()
+			s.intersectLower(d, v, false)
+			s.intersectUpper(d, v, false)
+		}
+	case NeqConst:
+		d.mustNotNull = true
+		if d.nominal {
+			delete(d.allowed, s.schema.Attr(a.A).Domain[a.Val.NomIdx()])
+		} else {
+			s.exclude(d, a.Val.Float())
+		}
+	case LtConst:
+		d.mustNotNull = true
+		s.intersectUpper(d, a.Val.Float(), true)
+	case GtConst:
+		d.mustNotNull = true
+		s.intersectLower(d, a.Val.Float(), true)
+	case EqAttr:
+		s.dom[s.find(a.A)].mustNotNull = true
+		s.dom[s.find(a.B)].mustNotNull = true
+		s.union(a.A, a.B)
+	case NeqAttr:
+		s.dom[s.find(a.A)].mustNotNull = true
+		s.dom[s.find(a.B)].mustNotNull = true
+		s.neq = append(s.neq, [2]int{a.A, a.B})
+	case LtAttr:
+		s.dom[s.find(a.A)].mustNotNull = true
+		s.dom[s.find(a.B)].mustNotNull = true
+		s.lt = append(s.lt, [2]int{a.A, a.B})
+	case GtAttr:
+		s.dom[s.find(a.A)].mustNotNull = true
+		s.dom[s.find(a.B)].mustNotNull = true
+		s.lt = append(s.lt, [2]int{a.B, a.A})
+	}
+}
+
+// ltEdges resolves the strict-order links to root classes, deduplicated.
+// A self-edge (both endpoints in one equality class) is a contradiction.
+func (s *solver) ltEdges() (map[int][]int, bool) {
+	edges := make(map[int][]int)
+	seen := make(map[[2]int]bool)
+	for _, e := range s.lt {
+		u, v := s.find(e[0]), s.find(e[1])
+		if u == v {
+			return nil, false
+		}
+		key := [2]int{u, v}
+		if !seen[key] {
+			seen[key] = true
+			edges[u] = append(edges[u], v)
+		}
+	}
+	return edges, true
+}
+
+// topoOrder sorts the root classes touched by order edges topologically,
+// returning false on a cycle (a strict-order cycle is unsatisfiable).
+func topoOrder(edges map[int][]int) ([]int, bool) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	var order []int
+	var visit func(u int) bool
+	visit = func(u int) bool {
+		switch color[u] {
+		case gray:
+			return false
+		case black:
+			return true
+		}
+		color[u] = gray
+		for _, v := range edges[u] {
+			if !visit(v) {
+				return false
+			}
+		}
+		color[u] = black
+		order = append(order, u)
+		return true
+	}
+	nodes := make(map[int]bool)
+	for u, vs := range edges {
+		nodes[u] = true
+		for _, v := range vs {
+			nodes[v] = true
+		}
+	}
+	for u := range nodes {
+		if !visit(u) {
+			return nil, false
+		}
+	}
+	// visit appends post-order (descendants first); reverse for topo order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, true
+}
+
+// propagate pushes interval bounds along the strict-order DAG: for every
+// edge u < v, hi(u) tightens below hi(v) and lo(v) tightens above lo(u).
+func (s *solver) propagate(edges map[int][]int, order []int) {
+	// Forward pass (topological order): lower bounds flow downstream.
+	for _, u := range order {
+		du := s.dom[u]
+		for _, v := range edges[u] {
+			s.intersectLower(s.dom[v], du.lo, true)
+		}
+	}
+	// Backward pass: upper bounds flow upstream.
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		du := s.dom[u]
+		for _, v := range edges[u] {
+			s.intersectUpper(du, s.dom[v].hi, true)
+		}
+	}
+}
+
+// emptyInterval reports whether the number interval of d admits no value.
+func emptyInterval(d *classDomain) bool {
+	if d.lo > d.hi {
+		return true
+	}
+	if d.lo == d.hi {
+		if d.loOpen || d.hiOpen {
+			return true
+		}
+		if d.excl[d.lo] {
+			return true
+		}
+	}
+	return false
+}
+
+// check runs the final consistency tests. It must only be called once all
+// atoms were applied.
+func (s *solver) check() bool {
+	if s.unsat {
+		return false
+	}
+	edges, ok := s.ltEdges()
+	if !ok {
+		return false
+	}
+	order, ok := topoOrder(edges)
+	if !ok {
+		return false
+	}
+	s.edges, s.order = edges, order
+	s.propagate(edges, order)
+	for i := 0; i < s.schema.Len(); i++ {
+		if s.find(i) != i {
+			continue
+		}
+		d := s.dom[i]
+		if d.mustNull && d.mustNotNull {
+			return false
+		}
+		if d.mustNotNull {
+			if d.nominal && len(d.allowed) == 0 {
+				return false
+			}
+			if !d.nominal && emptyInterval(d) {
+				return false
+			}
+		}
+	}
+	for _, e := range s.neq {
+		ra, rb := s.find(e[0]), s.find(e[1])
+		if ra == rb {
+			return false // A ≠ B while A = B is forced
+		}
+		da, db := s.dom[ra], s.dom[rb]
+		if da.nominal && db.nominal && len(da.allowed) == 1 && len(db.allowed) == 1 {
+			var va, vb string
+			for v := range da.allowed {
+				va = v
+			}
+			for v := range db.allowed {
+				vb = v
+			}
+			if va == vb {
+				return false
+			}
+		}
+		if !da.nominal && !db.nominal &&
+			da.lo == da.hi && !da.loOpen && !da.hiOpen &&
+			db.lo == db.hi && !db.loOpen && !db.hiOpen &&
+			da.lo == db.lo {
+			return false
+		}
+	}
+	return true
+}
+
+// SatConj reports whether a conjunction of atoms is satisfiable under the
+// schema's domain ranges.
+func SatConj(schema *dataset.Schema, conj Conj) bool {
+	s := newSolver(schema)
+	for _, a := range conj {
+		s.apply(a)
+		if s.unsat {
+			return false
+		}
+	}
+	return s.check()
+}
+
+// Satisfiable reports whether a TDG-formula is satisfiable: it is
+// transformed into DNF and each disjunct is tested with SatConj.
+func Satisfiable(schema *dataset.Schema, f Formula) (bool, error) {
+	ds, err := DNF(f)
+	if err != nil {
+		return false, err
+	}
+	for _, d := range ds {
+		if SatConj(schema, d) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Implies reports whether f ⇒ g, reduced per §4.1.3 to the unsatisfiability
+// of f ∧ Negate(g).
+func Implies(schema *dataset.Schema, f, g Formula) (bool, error) {
+	sat, err := Satisfiable(schema, And{Subs: []Formula{f, Negate(g)}})
+	if err != nil {
+		return false, err
+	}
+	return !sat, nil
+}

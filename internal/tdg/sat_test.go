@@ -1,0 +1,243 @@
+package tdg
+
+import (
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+func mustSat(t *testing.T, s *dataset.Schema, f Formula) bool {
+	t.Helper()
+	ok, err := Satisfiable(s, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func mustImply(t *testing.T, s *dataset.Schema, f, g Formula) bool {
+	t.Helper()
+	ok, err := Implies(s, f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestSatPropositional(t *testing.T) {
+	s := tdgSchema(t)
+	cases := []struct {
+		name string
+		f    Formula
+		want bool
+	}{
+		{"single equality", Atom{Kind: EqConst, A: 0, Val: v(0)}, true},
+		{"contradictory equalities", And{Subs: []Formula{
+			Atom{Kind: EqConst, A: 0, Val: v(0)},
+			Atom{Kind: EqConst, A: 0, Val: v(1)},
+		}}, false},
+		{"equality plus matching inequality", And{Subs: []Formula{
+			Atom{Kind: EqConst, A: 0, Val: v(0)},
+			Atom{Kind: NeqConst, A: 0, Val: v(1)},
+		}}, true},
+		{"equality plus contradicting inequality", And{Subs: []Formula{
+			Atom{Kind: EqConst, A: 0, Val: v(0)},
+			Atom{Kind: NeqConst, A: 0, Val: v(0)},
+		}}, false},
+		{"exhausted nominal domain", And{Subs: []Formula{
+			Atom{Kind: NeqConst, A: 2, Val: v(0)},
+			Atom{Kind: NeqConst, A: 2, Val: v(1)},
+		}}, false}, // C has exactly two values
+		{"numeric window", And{Subs: []Formula{
+			Atom{Kind: GtConst, A: 3, Val: n(3)},
+			Atom{Kind: LtConst, A: 3, Val: n(5)},
+		}}, true},
+		{"empty numeric window", And{Subs: []Formula{
+			Atom{Kind: GtConst, A: 3, Val: n(7)},
+			Atom{Kind: LtConst, A: 3, Val: n(5)},
+		}}, false},
+		{"point window is open", And{Subs: []Formula{
+			Atom{Kind: GtConst, A: 3, Val: n(5)},
+			Atom{Kind: LtConst, A: 3, Val: n(5)},
+		}}, false},
+		{"outside attribute range", Atom{Kind: GtConst, A: 3, Val: n(100)}, false},
+		{"at attribute boundary", Atom{Kind: GtConst, A: 3, Val: n(99.5)}, true},
+		{"null vs value", And{Subs: []Formula{
+			Atom{Kind: IsNull, A: 0},
+			Atom{Kind: EqConst, A: 0, Val: v(0)},
+		}}, false},
+		{"null vs notnull", And{Subs: []Formula{
+			Atom{Kind: IsNull, A: 0},
+			Atom{Kind: IsNotNull, A: 0},
+		}}, false},
+		{"null alone", Atom{Kind: IsNull, A: 0}, true},
+		{"disjunction rescues contradiction", Or{Subs: []Formula{
+			And{Subs: []Formula{
+				Atom{Kind: EqConst, A: 0, Val: v(0)},
+				Atom{Kind: EqConst, A: 0, Val: v(1)},
+			}},
+			Atom{Kind: EqConst, A: 0, Val: v(2)},
+		}}, true},
+	}
+	for _, c := range cases {
+		if got := mustSat(t, s, c.f); got != c.want {
+			t.Errorf("%s: Satisfiable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSatRelational(t *testing.T) {
+	s := tdgSchema(t)
+	cases := []struct {
+		name string
+		f    Formula
+		want bool
+	}{
+		{"equality link propagates constant", And{Subs: []Formula{
+			Atom{Kind: EqAttr, A: 0, B: 1},
+			Atom{Kind: EqConst, A: 0, Val: v(1)}, // A = "a2", in B's domain too
+		}}, true},
+		{"equality link with conflicting constants", And{Subs: []Formula{
+			Atom{Kind: EqAttr, A: 0, B: 1},
+			Atom{Kind: EqConst, A: 0, Val: v(1)}, // A = "a2"
+			Atom{Kind: EqConst, A: 1, Val: v(1)}, // B = "a3"
+		}}, false},
+		{"equality link leaving no shared value", And{Subs: []Formula{
+			Atom{Kind: EqAttr, A: 0, B: 1},
+			Atom{Kind: EqConst, A: 0, Val: v(0)}, // A = "a1" not in B's domain
+		}}, false},
+		{"nominal/numeric equality link", Atom{Kind: EqAttr, A: 0, B: 3}, false},
+		{"self-disequality via merge", And{Subs: []Formula{
+			Atom{Kind: EqAttr, A: 0, B: 1},
+			Atom{Kind: NeqAttr, A: 0, B: 1},
+		}}, false},
+		{"order cycle of two", And{Subs: []Formula{
+			Atom{Kind: LtAttr, A: 3, B: 4},
+			Atom{Kind: LtAttr, A: 4, B: 3},
+		}}, false},
+		{"order cycle of three", And{Subs: []Formula{
+			Atom{Kind: LtAttr, A: 3, B: 4},
+			Atom{Kind: LtAttr, A: 4, B: 5},
+			Atom{Kind: LtAttr, A: 5, B: 3},
+		}}, false},
+		{"order with equality merge cycle", And{Subs: []Formula{
+			Atom{Kind: EqAttr, A: 3, B: 4},
+			Atom{Kind: LtAttr, A: 3, B: 4},
+		}}, false},
+		{"consistent chain", And{Subs: []Formula{
+			Atom{Kind: LtAttr, A: 3, B: 4},
+			Atom{Kind: LtAttr, A: 4, B: 5},
+		}}, true},
+		{"chain with compatible bounds", And{Subs: []Formula{
+			Atom{Kind: LtAttr, A: 3, B: 4}, // N < M
+			Atom{Kind: GtConst, A: 3, Val: n(95)},
+		}}, true}, // N in (95,100], M in (95,150]
+		{"chain with incompatible bounds", And{Subs: []Formula{
+			Atom{Kind: LtAttr, A: 4, B: 3}, // M < N, M >= 50
+			Atom{Kind: LtConst, A: 3, Val: n(40)},
+		}}, false}, // M < N < 40 but M >= 50
+		{"transitive bound propagation", And{Subs: []Formula{
+			Atom{Kind: LtAttr, A: 3, B: 4}, // N < M
+			Atom{Kind: LtAttr, A: 4, B: 5}, // M < D
+			Atom{Kind: LtConst, A: 5, Val: n(11000)},
+			Atom{Kind: GtConst, A: 3, Val: n(99)},
+		}}, true}, // N in (99,100), M in (99,...) fine
+		{"GtAttr mirrors LtAttr", And{Subs: []Formula{
+			Atom{Kind: GtAttr, A: 3, B: 4}, // N > M, so M < N <= 100, M >= 50: fine
+		}}, true},
+		{"disequality between singletons", And{Subs: []Formula{
+			Atom{Kind: EqConst, A: 0, Val: v(1)},
+			Atom{Kind: EqConst, A: 1, Val: v(0)}, // both "a2"
+			Atom{Kind: NeqAttr, A: 0, B: 1},
+		}}, false},
+		{"disequality between distinct singletons", And{Subs: []Formula{
+			Atom{Kind: EqConst, A: 0, Val: v(0)},
+			Atom{Kind: EqConst, A: 1, Val: v(0)},
+			Atom{Kind: NeqAttr, A: 0, B: 1},
+		}}, true},
+	}
+	for _, c := range cases {
+		if got := mustSat(t, s, c.f); got != c.want {
+			t.Errorf("%s: Satisfiable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestImplies(t *testing.T) {
+	s := tdgSchema(t)
+	aEq := Atom{Kind: EqConst, A: 0, Val: v(0)}
+	bEq := Atom{Kind: EqConst, A: 1, Val: v(0)}
+	cases := []struct {
+		name string
+		f, g Formula
+		want bool
+	}{
+		{"conjunction implies conjunct", And{Subs: []Formula{aEq, bEq}}, aEq, true},
+		{"conjunct does not imply conjunction", aEq, And{Subs: []Formula{aEq, bEq}}, false},
+		{"formula implies itself", aEq, aEq, true},
+		{"formula implies weaker disjunction", aEq, Or{Subs: []Formula{aEq, bEq}}, true},
+		{"equality implies inequality with other value", aEq, Atom{Kind: NeqConst, A: 0, Val: v(1)}, true},
+		{"tighter bound implies looser", Atom{Kind: LtConst, A: 3, Val: n(10)}, Atom{Kind: LtConst, A: 3, Val: n(50)}, true},
+		{"looser bound does not imply tighter", Atom{Kind: LtConst, A: 3, Val: n(50)}, Atom{Kind: LtConst, A: 3, Val: n(10)}, false},
+		{"unrelated formulas", aEq, bEq, false},
+		{"chain implies transitive", And{Subs: []Formula{
+			Atom{Kind: LtAttr, A: 3, B: 4},
+			Atom{Kind: LtAttr, A: 4, B: 5},
+		}}, Atom{Kind: LtAttr, A: 3, B: 5}, true},
+		{"isnull implies not-equal's negation side", Atom{Kind: IsNull, A: 0}, Negate(aEq), true},
+	}
+	for _, c := range cases {
+		if got := mustImply(t, s, c.f, c.g); got != c.want {
+			t.Errorf("%s: Implies = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSatSoundnessProperty checks both useful directions on random
+// conjunctions: (1) whenever SatConj reports UNSAT, no random assignment
+// satisfies the conjunction (unsatisfiability claims are always correct —
+// the guarantee the paper proves for its procedure); (2) whenever a random
+// assignment satisfies the conjunction, SatConj reports SAT.
+func TestSatSoundnessProperty(t *testing.T) {
+	s := tdgSchema(t)
+	rng := rand.New(rand.NewSource(71))
+	unsatSeen := 0
+	for i := 0; i < 1500; i++ {
+		k := 1 + rng.Intn(4)
+		conj := make(Conj, k)
+		for j := range conj {
+			conj[j] = randomWellTypedAtom(s, rng)
+		}
+		sat := SatConj(s, conj)
+		if !sat {
+			unsatSeen++
+		}
+		for trial := 0; trial < 120; trial++ {
+			r := randomRow(s, rng, 0.1)
+			if EvalConj(s, conj, r) {
+				if !sat {
+					t.Fatalf("SatConj claimed UNSAT but found witness for %v", conj)
+				}
+				break
+			}
+		}
+	}
+	if unsatSeen == 0 {
+		t.Fatalf("property test never generated an unsatisfiable conjunction; strengthen the generator")
+	}
+}
+
+func TestSatisfiableDNFError(t *testing.T) {
+	or := Or{Subs: []Formula{
+		Atom{Kind: EqConst, A: 0, Val: v(0)},
+		Atom{Kind: EqConst, A: 0, Val: v(1)},
+	}}
+	subs := make([]Formula, 13)
+	for i := range subs {
+		subs[i] = or
+	}
+	if _, err := Satisfiable(tdgSchema(t), And{Subs: subs}); err == nil {
+		t.Fatalf("oversized formula must surface ErrDNFTooLarge")
+	}
+}
