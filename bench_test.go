@@ -10,6 +10,7 @@ package dataaudit_test
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -226,6 +227,31 @@ func BenchmarkDeviationDetection(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		model.CheckRow(row)
+	}
+}
+
+// BenchmarkAuditTableParallel measures sharded table scoring against the
+// sequential baseline (workers=1 falls back to AuditTable), tracking the
+// speedup of the auditd serving path across pool sizes.
+func BenchmarkAuditTableParallel(b *testing.B) {
+	sample, err := dataaudit.GenerateQUIS(dataaudit.QUISParams{NumRecords: 30000, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := dataaudit.Induce(sample.Data, dataaudit.AuditOptions{MinConfidence: 0.8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			suspicious := 0
+			for i := 0; i < b.N; i++ {
+				res := model.AuditTableParallel(sample.Data, workers)
+				suspicious = res.NumSuspicious()
+			}
+			b.ReportMetric(float64(suspicious), "suspicious")
+			b.ReportMetric(float64(sample.Data.NumRows()*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
 	}
 }
 

@@ -1,0 +1,103 @@
+// Command auditd serves the data auditing tool over HTTP — the §2.2
+// asynchronous deployment as a long-running service: models are induced
+// from uploaded training data, published in a disk-backed registry with
+// monotonic versions, and applied to incoming batches by a parallel
+// scoring pool.
+//
+//	auditd -addr :8080 -dir ./auditd-data
+//
+//	# publish a model from a schema + training CSV
+//	curl -F name=engines -F schema=@engine.schema -F csv=@history.csv \
+//	     -F 'options={"minConfidence":0.8}' localhost:8080/v1/models
+//
+//	# list models
+//	curl localhost:8080/v1/models
+//
+//	# audit a dirty batch (CSV with header) with 4 workers
+//	curl -H 'Content-Type: text/csv' --data-binary @tonight.csv \
+//	     'localhost:8080/v1/models/engines/audit?workers=4'
+//
+//	# audit a single record as JSON
+//	curl -H 'Content-Type: application/json' \
+//	     -d '{"row":["404","911","01","M111","STU","W202","2151","1999-04-07"]}' \
+//	     localhost:8080/v1/models/engines/audit
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dataaudit/internal/registry"
+	"dataaudit/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dir      = flag.String("dir", "./auditd-data", "registry directory (created if missing)")
+		workers  = flag.Int("workers", 0, "default scoring pool size (0 = NumCPU)")
+		cache    = flag.Int("cache", 8, "number of models kept resident")
+		maxBody  = flag.Int64("max-body-mb", 64, "request body limit in MiB")
+		maxRows  = flag.Int("max-batch-rows", 1_000_000, "row limit per audit request")
+		drainFor = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "auditd ", log.LstdFlags)
+
+	reg, err := registry.Open(*dir, registry.WithCacheSize(*cache))
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	var opts []serve.Option
+	opts = append(opts,
+		serve.WithLogger(logger),
+		serve.WithMaxBodyBytes(*maxBody<<20),
+		serve.WithMaxBatchRows(*maxRows),
+	)
+	if *workers > 0 {
+		opts = append(opts, serve.WithWorkers(*workers))
+	}
+	srv := serve.New(reg, opts...)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (registry %s)", *addr, *dir)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Printf("shutting down, draining for up to %s", *drainFor)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("forced shutdown: %v", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "auditd: stopped")
+}

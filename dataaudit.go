@@ -17,6 +17,17 @@
 //     (Definitions 7–9), ranked deviation reports and proposed
 //     corrections.
 //
+// Beyond the reproduction, the package carries a serving layer for the
+// paper's asynchronous deployment shape (§2.2):
+//
+//   - AuditModel.AuditTableParallel shards deviation detection across a
+//     worker pool with output identical to the sequential AuditTable,
+//   - ModelRegistry (OpenRegistry) is a thread-safe, disk-backed catalogue
+//     of named models with monotonic versions, atomic publish and an LRU
+//     cache of resident models,
+//   - NewAuditServer exposes induction and batch scoring as a JSON HTTP
+//     API; cmd/auditd is the ready-to-run daemon.
+//
 // The subpackages under internal/ carry the implementation; this package
 // re-exports the stable surface. See the examples/ directory for complete
 // programs and cmd/experiments for the reproduction of every table and
@@ -32,6 +43,8 @@ import (
 	"dataaudit/internal/evalx"
 	"dataaudit/internal/pollute"
 	"dataaudit/internal/quis"
+	"dataaudit/internal/registry"
+	"dataaudit/internal/serve"
 	"dataaudit/internal/stats"
 	"dataaudit/internal/tdg"
 )
@@ -193,9 +206,45 @@ const (
 var (
 	// Induce builds the structure model for a table.
 	Induce = audit.Induce
-	// SaveModel / LoadModel persist models for asynchronous auditing (§2.2).
+	// SaveModel / LoadModel persist models for asynchronous auditing
+	// (§2.2); SaveModel is crash-safe (temp file + rename).
 	SaveModel = audit.Save
 	LoadModel = audit.Load
+	// MergeResults combines per-shard audit results in order (see also
+	// AuditResult.Merge); AuditModel.AuditTableParallel scores a table
+	// with a worker pool, reports identical to AuditTable.
+	MergeResults = audit.MergeResults
+)
+
+// ---------------------------------------------------------------------------
+// Model registry and serving layer (internal/registry, internal/serve)
+
+// ModelRegistry is a thread-safe, disk-backed catalogue of named structure
+// models with monotonic versions and atomic publish; ModelMeta describes
+// one published version. AuditServer serves registry models over a JSON
+// HTTP API (see cmd/auditd).
+type (
+	ModelRegistry = registry.Registry
+	ModelMeta     = registry.Meta
+	AuditServer   = serve.Server
+)
+
+var (
+	// OpenRegistry opens (creating if needed) a registry directory;
+	// RegistryCacheSize caps the resident-model LRU cache.
+	OpenRegistry      = registry.Open
+	RegistryCacheSize = registry.WithCacheSize
+	// IsNotFound reports whether an error is a registry miss.
+	IsNotFound = registry.IsNotFound
+	// SchemaHash fingerprints a schema for drift detection.
+	SchemaHash = registry.SchemaHash
+	// NewAuditServer builds the HTTP service over a registry; the With*
+	// options tune limits and the scoring pool.
+	NewAuditServer     = serve.New
+	ServerWorkers      = serve.WithWorkers
+	ServerMaxBodyBytes = serve.WithMaxBodyBytes
+	ServerMaxBatchRows = serve.WithMaxBatchRows
+	ServerLogger       = serve.WithLogger
 )
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,3 @@
+module dataaudit
+
+go 1.24

@@ -1,0 +1,118 @@
+package audit
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"dataaudit/internal/dataset"
+)
+
+// Parallel deviation detection. Once induction has finished, a Model is
+// immutable and every classifier's Predict is a pure function of the input
+// row, so table scoring is embarrassingly parallel: record IDs are sharded
+// across a worker pool and the per-shard results are merged back in table
+// order, making the output deterministic and identical to AuditTable's.
+
+// parallelMinRows is the table size below which the fan-out overhead
+// outweighs the speedup and AuditTableParallel falls back to the
+// sequential path.
+const parallelMinRows = 256
+
+// chunksPerWorker over-partitions the row range so that shards with
+// expensive rows (deep tree paths, many findings) do not straggle.
+const chunksPerWorker = 4
+
+// AuditTableParallel checks every record of the table against the
+// structure model using up to `workers` goroutines. workers <= 0 selects
+// runtime.NumCPU(). The result's reports are byte-identical to
+// AuditTable's (same order, same contents); only CheckTime differs.
+func (m *Model) AuditTableParallel(tab *dataset.Table, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	n := tab.NumRows()
+	if workers == 1 || n < parallelMinRows {
+		return m.AuditTable(tab)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	start := time.Now()
+	res := &Result{Reports: make([]RecordReport, n)}
+
+	numChunks := workers * chunksPerWorker
+	chunkSize := (n + numChunks - 1) / numChunks
+	type span struct{ lo, hi int }
+	work := make(chan span, numChunks)
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		work <- span{lo, hi}
+	}
+	close(work)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			row := make([]dataset.Value, tab.NumCols())
+			for sp := range work {
+				// Each shard writes a disjoint index range of the shared
+				// report slice, so no further merging or locking is needed
+				// and the output order matches the sequential scan.
+				for r := sp.lo; r < sp.hi; r++ {
+					tab.RowInto(r, row)
+					rep := m.CheckRow(row)
+					rep.Row = r
+					rep.ID = tab.ID(r)
+					res.Reports[r] = rep
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.CheckTime = time.Since(start)
+	return res
+}
+
+// Merge appends another result's reports to r and accumulates its check
+// time. Row indices are shifted so that the merged result looks like one
+// contiguous table audit; use it to combine audits of horizontal table
+// shards (e.g. per-batch scoring in a streaming load).
+func (r *Result) Merge(o *Result) *Result {
+	offset := len(r.Reports)
+	for _, rep := range o.Reports {
+		if rep.Row >= 0 {
+			rep.Row += offset
+		}
+		// Re-point Best into the copied findings slice.
+		rep.Findings = append([]Finding(nil), rep.Findings...)
+		if rep.Best != nil {
+			for i := range rep.Findings {
+				if rep.Findings[i].ErrorConf == rep.ErrorConf {
+					rep.Best = &rep.Findings[i]
+					break
+				}
+			}
+		}
+		r.Reports = append(r.Reports, rep)
+	}
+	r.CheckTime += o.CheckTime
+	return r
+}
+
+// MergeResults combines per-shard results in order into one Result.
+func MergeResults(parts ...*Result) *Result {
+	out := &Result{}
+	for _, p := range parts {
+		if p != nil {
+			out.Merge(p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/quis"
+)
+
+// pollutedQUIS generates a QUIS sample, corrupts it with wrong-value and
+// null-value polluters (§4.2), and induces a model on the dirty table —
+// the workload the parallel-equivalence contract is stated against.
+func pollutedQUIS(t testing.TB) (*Model, *dataset.Table) {
+	t.Helper()
+	sample, err := quis.Generate(quis.Params{NumRecords: 30000, Seed: 2003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := pollute.Plan{Cell: []pollute.Configured{
+		{Prob: 0.02, P: &pollute.WrongValuePolluter{}},
+		{Prob: 0.01, P: &pollute.NullValuePolluter{}},
+	}}
+	dirty, _ := pollute.Run(sample.Data, plan, rand.New(rand.NewSource(42)))
+	m, err := Induce(dirty, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dirty
+}
+
+// TestAuditTableParallelMatchesSequential is the determinism contract:
+// sharded scoring must reproduce the sequential reports exactly — same
+// order, same findings, same confidences — on a polluted QUIS sample. Run
+// under -race this also proves the model is safe to share across workers.
+func TestAuditTableParallelMatchesSequential(t *testing.T) {
+	m, dirty := pollutedQUIS(t)
+	want := m.AuditTable(dirty)
+	if want.NumSuspicious() == 0 {
+		t.Fatal("fixture produced no suspicious records; the comparison would be vacuous")
+	}
+
+	for _, workers := range []int{0, 2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got := m.AuditTableParallel(dirty, workers)
+			if len(got.Reports) != len(want.Reports) {
+				t.Fatalf("got %d reports, want %d", len(got.Reports), len(want.Reports))
+			}
+			for r := range want.Reports {
+				if !reflect.DeepEqual(got.Reports[r], want.Reports[r]) {
+					t.Fatalf("report %d differs:\ngot  %+v\nwant %+v", r, got.Reports[r], want.Reports[r])
+				}
+			}
+			if got.NumSuspicious() != want.NumSuspicious() {
+				t.Fatalf("suspicious: got %d, want %d", got.NumSuspicious(), want.NumSuspicious())
+			}
+		})
+	}
+}
+
+// TestAuditTableParallelSmallTableFallsBack checks the sequential
+// fallback below the fan-out threshold still fills every report.
+func TestAuditTableParallelSmallTableFallsBack(t *testing.T) {
+	tab := engineTable(t, 100, 9)
+	m, err := Induce(tab, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.AuditTableParallel(tab, 4)
+	if len(res.Reports) != 100 {
+		t.Fatalf("got %d reports, want 100", len(res.Reports))
+	}
+	for r, rep := range res.Reports {
+		if rep.Row != r || rep.ID != tab.ID(r) {
+			t.Fatalf("report %d misaligned: %+v", r, rep)
+		}
+	}
+}
+
+// TestAuditTableParallelConcurrentCallers shares one model across many
+// goroutines, each scoring the full table — the serving layer's usage
+// pattern (one loaded model, many concurrent audit requests).
+func TestAuditTableParallelConcurrentCallers(t *testing.T) {
+	tab := engineTable(t, 2000, 73)
+	m, err := Induce(tab, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.AuditTable(tab).NumSuspicious()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			res := m.AuditTableParallel(tab, workers)
+			if got := res.NumSuspicious(); got != want {
+				errs <- fmt.Errorf("workers=%d: suspicious %d, want %d", workers, got, want)
+			}
+		}(1 + i%4)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestResultMerge checks that scoring a table in horizontal shards and
+// merging equals scoring it whole.
+func TestResultMerge(t *testing.T) {
+	tab := engineTable(t, 2400, 74)
+	m, err := Induce(tab, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.AuditTable(tab)
+
+	half := tab.NumRows() / 2
+	shard1, shard2 := cloneRows(tab, 0, half), cloneRows(tab, half, tab.NumRows())
+	merged := MergeResults(m.AuditTable(shard1), m.AuditTable(shard2))
+
+	if len(merged.Reports) != len(want.Reports) {
+		t.Fatalf("got %d reports, want %d", len(merged.Reports), len(want.Reports))
+	}
+	for r := range want.Reports {
+		g, w := merged.Reports[r], want.Reports[r]
+		if g.Row != w.Row || g.ErrorConf != w.ErrorConf || g.Suspicious != w.Suspicious ||
+			len(g.Findings) != len(w.Findings) {
+			t.Fatalf("report %d differs after merge:\ngot  %+v\nwant %+v", r, g, w)
+		}
+		if (g.Best == nil) != (w.Best == nil) {
+			t.Fatalf("report %d: Best nil mismatch", r)
+		}
+		if g.Best != nil && !reflect.DeepEqual(*g.Best, *w.Best) {
+			t.Fatalf("report %d: Best differs: got %+v want %+v", r, *g.Best, *w.Best)
+		}
+	}
+	if merged.NumSuspicious() != want.NumSuspicious() {
+		t.Fatalf("suspicious: got %d, want %d", merged.NumSuspicious(), want.NumSuspicious())
+	}
+}
+
+// cloneRows copies rows [lo, hi) into a fresh table.
+func cloneRows(tab *dataset.Table, lo, hi int) *dataset.Table {
+	out := dataset.NewTable(tab.Schema())
+	for r := lo; r < hi; r++ {
+		out.AppendRow(tab.Row(r))
+	}
+	return out
+}

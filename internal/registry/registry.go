@@ -1,0 +1,435 @@
+// Package registry is a thread-safe, disk-backed catalogue of named audit
+// models. It operationalizes the paper's asynchronous auditing workflow
+// (§2.2): structure models are induced once — possibly in another process
+// or on another machine — published under a stable name with a monotonic
+// version, and later loaded by scoring services to check incoming data.
+//
+// Layout on disk (one directory per model name):
+//
+//	<root>/<name>/v000042.model   gob-encoded audit.Model (via audit.Save)
+//	<root>/<name>/v000042.json    Meta sidecar — the commit record
+//
+// Publishing is atomic: both files are written to temporaries in the
+// target directory and moved into place with os.Rename, model first, meta
+// second. The meta sidecar is the commit point — a version without its
+// .json is an aborted publish and is ignored (and garbage-collected on the
+// next publish). Loads are lazy and cached with LRU eviction, so a serving
+// process can keep its hot models resident while rarely-used ones are
+// re-read from disk on demand.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+)
+
+// Meta describes one published model version.
+type Meta struct {
+	// Name is the registry key; Version the monotonic publish counter.
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// SchemaHash fingerprints the model's relation schema (sha256 over the
+	// canonical schema text format) so clients can detect drift between
+	// the data they score and the data the model was trained on.
+	SchemaHash string `json:"schemaHash"`
+	// Attributes are the schema's attribute names, for display.
+	Attributes []string `json:"attributes"`
+	// Inducer is the structure-induction algorithm the model was built with.
+	Inducer audit.InducerKind `json:"inducer"`
+	// TrainRows is the induction sample size.
+	TrainRows int `json:"trainRows"`
+	// NumAttrModels is the number of per-attribute classifiers, recorded
+	// here so metadata reads never have to load the model itself.
+	NumAttrModels int `json:"numAttrModels"`
+	// InduceMillis is the induction wall time in milliseconds.
+	InduceMillis int64 `json:"induceMillis"`
+	// CreatedAt is the publish timestamp (UTC).
+	CreatedAt time.Time `json:"createdAt"`
+}
+
+// SchemaHash computes the canonical schema fingerprint recorded in Meta.
+func SchemaHash(s *dataset.Schema) string {
+	var b strings.Builder
+	if err := dataset.WriteSchemaText(&b, s); err != nil {
+		return "" // strings.Builder never errors; defensive only
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// ValidName reports whether a model name is acceptable as a registry key
+// (and therefore as a directory name and URL path segment).
+func ValidName(name string) bool { return nameRe.MatchString(name) }
+
+// Registry is the catalogue handle. All methods are safe for concurrent
+// use; a single Registry is meant to be shared by every goroutine of a
+// serving process.
+type Registry struct {
+	root string
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry // key: "<name>@<version>"
+	clock int64                  // logical clock for LRU bookkeeping
+	max   int
+}
+
+type cacheEntry struct {
+	model *audit.Model
+	meta  Meta
+	used  int64
+}
+
+// Option customizes Open.
+type Option func(*Registry)
+
+// WithCacheSize caps the number of models kept resident (default 8).
+func WithCacheSize(n int) Option {
+	return func(r *Registry) {
+		if n > 0 {
+			r.max = n
+		}
+	}
+}
+
+// Open creates (if needed) and opens a registry rooted at dir.
+func Open(dir string, opts ...Option) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	r := &Registry{root: dir, cache: make(map[string]*cacheEntry), max: 8}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Root returns the registry's backing directory.
+func (r *Registry) Root() string { return r.root }
+
+func (r *Registry) modelDir(name string) string { return filepath.Join(r.root, name) }
+
+func versionFiles(version int) (model, meta string) {
+	return fmt.Sprintf("v%06d.model", version), fmt.Sprintf("v%06d.json", version)
+}
+
+// committedVersions scans a model directory for versions whose meta
+// sidecar (the commit point) exists, ascending.
+func committedVersions(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []int
+	for _, e := range ents {
+		var v int
+		if n, _ := fmt.Sscanf(e.Name(), "v%06d.json", &v); n == 1 && strings.HasSuffix(e.Name(), ".json") {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Publish stores the model under name with the next monotonic version and
+// returns the committed metadata. The publish is atomic (write-temp-then-
+// rename for both files): concurrent readers either see the previous
+// latest version or the new one, never a torn state.
+func (r *Registry) Publish(name string, m *audit.Model) (Meta, error) {
+	if !ValidName(name) {
+		return Meta{}, fmt.Errorf("registry: invalid model name %q", name)
+	}
+	if m == nil || m.Schema == nil {
+		return Meta{}, fmt.Errorf("registry: nil model")
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	dir := r.modelDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Meta{}, fmt.Errorf("registry: %w", err)
+	}
+	versions, err := committedVersions(dir)
+	if err != nil {
+		return Meta{}, fmt.Errorf("registry: %w", err)
+	}
+	version := 1
+	if len(versions) > 0 {
+		version = versions[len(versions)-1] + 1
+	}
+
+	meta := Meta{
+		Name:          name,
+		Version:       version,
+		SchemaHash:    SchemaHash(m.Schema),
+		Attributes:    m.Schema.Names(),
+		Inducer:       m.Opts.Inducer,
+		TrainRows:     m.TrainRows,
+		NumAttrModels: len(m.Attrs),
+		InduceMillis:  m.InduceTime.Milliseconds(),
+		CreatedAt:     time.Now().UTC(),
+	}
+
+	modelFile, metaFile := versionFiles(version)
+	if err := audit.Save(filepath.Join(dir, modelFile), m); err != nil {
+		return Meta{}, fmt.Errorf("registry: writing model: %w", err)
+	}
+	if err := writeJSONAtomic(filepath.Join(dir, metaFile), meta); err != nil {
+		os.Remove(filepath.Join(dir, modelFile)) // roll back the orphan
+		return Meta{}, fmt.Errorf("registry: committing meta: %w", err)
+	}
+	gcAborted(dir, version)
+
+	r.cachePutLocked(name, version, m, meta)
+	return meta, nil
+}
+
+// writeJSONAtomic writes v as JSON via temp-file + rename.
+func writeJSONAtomic(path string, v any) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// CreateTemp makes the file 0600; widen to world-readable like a
+	// plain os.Create would.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// gcAborted removes .model files (below the just-committed version) that
+// never got their meta sidecar — leftovers of crashed publishes.
+func gcAborted(dir string, committed int) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		var v int
+		if n, _ := fmt.Sscanf(e.Name(), "v%06d.model", &v); n != 1 || !strings.HasSuffix(e.Name(), ".model") {
+			continue
+		}
+		if v >= committed {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("v%06d.json", v))); os.IsNotExist(err) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// Get returns the latest committed version of the named model, loading it
+// from disk on a cache miss.
+func (r *Registry) Get(name string) (*audit.Model, Meta, error) {
+	return r.GetVersion(name, 0)
+}
+
+// GetVersion returns a specific version (0 selects the latest). The disk
+// load of a cache miss happens outside the registry lock, so one cold
+// load never stalls cache hits for other models.
+func (r *Registry) GetVersion(name string, version int) (*audit.Model, Meta, error) {
+	if !ValidName(name) {
+		return nil, Meta{}, fmt.Errorf("registry: invalid model name %q", name)
+	}
+	dir := r.modelDir(name)
+
+	r.mu.Lock()
+	if version == 0 {
+		versions, err := committedVersions(dir)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, Meta{}, fmt.Errorf("registry: %w", err)
+		}
+		if len(versions) == 0 {
+			r.mu.Unlock()
+			return nil, Meta{}, &NotFoundError{Name: name}
+		}
+		version = versions[len(versions)-1]
+	}
+	key := cacheKey(name, version)
+	if e, ok := r.cache[key]; ok {
+		r.clock++
+		e.used = r.clock
+		m, meta := e.model, e.meta
+		r.mu.Unlock()
+		return m, meta, nil
+	}
+	r.mu.Unlock()
+
+	meta, err := r.readMeta(name, version)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	modelFile, _ := versionFiles(version)
+	m, err := audit.Load(filepath.Join(dir, modelFile))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("registry: loading %s v%d: %w", name, version, err)
+	}
+
+	r.mu.Lock()
+	// A concurrent miss may have loaded the same version; keep the first
+	// entry so every caller shares one resident copy.
+	if e, ok := r.cache[key]; ok {
+		r.clock++
+		e.used = r.clock
+		m, meta = e.model, e.meta
+	} else {
+		r.cachePutLocked(name, version, m, meta)
+	}
+	r.mu.Unlock()
+	return m, meta, nil
+}
+
+// MetaOf returns the latest committed metadata of the named model without
+// loading (or caching) the model itself.
+func (r *Registry) MetaOf(name string) (Meta, error) {
+	if !ValidName(name) {
+		return Meta{}, fmt.Errorf("registry: invalid model name %q", name)
+	}
+	versions, err := committedVersions(r.modelDir(name))
+	if err != nil {
+		return Meta{}, fmt.Errorf("registry: %w", err)
+	}
+	if len(versions) == 0 {
+		return Meta{}, &NotFoundError{Name: name}
+	}
+	return r.readMeta(name, versions[len(versions)-1])
+}
+
+// readMeta reads one version's meta sidecar (no locking needed: the
+// sidecar is immutable once renamed into place).
+func (r *Registry) readMeta(name string, version int) (Meta, error) {
+	_, metaFile := versionFiles(version)
+	metaBytes, err := os.ReadFile(filepath.Join(r.modelDir(name), metaFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Meta{}, &NotFoundError{Name: name, Version: version}
+		}
+		return Meta{}, fmt.Errorf("registry: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return Meta{}, fmt.Errorf("registry: corrupt meta for %s v%d: %w", name, version, err)
+	}
+	return meta, nil
+}
+
+// List returns the latest committed metadata of every model, sorted by
+// name.
+func (r *Registry) List() ([]Meta, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	ents, err := os.ReadDir(r.root)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	var out []Meta
+	for _, e := range ents {
+		if !e.IsDir() || !ValidName(e.Name()) {
+			continue
+		}
+		dir := r.modelDir(e.Name())
+		versions, err := committedVersions(dir)
+		if err != nil || len(versions) == 0 {
+			continue
+		}
+		_, metaFile := versionFiles(versions[len(versions)-1])
+		b, err := os.ReadFile(filepath.Join(dir, metaFile))
+		if err != nil {
+			continue
+		}
+		var meta Meta
+		if json.Unmarshal(b, &meta) == nil {
+			out = append(out, meta)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Delete removes the named model — every version — from disk and cache.
+func (r *Registry) Delete(name string) error {
+	if !ValidName(name) {
+		return fmt.Errorf("registry: invalid model name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	dir := r.modelDir(name)
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return &NotFoundError{Name: name}
+	}
+	for key := range r.cache {
+		if n, _, ok := strings.Cut(key, "@"); ok && n == name {
+			delete(r.cache, key)
+		}
+	}
+	return os.RemoveAll(dir)
+}
+
+// NotFoundError reports a missing model (or model version).
+type NotFoundError struct {
+	Name    string
+	Version int
+}
+
+func (e *NotFoundError) Error() string {
+	if e.Version > 0 {
+		return fmt.Sprintf("registry: model %q version %d not found", e.Name, e.Version)
+	}
+	return fmt.Sprintf("registry: model %q not found", e.Name)
+}
+
+// IsNotFound reports whether err is a registry NotFoundError.
+func IsNotFound(err error) bool {
+	var nf *NotFoundError
+	return errors.As(err, &nf)
+}
+
+func cacheKey(name string, version int) string { return fmt.Sprintf("%s@%d", name, version) }
+
+// cachePutLocked inserts into the LRU cache; r.mu must be held.
+func (r *Registry) cachePutLocked(name string, version int, m *audit.Model, meta Meta) {
+	r.clock++
+	r.cache[cacheKey(name, version)] = &cacheEntry{model: m, meta: meta, used: r.clock}
+	for len(r.cache) > r.max {
+		oldestKey, oldest := "", int64(1<<62)
+		for k, e := range r.cache {
+			if e.used < oldest {
+				oldestKey, oldest = k, e.used
+			}
+		}
+		delete(r.cache, oldestKey)
+	}
+}

@@ -1,0 +1,259 @@
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/quis"
+)
+
+// testModel induces a small structure model (a QUIS-flavoured relation
+// with a strong BRV → GBM dependency) for registry tests.
+func testModel(t testing.TB) *audit.Model {
+	t.Helper()
+	schema := dataset.MustSchema(
+		dataset.NewNominal("BRV", "404", "501", "600"),
+		dataset.NewNominal("KBM", "01", "02"),
+		dataset.NewNominal("GBM", "901", "911", "950"),
+		dataset.NewNumeric("DISP", 1000, 4000),
+	)
+	tab := dataset.NewTable(schema)
+	rng := rand.New(rand.NewSource(7))
+	row := make([]dataset.Value, 4)
+	for i := 0; i < 800; i++ {
+		brv := rng.Intn(3)
+		disp := 1500 + float64(brv)*1000 + rng.NormFloat64()*80
+		if disp < 1000 {
+			disp = 1000
+		}
+		if disp > 4000 {
+			disp = 4000
+		}
+		row[0], row[1], row[2], row[3] = dataset.Nom(brv), dataset.Nom(rng.Intn(2)), dataset.Nom(brv), dataset.Num(disp)
+		tab.AppendRow(row)
+	}
+	m, err := audit.Induce(tab, audit.Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPublishGetRoundTrip(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(t)
+
+	meta, err := reg.Publish("engines", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 1 {
+		t.Fatalf("first publish version = %d, want 1", meta.Version)
+	}
+	if meta.SchemaHash == "" || meta.SchemaHash != SchemaHash(m.Schema) {
+		t.Fatalf("bad schema hash %q", meta.SchemaHash)
+	}
+	if meta.TrainRows != m.TrainRows {
+		t.Fatalf("TrainRows = %d, want %d", meta.TrainRows, m.TrainRows)
+	}
+
+	got, gotMeta, err := reg.Get("engines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.Version != 1 || got == nil {
+		t.Fatalf("Get returned version %d, model %v", gotMeta.Version, got)
+	}
+	if len(got.Attrs) != len(m.Attrs) {
+		t.Fatalf("loaded model has %d attr models, want %d", len(got.Attrs), len(m.Attrs))
+	}
+
+	// A second publish bumps the version; Get serves the latest, and the
+	// old version stays addressable.
+	meta2, err := reg.Publish("engines", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.Version != 2 {
+		t.Fatalf("second publish version = %d, want 2", meta2.Version)
+	}
+	if _, latest, err := reg.Get("engines"); err != nil || latest.Version != 2 {
+		t.Fatalf("latest = v%d, err %v; want v2", latest.Version, err)
+	}
+	if _, old, err := reg.GetVersion("engines", 1); err != nil || old.Version != 1 {
+		t.Fatalf("GetVersion(1) = v%d, err %v", old.Version, err)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(t)
+	for _, name := range []string{"b-model", "a-model"} {
+		if _, err := reg.Publish(name, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metas, err := reg.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 || metas[0].Name != "a-model" || metas[1].Name != "b-model" {
+		t.Fatalf("List = %+v, want a-model then b-model", metas)
+	}
+
+	if err := reg.Delete("a-model"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Get("a-model"); !IsNotFound(err) {
+		t.Fatalf("Get after Delete: err = %v, want not-found", err)
+	}
+	if err := reg.Delete("a-model"); !IsNotFound(err) {
+		t.Fatalf("double Delete: err = %v, want not-found", err)
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(t)
+	for _, name := range []string{"", "../escape", "a/b", ".hidden", "x y"} {
+		if _, err := reg.Publish(name, m); err == nil {
+			t.Fatalf("Publish(%q) accepted an invalid name", name)
+		}
+		if _, _, err := reg.Get(name); err == nil {
+			t.Fatalf("Get(%q) accepted an invalid name", name)
+		}
+	}
+}
+
+// TestConcurrentPublishGet hammers one model name with concurrent
+// publishers and readers; run with -race. Every publish must get a unique
+// monotonic version and readers must always see a complete model.
+func TestConcurrentPublishGet(t *testing.T) {
+	reg, err := Open(t.TempDir(), WithCacheSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(t)
+	if _, err := reg.Publish("hot", m); err != nil {
+		t.Fatal(err)
+	}
+
+	const publishers, readers, rounds = 4, 8, 5
+	versions := make(chan int, publishers*rounds)
+	var wg sync.WaitGroup
+	errs := make(chan error, publishers*rounds+readers*rounds)
+
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				meta, err := reg.Publish("hot", m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				versions <- meta.Version
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				got, meta, err := reg.Get("hot")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got == nil || meta.Version < 1 {
+					errs <- fmt.Errorf("incomplete read: model %v, meta %+v", got, meta)
+					return
+				}
+				// The loaded model must be usable, not torn.
+				if len(got.Attrs) != len(m.Attrs) {
+					errs <- fmt.Errorf("read model with %d attrs, want %d", len(got.Attrs), len(m.Attrs))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(versions)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	seen := make(map[int]bool)
+	for v := range versions {
+		if seen[v] {
+			t.Fatalf("version %d assigned twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != publishers*rounds {
+		t.Fatalf("%d distinct versions, want %d", len(seen), publishers*rounds)
+	}
+}
+
+// TestAbortedPublishIgnored plants a model file without its meta sidecar
+// (a simulated crash between the two renames) and checks that reads skip
+// it and the next publish garbage-collects it.
+func TestAbortedPublishIgnored(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(t)
+	if _, err := reg.Publish("engines", m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate an aborted publish of v2: model written, meta missing.
+	orphan := filepath.Join(dir, "engines", "v000002.model")
+	if err := audit.Save(orphan, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, meta, err := reg.Get("engines"); err != nil || meta.Version != 1 {
+		t.Fatalf("Get with orphan present: v%d, err %v; want v1", meta.Version, err)
+	}
+
+	// The next publish claims version 2 (the orphan never committed) and
+	// atomically replaces the leftover model file.
+	meta, err := reg.Publish("engines", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 {
+		t.Fatalf("publish after abort: v%d, want v2", meta.Version)
+	}
+}
+
+func TestSchemaHashStability(t *testing.T) {
+	s1 := quis.Schema()
+	s2 := quis.Schema()
+	if SchemaHash(s1) != SchemaHash(s2) {
+		t.Fatal("identical schemas hash differently")
+	}
+	other := dataset.MustSchema(dataset.NewNominal("X", "a", "b"))
+	if SchemaHash(s1) == SchemaHash(other) {
+		t.Fatal("different schemas share a hash")
+	}
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"fmt"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/audittree"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/registry"
+)
+
+// JSON wire types of the auditd API. Cell values travel as strings in the
+// attribute's canonical text rendering (the same format the CSV layer
+// uses: nulls as "?", dates as ISO 2006-01-02) so that clients never deal
+// with the internal domain-index encoding.
+
+// OptionsJSON is the client-facing subset of audit.Options.
+type OptionsJSON struct {
+	MinConfidence float64             `json:"minConfidence,omitempty"`
+	ConfLevel     float64             `json:"confLevel,omitempty"`
+	Bins          int                 `json:"bins,omitempty"`
+	Inducer       string              `json:"inducer,omitempty"`
+	KNNk          int                 `json:"knnK,omitempty"`
+	SkipClasses   []string            `json:"skipClasses,omitempty"`
+	BaseAttrs     map[string][]string `json:"baseAttrs,omitempty"`
+	// Filter is the §5.4 rule-deletion mode: "paper" (default),
+	// "reachable-only" or "none".
+	Filter string `json:"filter,omitempty"`
+}
+
+// ToOptions converts the wire form into audit.Options.
+func (o OptionsJSON) ToOptions() (audit.Options, error) {
+	opts := audit.Options{
+		MinConfidence: o.MinConfidence,
+		ConfLevel:     o.ConfLevel,
+		Bins:          o.Bins,
+		Inducer:       audit.InducerKind(o.Inducer),
+		KNNk:          o.KNNk,
+		SkipClasses:   o.SkipClasses,
+		BaseAttrs:     o.BaseAttrs,
+	}
+	switch o.Filter {
+	case "", "paper":
+		opts.Filter = audittree.FilterPaper
+	case "reachable-only":
+		opts.Filter = audittree.FilterReachableOnly
+	case "none":
+		opts.Filter = audittree.FilterNone
+	default:
+		return opts, fmt.Errorf("unknown filter mode %q (want paper, reachable-only or none)", o.Filter)
+	}
+	return opts, nil
+}
+
+// InduceRequest is the JSON body of POST /v1/models (the multipart form
+// carries the same fields as parts).
+type InduceRequest struct {
+	// Name is the registry key to publish under.
+	Name string `json:"name"`
+	// Schema is the relation schema in the text format of
+	// dataset.ParseSchema ("BRV nominal 404,501\nKM numeric 0 200000\n...").
+	Schema string `json:"schema"`
+	// CSV is the training sample with a header row of attribute names.
+	CSV string `json:"csv"`
+	// Options configure structure induction.
+	Options OptionsJSON `json:"options"`
+}
+
+// AuditRequest is the JSON body of POST /v1/models/{name}/audit. Exactly
+// one of Row and Rows must be set; CSV bodies bypass this type entirely.
+type AuditRequest struct {
+	// Row is a single record, one rendered value per schema attribute.
+	Row []string `json:"row,omitempty"`
+	// Rows is a batch of records.
+	Rows [][]string `json:"rows,omitempty"`
+}
+
+// FindingJSON is one attribute-level deviation with its proposed
+// correction.
+type FindingJSON struct {
+	// Attr is the audited attribute's name.
+	Attr string `json:"attr"`
+	// Observed and Predicted are class labels (bin labels for discretized
+	// numeric attributes); Observed is "?" for null.
+	Observed  string `json:"observed"`
+	Predicted string `json:"predicted"`
+	// PHat / PObs are P(ĉ) and P(c); N the supporting sample size.
+	PHat float64 `json:"pHat"`
+	PObs float64 `json:"pObs"`
+	N    float64 `json:"n"`
+	// ErrorConf is Definition 7.
+	ErrorConf float64 `json:"errorConf"`
+	// Suggestion is the proposed correction (§5.3) in the attribute's text
+	// rendering.
+	Suggestion string `json:"suggestion"`
+}
+
+// ReportJSON is one record's audit outcome.
+type ReportJSON struct {
+	// Row is the record's position in the submitted batch; ID its record ID.
+	Row int   `json:"row"`
+	ID  int64 `json:"id"`
+	// ErrorConf is the overall error confidence (Definition 8).
+	ErrorConf  float64 `json:"errorConf"`
+	Suspicious bool    `json:"suspicious"`
+	// Best is the finding the overall confidence stems from.
+	Best *FindingJSON `json:"best,omitempty"`
+	// Findings lists every deviation with positive error confidence.
+	Findings []FindingJSON `json:"findings,omitempty"`
+	// Description renders the best finding like the paper's §6.2 examples.
+	Description string `json:"description,omitempty"`
+}
+
+// AuditResponse is the body of POST /v1/models/{name}/audit.
+type AuditResponse struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	// RowsChecked / NumSuspicious summarize the batch.
+	RowsChecked   int `json:"rowsChecked"`
+	NumSuspicious int `json:"numSuspicious"`
+	// CheckMillis is the scoring wall time; Workers the pool size used.
+	CheckMillis int64 `json:"checkMillis"`
+	Workers     int   `json:"workers"`
+	// Reports holds the suspicious records ranked by descending error
+	// confidence — "ranked according to their associated error confidence"
+	// (§6.2) — or every record when the request asked for all=1.
+	Reports []ReportJSON `json:"reports"`
+}
+
+// ModelResponse is the body of POST /v1/models and GET /v1/models/{name}.
+type ModelResponse struct {
+	registry.Meta
+}
+
+// ListResponse is the body of GET /v1/models.
+type ListResponse struct {
+	Models []registry.Meta `json:"models"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// findingJSON renders a Finding against the model's labels.
+func findingJSON(m *audit.Model, f *audit.Finding) FindingJSON {
+	attr := m.Schema.Attr(f.Attr)
+	out := FindingJSON{
+		Attr:       attr.Name,
+		Observed:   "?",
+		PHat:       f.PHat,
+		PObs:       f.PObs,
+		N:          f.N,
+		ErrorConf:  f.ErrorConf,
+		Suggestion: attr.Format(f.Suggestion),
+	}
+	for _, am := range m.Attrs {
+		if am.Class != f.Attr {
+			continue
+		}
+		if f.Observed >= 0 && f.Observed < len(am.Labels) {
+			out.Observed = am.Labels[f.Observed]
+		}
+		if f.Predicted >= 0 && f.Predicted < len(am.Labels) {
+			out.Predicted = am.Labels[f.Predicted]
+		}
+		break
+	}
+	return out
+}
+
+// reportJSON renders a RecordReport.
+func reportJSON(m *audit.Model, rep *audit.RecordReport) ReportJSON {
+	out := ReportJSON{
+		Row:        rep.Row,
+		ID:         rep.ID,
+		ErrorConf:  rep.ErrorConf,
+		Suspicious: rep.Suspicious,
+	}
+	for i := range rep.Findings {
+		out.Findings = append(out.Findings, findingJSON(m, &rep.Findings[i]))
+	}
+	if rep.Best != nil {
+		fj := findingJSON(m, rep.Best)
+		out.Best = &fj
+		out.Description = m.DescribeFinding(rep.Best)
+	}
+	return out
+}
+
+// parseRows builds a table from rendered string rows against a schema.
+func parseRows(s *dataset.Schema, rows [][]string) (*dataset.Table, error) {
+	tab := dataset.NewTable(s)
+	buf := make([]dataset.Value, s.Len())
+	for i, rec := range rows {
+		if len(rec) != s.Len() {
+			return nil, fmt.Errorf("row %d: has %d values, schema has %d attributes", i, len(rec), s.Len())
+		}
+		for c, a := range s.Attrs() {
+			v, err := a.Parse(rec[c])
+			if err != nil {
+				return nil, fmt.Errorf("row %d: %w", i, err)
+			}
+			buf[c] = v
+		}
+		tab.AppendRow(buf)
+	}
+	return tab, nil
+}

@@ -1,0 +1,395 @@
+// Package serve exposes the audit tool as a long-running JSON-over-HTTP
+// service — the deployment shape the paper sketches in §2.2: "While the
+// time-consuming structure induction can be prepared off-line, new data
+// can be checked for deviations and loaded quickly". Models live in an
+// internal/registry catalogue shared by every request, so a model is
+// loaded (and its classifiers deserialized) once and then scored
+// concurrently by any number of audit requests; batches fan out over the
+// parallel table-scoring path.
+//
+// API surface (all bodies JSON unless noted):
+//
+//	GET    /healthz                  liveness + model count
+//	GET    /v1/models                list published models
+//	POST   /v1/models                induce + publish (JSON or multipart)
+//	GET    /v1/models/{name}         latest metadata
+//	DELETE /v1/models/{name}         drop a model
+//	POST   /v1/models/{name}/audit   score a batch (JSON rows or text/csv)
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"mime"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/registry"
+)
+
+// Server is the auditd HTTP service.
+type Server struct {
+	reg      *registry.Registry
+	mux      *http.ServeMux
+	started  time.Time
+	logger   *log.Logger
+	maxBody  int64
+	workers  int
+	maxBatch int
+}
+
+// Option customizes New.
+type Option func(*Server)
+
+// WithMaxBodyBytes caps request body size (default 64 MiB).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// WithWorkers sets the default scoring pool size (default runtime.NumCPU).
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithMaxBatchRows caps the number of rows per audit request (default
+// 1_000_000).
+func WithMaxBatchRows(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// WithLogger sets the request logger (default log.Default()).
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.logger = l
+		}
+	}
+}
+
+// New builds a Server over a registry.
+func New(reg *registry.Registry, opts ...Option) *Server {
+	s := &Server{
+		reg:      reg,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		logger:   log.Default(),
+		maxBody:  64 << 20,
+		workers:  runtime.NumCPU(),
+		maxBatch: 1_000_000,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/models", s.handleList)
+	s.mux.HandleFunc("POST /v1/models", s.handleInduce)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/models/{name}/audit", s.handleAudit)
+	return s
+}
+
+// Handler returns the service's root handler (body limits applied).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Printf("serve: writing response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxWorkersPerRequest bounds the ?workers= override: generous enough to
+// oversubscribe for experiments, small enough that a single request
+// cannot exhaust the scheduler.
+func (s *Server) maxWorkersPerRequest() int {
+	max := 4 * runtime.NumCPU()
+	if s.workers > max {
+		max = s.workers
+	}
+	return max
+}
+
+// badRequestStatus distinguishes a body that tripped the MaxBytesReader
+// limit (413) from one that is merely malformed (400).
+func badRequestStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// errStatus maps an internal error onto an HTTP status.
+func (s *Server) errStatus(err error) int {
+	switch {
+	case registry.IsNotFound(err):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	metas, err := s.reg.List()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "registry unavailable: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": int64(time.Since(s.started).Seconds()),
+		"models":        len(metas),
+		"workers":       s.workers,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	metas, err := s.reg.List()
+	if err != nil {
+		s.writeError(w, s.errStatus(err), "%v", err)
+		return
+	}
+	if metas == nil {
+		metas = []registry.Meta{}
+	}
+	s.writeJSON(w, http.StatusOK, ListResponse{Models: metas})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Metadata only — never load (or cache-churn) the model itself for a
+	// metadata poll.
+	meta, err := s.reg.MetaOf(name)
+	if err != nil {
+		s.writeError(w, s.errStatus(err), "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ModelResponse{Meta: meta})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Delete(name); err != nil {
+		s.writeError(w, s.errStatus(err), "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleInduce implements POST /v1/models: parse the uploaded schema and
+// training CSV, induce a structure model and publish it.
+func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeInduceRequest(r)
+	if err != nil {
+		s.writeError(w, badRequestStatus(err), "%v", err)
+		return
+	}
+	if !registry.ValidName(req.Name) {
+		s.writeError(w, http.StatusBadRequest, "invalid model name %q", req.Name)
+		return
+	}
+	schema, err := dataset.ParseSchema(strings.NewReader(req.Schema))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "schema: %v", err)
+		return
+	}
+	tab, err := dataset.ReadCSV(strings.NewReader(req.CSV), schema)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "csv: %v", err)
+		return
+	}
+	if tab.NumRows() == 0 {
+		s.writeError(w, http.StatusBadRequest, "csv: no training rows")
+		return
+	}
+	opts, err := req.Options.ToOptions()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "options: %v", err)
+		return
+	}
+	model, err := audit.Induce(tab, opts)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "induction: %v", err)
+		return
+	}
+	meta, err := s.reg.Publish(req.Name, model)
+	if err != nil {
+		s.writeError(w, s.errStatus(err), "%v", err)
+		return
+	}
+	s.logger.Printf("serve: published %s v%d (%d rows, %s)", meta.Name, meta.Version, meta.TrainRows, meta.Inducer)
+	s.writeJSON(w, http.StatusCreated, ModelResponse{Meta: meta})
+}
+
+// decodeInduceRequest accepts either a JSON body or a multipart form with
+// fields/parts name, schema, csv and options (options itself JSON).
+func decodeInduceRequest(r *http.Request) (*InduceRequest, error) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "multipart/form-data" {
+		if err := r.ParseMultipartForm(32 << 20); err != nil {
+			return nil, fmt.Errorf("multipart: %w", err)
+		}
+		req := &InduceRequest{
+			Name:   r.FormValue("name"),
+			Schema: r.FormValue("schema"),
+			CSV:    r.FormValue("csv"),
+		}
+		if f, _, err := r.FormFile("schema"); err == nil {
+			b, err := io.ReadAll(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			req.Schema = string(b)
+		}
+		if f, _, err := r.FormFile("csv"); err == nil {
+			b, err := io.ReadAll(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			req.CSV = string(b)
+		}
+		if o := r.FormValue("options"); o != "" {
+			if err := json.Unmarshal([]byte(o), &req.Options); err != nil {
+				return nil, fmt.Errorf("options: %w", err)
+			}
+		}
+		return req, nil
+	}
+	var req InduceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, fmt.Errorf("body: %w", err)
+	}
+	return &req, nil
+}
+
+// handleAudit implements POST /v1/models/{name}/audit: score a batch (or a
+// single row) against a published model and return the ranked findings.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	version := 0
+	if v := r.URL.Query().Get("version"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, http.StatusBadRequest, "bad version %q", v)
+			return
+		}
+		version = n
+	}
+	model, meta, err := s.reg.GetVersion(name, version)
+	if err != nil {
+		s.writeError(w, s.errStatus(err), "%v", err)
+		return
+	}
+
+	tab, err := s.decodeAuditBatch(r, model.Schema)
+	if err != nil {
+		s.writeError(w, badRequestStatus(err), "%v", err)
+		return
+	}
+	if tab.NumRows() == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if tab.NumRows() > s.maxBatch {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "batch of %d rows exceeds limit %d", tab.NumRows(), s.maxBatch)
+		return
+	}
+
+	workers := s.workers
+	if v := r.URL.Query().Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.writeError(w, http.StatusBadRequest, "bad workers %q", v)
+			return
+		}
+		// Cap the client-requested pool: one request must not be able to
+		// spawn an arbitrary number of goroutines.
+		if max := s.maxWorkersPerRequest(); n > max {
+			n = max
+		}
+		workers = n
+	}
+
+	res := model.AuditTableParallel(tab, workers)
+
+	resp := AuditResponse{
+		Model:         meta.Name,
+		Version:       meta.Version,
+		RowsChecked:   tab.NumRows(),
+		NumSuspicious: res.NumSuspicious(),
+		CheckMillis:   res.CheckTime.Milliseconds(),
+		Workers:       workers,
+		Reports:       []ReportJSON{},
+	}
+	if r.URL.Query().Get("all") == "1" {
+		for i := range res.Reports {
+			resp.Reports = append(resp.Reports, reportJSON(model, &res.Reports[i]))
+		}
+	} else {
+		for _, rep := range res.Suspicious() {
+			resp.Reports = append(resp.Reports, reportJSON(model, &rep))
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeAuditBatch reads the records to score: a CSV body (with header)
+// when the content type says so, otherwise a JSON AuditRequest.
+func (s *Server) decodeAuditBatch(r *http.Request, schema *dataset.Schema) (*dataset.Table, error) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "text/csv" || ct == "application/csv" {
+		tab, err := dataset.ReadCSV(r.Body, schema)
+		if err != nil {
+			return nil, fmt.Errorf("csv: %w", err)
+		}
+		return tab, nil
+	}
+	var req AuditRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, fmt.Errorf("body: %w", err)
+	}
+	rows := req.Rows
+	if len(req.Row) > 0 {
+		if len(rows) > 0 {
+			return nil, fmt.Errorf("set either row or rows, not both")
+		}
+		rows = [][]string{req.Row}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no rows in request")
+	}
+	return parseRows(schema, rows)
+}
