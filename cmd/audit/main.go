@@ -10,6 +10,10 @@
 //	audit -schema engine.schema -in history.csv -induce -model model.bin
 //	audit -schema engine.schema -in tonight.csv -model model.bin -top 50
 //
+//	# bounded memory: stream an arbitrarily large load through a saved
+//	# model without ever materializing the table
+//	audit -schema engine.schema -in warehouse.csv -model model.bin -stream -top 50
+//
 //	# write corrections
 //	audit -schema engine.schema -in dirty.csv -corrected fixed.csv
 package main
@@ -39,6 +43,9 @@ func main() {
 		filter    = flag.String("filter", "", "rule filter: paper, reachable, none "+
 			"(default: paper for one-shot audits, reachable for -induce, since a model trained on "+
 			"clean history needs its pure rules to flag deviations in future loads)")
+		stream  = flag.Bool("stream", false, "stream the input through a saved -model with bounded memory (no table materialization)")
+		chunk   = flag.Int("chunk", 1024, "rows per scoring chunk in -stream mode")
+		workers = flag.Int("workers", 0, "scoring workers in -stream mode (0 = NumCPU)")
 	)
 	flag.Parse()
 	if *schemaPath == "" || *in == "" {
@@ -48,6 +55,25 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+
+	if *stream {
+		// The streaming path never loads the table: rows flow straight
+		// from the CSV decoder into the chunked scorer. That also means
+		// there is nothing to induce from — a saved model is required.
+		if *modelPath == "" || *induceOnly {
+			fail("-stream needs a saved -model (structure induction requires the full table)")
+		}
+		if *corrected != "" {
+			fail("-corrected needs the materialized table; drop -stream")
+		}
+		model, err := audit.Load(*modelPath)
+		if err != nil {
+			fail("loading model: %v", err)
+		}
+		runStream(model, schema, *in, *top, *chunk, *workers)
+		return
+	}
+
 	table, err := dataset.ReadCSVFile(*in, schema)
 	if err != nil {
 		fail("%v", err)
@@ -55,7 +81,11 @@ func main() {
 
 	var model *audit.Model
 	if *modelPath != "" && !*induceOnly {
-		if model, err = audit.Load(*modelPath); err != nil && !os.IsNotExist(err) {
+		// An explicitly named model that cannot be loaded is an error —
+		// silently falling back to inducing from the (possibly dirty)
+		// input would audit the data against itself and mask exactly the
+		// deviations the saved model was meant to flag.
+		if model, err = audit.Load(*modelPath); err != nil {
 			fail("loading model: %v", err)
 		}
 	}
@@ -127,6 +157,44 @@ func main() {
 			fail("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote corrected table to %s\n", *corrected)
+	}
+}
+
+// runStream audits the CSV through the bounded-memory pipeline and prints
+// the ranked top-K plus per-attribute deviation tallies.
+func runStream(model *audit.Model, schema *dataset.Schema, in string, top, chunk, workers int) {
+	src, closer, err := dataset.OpenCSVFileSource(in, schema)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer closer.Close()
+
+	res, err := model.AuditStream(src, audit.StreamOptions{
+		ChunkSize: chunk,
+		Workers:   workers,
+		TopK:      top,
+	})
+	if err != nil {
+		fail("streaming audit: %v", err)
+	}
+
+	fmt.Printf("streamed %d records in %v: %d suspicious (error confidence >= %.2f)\n",
+		res.RowsChecked, res.CheckTime, res.NumSuspicious, model.Opts.MinConfidence)
+	for i := range res.Top {
+		rep := &res.Top[i]
+		fmt.Printf("%4d. record id=%d  confidence %.2f%%\n", i+1, rep.ID, rep.ErrorConf*100)
+		fmt.Printf("      %s\n", model.DescribeFinding(rep.Best))
+	}
+	if res.TopTruncated {
+		fmt.Printf("... and %d more (raise -top to rank them)\n", res.NumSuspicious-int64(len(res.Top)))
+	}
+	fmt.Println("per-attribute deviations:")
+	for _, tally := range res.Attrs {
+		if tally.Deviations == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s %8d deviations, %6d suspicious, max confidence %.2f%%\n",
+			model.Schema.Attr(tally.Attr).Name, tally.Deviations, tally.Suspicious, tally.MaxErrorConf*100)
 	}
 }
 

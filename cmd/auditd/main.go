@@ -17,6 +17,11 @@
 //	curl -H 'Content-Type: text/csv' --data-binary @tonight.csv \
 //	     'localhost:8080/v1/models/engines/audit?workers=4'
 //
+//	# stream a warehouse-scale batch: findings come back as NDJSON while
+//	# the upload is still in flight, server memory stays bounded
+//	curl -NT warehouse.csv -H 'Content-Type: text/csv' \
+//	     'localhost:8080/v1/models/engines/audit/stream?workers=4&top=100'
+//
 //	# audit a single record as JSON
 //	curl -H 'Content-Type: application/json' \
 //	     -d '{"row":["404","911","01","M111","STU","W202","2151","1999-04-07"]}' \
@@ -45,9 +50,11 @@ func main() {
 		dir      = flag.String("dir", "./auditd-data", "registry directory (created if missing)")
 		workers  = flag.Int("workers", 0, "default scoring pool size (0 = NumCPU)")
 		cache    = flag.Int("cache", 8, "number of models kept resident")
-		maxBody  = flag.Int64("max-body-mb", 64, "request body limit in MiB")
+		maxBody  = flag.Int64("max-body-mb", 64, "request body limit in MiB (buffered endpoints; the streaming endpoint is bounded by -max-batch-rows instead)")
 		maxRows  = flag.Int("max-batch-rows", 1_000_000, "row limit per audit request")
 		drainFor = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+		chunk    = flag.Int("stream-chunk", 1024, "default scoring-chunk size of the streaming audit endpoint")
+		topK     = flag.Int("stream-top", 1000, "default ranking depth of the streaming audit summary")
 	)
 	flag.Parse()
 
@@ -63,6 +70,8 @@ func main() {
 		serve.WithLogger(logger),
 		serve.WithMaxBodyBytes(*maxBody<<20),
 		serve.WithMaxBatchRows(*maxRows),
+		serve.WithStreamChunkSize(*chunk),
+		serve.WithStreamTopK(*topK),
 	)
 	if *workers > 0 {
 		opts = append(opts, serve.WithWorkers(*workers))

@@ -22,11 +22,19 @@
 //
 //   - AuditModel.AuditTableParallel shards deviation detection across a
 //     worker pool with output identical to the sequential AuditTable,
+//   - AuditModel.AuditStream scores rows pulled from a RowSource (e.g. a
+//     streaming CSV decoder) in bounded chunks, so peak memory is
+//     independent of the input size while the suspicious set and its
+//     confidence ranking stay identical to the batch path,
 //   - ModelRegistry (OpenRegistry) is a thread-safe, disk-backed catalogue
 //     of named models with monotonic versions, atomic publish and an LRU
 //     cache of resident models,
-//   - NewAuditServer exposes induction and batch scoring as a JSON HTTP
-//     API; cmd/auditd is the ready-to-run daemon.
+//   - NewAuditServer exposes induction, batch scoring and NDJSON
+//     streaming scoring as a JSON HTTP API; cmd/auditd is the
+//     ready-to-run daemon.
+//
+// See ARCHITECTURE.md for the package map and data-flow diagrams, and
+// docs/api.md for the complete HTTP API reference.
 //
 // The subpackages under internal/ carry the implementation; this package
 // re-exports the stable surface. See the examples/ directory for complete
@@ -64,8 +72,27 @@ type Schema = dataset.Schema
 // Table is a column-oriented relation instance with stable record IDs.
 type Table = dataset.Table
 
+// RowSource is a pull iterator over rows — the streaming counterpart of a
+// materialized Table. CSVSource decodes CSV incrementally; TableSource
+// adapts an existing table.
+type (
+	RowSource   = dataset.RowSource
+	CSVSource   = dataset.CSVSource
+	TableSource = dataset.TableSource
+)
+
+// ErrRowWidth is the sentinel every row-arity failure wraps (CSV decode,
+// JSON rows, Schema.CheckRow, AuditResult.Merge); test with errors.Is.
+var ErrRowWidth = dataset.ErrRowWidth
+
 // Re-exported constructors and helpers of the relational substrate.
 var (
+	// NewCSVSource / NewTableSource / OpenCSVFileSource build streaming
+	// row sources; ReadAllRows drains one into a Table.
+	NewCSVSource      = dataset.NewCSVSource
+	NewTableSource    = dataset.NewTableSource
+	OpenCSVFileSource = dataset.OpenCSVFileSource
+	ReadAllRows       = dataset.ReadAll
 	// Null returns the null value.
 	Null = dataset.Null
 	// Nom builds a nominal value from a domain index.
@@ -184,7 +211,19 @@ type (
 	// RootCause is a §5.3 single-cell substitution hypothesis produced by
 	// AuditModel.ExplainRow for interactive error correction.
 	RootCause = audit.RootCause
+	// StreamOptions / StreamResult / AttrTally belong to
+	// AuditModel.AuditStream, the bounded-memory scoring path: rows are
+	// pulled from a RowSource in chunks and folded into running counts,
+	// per-attribute deviation tallies and a top-K ranking, so peak memory
+	// is O(chunk × workers + K) however large the input.
+	StreamOptions = audit.StreamOptions
+	StreamResult  = audit.StreamResult
+	AttrTally     = audit.AttrTally
 )
+
+// ErrRowLimit is the sentinel wrapped when a stream exceeds
+// StreamOptions.MaxRows; test with errors.Is.
+var ErrRowLimit = audit.ErrRowLimit
 
 // Induction algorithm selection (Fig. 1, step 2).
 const (
@@ -211,8 +250,10 @@ var (
 	SaveModel = audit.Save
 	LoadModel = audit.Load
 	// MergeResults combines per-shard audit results in order (see also
-	// AuditResult.Merge); AuditModel.AuditTableParallel scores a table
-	// with a worker pool, reports identical to AuditTable.
+	// AuditResult.Merge); shards of mismatched relation widths are
+	// rejected with ErrRowWidth. AuditModel.AuditTableParallel scores a
+	// table with a worker pool, reports identical to AuditTable;
+	// AuditModel.AuditStream scores a RowSource with bounded memory.
 	MergeResults = audit.MergeResults
 )
 
@@ -245,6 +286,10 @@ var (
 	ServerMaxBodyBytes = serve.WithMaxBodyBytes
 	ServerMaxBatchRows = serve.WithMaxBatchRows
 	ServerLogger       = serve.WithLogger
+	// ServerStreamChunkSize / ServerStreamTopK tune the NDJSON streaming
+	// audit endpoint (POST /v1/models/{name}/audit/stream).
+	ServerStreamChunkSize = serve.WithStreamChunkSize
+	ServerStreamTopK      = serve.WithStreamTopK
 )
 
 // ---------------------------------------------------------------------------

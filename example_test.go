@@ -1,0 +1,124 @@
+package dataaudit_test
+
+// Runnable examples for the facade's core workflows. go test executes
+// them (the Output comments are asserted) and pkg.go.dev renders them
+// next to the symbols they are named after.
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dataaudit"
+)
+
+// engineTable builds a small engine relation with one strong dependency
+// (BRV determines GBM) and a single planted violation in the last row —
+// the shape of the paper's §6.2 QUIS findings, at example scale.
+func engineTable() *dataaudit.Table {
+	schema := dataaudit.MustSchema(
+		dataaudit.NewNominal("BRV", "404", "501"),
+		dataaudit.NewNominal("GBM", "901", "911"),
+		dataaudit.NewNumeric("DISP", 1000, 5000),
+	)
+	tab := dataaudit.NewTable(schema)
+	for i := 0; i < 120; i++ {
+		brv := i % 2
+		tab.AppendRow([]dataaudit.Value{
+			dataaudit.Nom(brv), dataaudit.Nom(brv), dataaudit.Num(2000 + float64(brv)*1000 + float64(i%7)*10),
+		})
+	}
+	// The deviation: a BRV=404 engine recorded with the 501 gearbox.
+	tab.AppendRow([]dataaudit.Value{dataaudit.Nom(0), dataaudit.Nom(1), dataaudit.Num(2030)})
+	return tab
+}
+
+// ExampleInduce induces a structure model and audits the same table —
+// the paper's one-shot workflow: every attribute gets a classifier, the
+// planted violation is flagged with its error confidence and a proposed
+// correction.
+func ExampleInduce() {
+	tab := engineTable()
+	model, err := dataaudit.Induce(tab, dataaudit.AuditOptions{MinConfidence: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := model.AuditTable(tab)
+	for _, rep := range res.Suspicious() { // ranked by error confidence
+		fmt.Printf("row %d: %s\n", rep.Row, model.DescribeFinding(rep.Best))
+	}
+	fmt.Printf("suspicious: %d of %d\n", res.NumSuspicious(), tab.NumRows())
+	// Output:
+	// row 120: GBM: observed 911, expected 901 (P=0.9836, n=61, error confidence 85.96%)
+	// suspicious: 1 of 121
+}
+
+// ExampleOpenRegistry publishes a model into a disk-backed registry and
+// loads it back — the §2.2 asynchronous workflow: induce once, score
+// anywhere.
+func ExampleOpenRegistry() {
+	dir, err := os.MkdirTemp("", "registry")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	reg, err := dataaudit.OpenRegistry(dir, dataaudit.RegistryCacheSize(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := dataaudit.Induce(engineTable(), dataaudit.AuditOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta, err := reg.Publish("engines", model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published %s v%d (%d attribute models)\n", meta.Name, meta.Version, meta.NumAttrModels)
+
+	loaded, meta2, err := reg.Get("engines")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded v%d, schema %v\n", meta2.Version, loaded.Schema.Names())
+	// Output:
+	// published engines v1 (3 attribute models)
+	// loaded v1, schema [BRV GBM DISP]
+}
+
+// ExampleAuditModel_AuditStream scores a CSV stream with bounded memory:
+// rows flow from the decoder through the chunked scorer without ever
+// materializing a table, and the result carries running counts plus the
+// top-K ranking.
+func ExampleAuditModel_AuditStream() {
+	model, err := dataaudit.Induce(engineTable(), dataaudit.AuditOptions{MinConfidence: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	csv := "BRV,GBM,DISP\n" +
+		"404,901,2010\n" +
+		"501,911,3050\n" +
+		"404,911,2020\n" + // violates BRV=404 → GBM=901
+		"501,911,3000\n"
+	src, err := dataaudit.NewCSVSource(strings.NewReader(csv), model.Schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := model.AuditStream(src, dataaudit.StreamOptions{TopK: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checked %d rows, %d suspicious\n", res.RowsChecked, res.NumSuspicious)
+	for _, rep := range res.Top {
+		fmt.Printf("row %d: %s\n", rep.Row, model.DescribeFinding(rep.Best))
+	}
+	// Output:
+	// checked 4 rows, 1 suspicious
+	// row 2: GBM: observed 911, expected 901 (P=0.9836, n=61, error confidence 85.96%)
+}

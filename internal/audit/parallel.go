@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -40,7 +41,7 @@ func (m *Model) AuditTableParallel(tab *dataset.Table, workers int) *Result {
 	}
 
 	start := time.Now()
-	res := &Result{Reports: make([]RecordReport, n)}
+	res := &Result{Reports: make([]RecordReport, n), NumAttrs: m.Schema.Len()}
 
 	numChunks := workers * chunksPerWorker
 	chunkSize := (n + numChunks - 1) / numChunks
@@ -84,7 +85,33 @@ func (m *Model) AuditTableParallel(tab *dataset.Table, workers int) *Result {
 // time. Row indices are shifted so that the merged result looks like one
 // contiguous table audit; use it to combine audits of horizontal table
 // shards (e.g. per-batch scoring in a streaming load).
-func (r *Result) Merge(o *Result) *Result {
+//
+// Results from relations of different widths must not be merged — their
+// findings' attribute indices would silently point at the wrong columns.
+// Merge rejects them (and any report whose findings reference an
+// out-of-width attribute) with a dataset.RowWidthError wrapping
+// dataset.ErrRowWidth; r is unchanged on error.
+func (r *Result) Merge(o *Result) error {
+	if r.NumAttrs > 0 && o.NumAttrs > 0 && r.NumAttrs != o.NumAttrs {
+		return &dataset.RowWidthError{Got: o.NumAttrs, Want: r.NumAttrs}
+	}
+	width := r.NumAttrs
+	if width == 0 {
+		width = o.NumAttrs
+	}
+	if width > 0 {
+		for _, rep := range o.Reports {
+			for i := range rep.Findings {
+				if a := rep.Findings[i].Attr; a < 0 || a >= width {
+					return fmt.Errorf("audit: report for row %d references attribute %d outside the %d-attribute schema: %w",
+						rep.Row, a, width, dataset.ErrRowWidth)
+				}
+			}
+		}
+	}
+	if r.NumAttrs == 0 {
+		r.NumAttrs = o.NumAttrs
+	}
 	offset := len(r.Reports)
 	for _, rep := range o.Reports {
 		if rep.Row >= 0 {
@@ -92,27 +119,25 @@ func (r *Result) Merge(o *Result) *Result {
 		}
 		// Re-point Best into the copied findings slice.
 		rep.Findings = append([]Finding(nil), rep.Findings...)
-		if rep.Best != nil {
-			for i := range rep.Findings {
-				if rep.Findings[i].ErrorConf == rep.ErrorConf {
-					rep.Best = &rep.Findings[i]
-					break
-				}
-			}
-		}
+		rep.repointBest()
 		r.Reports = append(r.Reports, rep)
 	}
 	r.CheckTime += o.CheckTime
-	return r
+	return nil
 }
 
-// MergeResults combines per-shard results in order into one Result.
-func MergeResults(parts ...*Result) *Result {
+// MergeResults combines per-shard results in order into one Result; it
+// fails with a dataset.RowWidthError when the shards disagree on the
+// relation width.
+func MergeResults(parts ...*Result) (*Result, error) {
 	out := &Result{}
 	for _, p := range parts {
-		if p != nil {
-			out.Merge(p)
+		if p == nil {
+			continue
+		}
+		if err := out.Merge(p); err != nil {
+			return nil, err
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -123,7 +124,10 @@ func TestResultMerge(t *testing.T) {
 
 	half := tab.NumRows() / 2
 	shard1, shard2 := cloneRows(tab, 0, half), cloneRows(tab, half, tab.NumRows())
-	merged := MergeResults(m.AuditTable(shard1), m.AuditTable(shard2))
+	merged, err := MergeResults(m.AuditTable(shard1), m.AuditTable(shard2))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if len(merged.Reports) != len(want.Reports) {
 		t.Fatalf("got %d reports, want %d", len(merged.Reports), len(want.Reports))
@@ -143,6 +147,35 @@ func TestResultMerge(t *testing.T) {
 	}
 	if merged.NumSuspicious() != want.NumSuspicious() {
 		t.Fatalf("suspicious: got %d, want %d", merged.NumSuspicious(), want.NumSuspicious())
+	}
+}
+
+// TestMergeRejectsWidthMismatch checks that results produced against
+// relations of different widths — whose finding attribute indices would
+// silently cross-reference the wrong columns — fail with the typed
+// dataset.ErrRowWidth instead of merging.
+func TestMergeRejectsWidthMismatch(t *testing.T) {
+	a := &Result{NumAttrs: 8}
+	b := &Result{NumAttrs: 5}
+	if err := a.Merge(b); !errors.Is(err, dataset.ErrRowWidth) {
+		t.Fatalf("want ErrRowWidth, got %v", err)
+	}
+	if _, err := MergeResults(a, b); !errors.Is(err, dataset.ErrRowWidth) {
+		t.Fatalf("MergeResults: want ErrRowWidth, got %v", err)
+	}
+
+	// A report whose findings point past the declared width is equally
+	// rejected, even when the widths agree.
+	bad := &Result{NumAttrs: 8, Reports: []RecordReport{{
+		Row: 0, Findings: []Finding{{Attr: 9, ErrorConf: 0.9}},
+	}}}
+	if err := (&Result{NumAttrs: 8}).Merge(bad); !errors.Is(err, dataset.ErrRowWidth) {
+		t.Fatalf("out-of-width finding: want ErrRowWidth, got %v", err)
+	}
+
+	// Unknown widths (hand-built results) still merge.
+	if err := (&Result{}).Merge(&Result{}); err != nil {
+		t.Fatalf("merging width-less results: %v", err)
 	}
 }
 

@@ -1,0 +1,421 @@
+package audit
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dataaudit/internal/dataset"
+)
+
+// Streaming deviation detection. AuditTable and AuditTableParallel hold
+// the whole relation (and one RecordReport per row) in memory, so audit
+// memory grows linearly with input size. AuditStream instead pulls rows
+// from a dataset.RowSource in bounded chunks, fans the chunks out to the
+// same worker-pool scorer, and folds each chunk into an incremental
+// StreamResult the moment it is scored: running counts, per-attribute
+// deviation tallies and the top-K suspicious records by error confidence
+// (a bounded heap). Peak memory is O(ChunkSize × Workers + TopK),
+// independent of the number of rows — the §2.2 "check online" path at
+// warehouse scale.
+
+// ErrRowLimit is the sentinel wrapped by RowLimitError when a stream
+// exceeds StreamOptions.MaxRows. Test with errors.Is.
+var ErrRowLimit = errors.New("audit: row limit exceeded")
+
+// RowLimitError reports a stream that was cut off at MaxRows; it wraps
+// ErrRowLimit.
+type RowLimitError struct {
+	// Limit is the configured StreamOptions.MaxRows.
+	Limit int64
+}
+
+func (e *RowLimitError) Error() string {
+	return fmt.Sprintf("audit: stream exceeds the %d-row limit", e.Limit)
+}
+
+// Unwrap makes errors.Is(err, ErrRowLimit) true.
+func (e *RowLimitError) Unwrap() error { return ErrRowLimit }
+
+// StreamOptions configure AuditStream.
+type StreamOptions struct {
+	// ChunkSize is the number of rows per scoring unit (default 1024).
+	// Smaller chunks bound memory tighter; larger chunks amortize fan-out
+	// overhead.
+	ChunkSize int
+	// Workers is the scoring pool size (default runtime.NumCPU, the same
+	// meaning as AuditTableParallel's workers argument).
+	Workers int
+	// TopK caps the suspicious records retained in StreamResult.Top
+	// (default 100). TopK < 0 retains every suspicious record — then
+	// memory is bounded by the number of suspicious rows, not by K.
+	TopK int
+	// MaxRows, when positive, aborts the stream with a RowLimitError once
+	// more than MaxRows rows arrive — the serving layer's batch limit.
+	MaxRows int64
+	// OnSuspicious, when non-nil, is called for every suspicious record in
+	// row order, as soon as the record's chunk is scored — the hook the
+	// NDJSON streaming endpoint emits findings through while the upload is
+	// still being read. Returning an error aborts the stream with that
+	// error. The report (and its findings) must not be retained.
+	OnSuspicious func(rep *RecordReport) error
+}
+
+// withDefaults fills unset fields.
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 1024
+	}
+	if o.TopK == 0 {
+		o.TopK = 100
+	}
+	return o
+}
+
+// AttrTally accumulates the deviations one audited attribute produced over
+// a stream — the per-attribute view a batch Result offers by scanning all
+// reports, maintained incrementally here.
+type AttrTally struct {
+	// Attr is the audited schema column (resolve its name with
+	// Schema.Attr(Attr)). The tally slice itself is ordered like
+	// Model.Attrs — only modelled attributes are tallied.
+	Attr int
+	// Deviations counts findings with positive error confidence.
+	Deviations int64
+	// Suspicious counts findings at or above the minimum confidence.
+	Suspicious int64
+	// MaxErrorConf is the largest error confidence seen.
+	MaxErrorConf float64
+	// SumErrorConf accumulates error confidences (mean = Sum/Deviations).
+	SumErrorConf float64
+}
+
+// StreamResult is the incremental outcome of a streaming audit.
+type StreamResult struct {
+	// RowsChecked counts every row pulled from the source.
+	RowsChecked int64
+	// NumSuspicious counts the rows whose error confidence reached the
+	// model's minimum confidence.
+	NumSuspicious int64
+	// Top holds the top-K suspicious records ranked by descending error
+	// confidence (ties by ascending row) — the same ranking
+	// (*Result).Suspicious produces, truncated to K.
+	Top []RecordReport
+	// TopTruncated reports whether suspicious records beyond TopK were
+	// dropped from Top (their counts and tallies are still included).
+	TopTruncated bool
+	// Attrs are the per-attribute deviation tallies, one per modelled
+	// attribute, aligned with Model.Attrs.
+	Attrs []AttrTally
+	// CheckTime is the wall time of the whole stream, including source I/O.
+	CheckTime time.Duration
+}
+
+// streamChunk is one scoring unit travelling reader → worker → collector.
+type streamChunk struct {
+	seq      int
+	firstRow int64
+	vals     []dataset.Value // ChunkSize × width, row-major
+	ids      []int64
+	n        int // rows filled
+}
+
+// chunkResult is a scored chunk: only the suspicious reports survive.
+type chunkResult struct {
+	seq        int
+	rows       int
+	suspicious []RecordReport
+	tallies    []AttrTally
+}
+
+// AuditStream checks every record pulled from src against the structure
+// model with bounded memory. The suspicious set and its confidence
+// ranking are identical to AuditTable's on the same rows (truncated to
+// TopK); only the non-suspicious per-row reports are not materialized.
+func (m *Model) AuditStream(src dataset.RowSource, opts StreamOptions) (*StreamResult, error) {
+	opts = opts.withDefaults()
+	width := m.Schema.Len()
+	if sw := src.Schema().Len(); sw != width {
+		return nil, &dataset.RowWidthError{Got: sw, Want: width}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	start := time.Now()
+
+	work := make(chan *streamChunk, workers)
+	results := make(chan chunkResult, workers)
+	free := make(chan *streamChunk, workers+1)
+	for i := 0; i < workers+1; i++ {
+		free <- &streamChunk{
+			vals: make([]dataset.Value, opts.ChunkSize*width),
+			ids:  make([]int64, opts.ChunkSize),
+		}
+	}
+
+	// slots maps a schema column to its tally index once, so the per-
+	// finding lookup in the scoring hot loop is O(1).
+	slots := make([]int, width)
+	for i, am := range m.Attrs {
+		slots[am.Class] = i
+	}
+
+	// Workers: score chunks with the shared immutable model, keep only
+	// the suspicious reports plus the chunk's deviation tallies, recycle
+	// the chunk buffer.
+	workersDone := make(chan struct{})
+	go func() {
+		defer close(workersDone)
+		var done sync.WaitGroup
+		done.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer done.Done()
+				for ck := range work {
+					results <- m.scoreChunk(ck, width, slots)
+					free <- ck
+				}
+			}()
+		}
+		done.Wait()
+	}()
+
+	// Collector: fold scored chunks in sequence order so counters, the
+	// top-K heap and the OnSuspicious callback all observe rows in the
+	// deterministic table order regardless of worker scheduling.
+	res := &StreamResult{Attrs: make([]AttrTally, len(m.Attrs))}
+	for i, am := range m.Attrs {
+		res.Attrs[i].Attr = am.Class
+	}
+	top := &topKHeap{}
+	collectErr := make(chan error, 1)
+	collectDone := make(chan struct{})
+	abort := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		pending := make(map[int]chunkResult)
+		next := 0
+		failed := false
+		for cr := range results {
+			pending[cr.seq] = cr
+			for {
+				cur, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				if failed {
+					continue // drain without folding
+				}
+				if err := res.fold(cur, top, opts); err != nil {
+					collectErr <- err
+					failed = true
+					close(abort) // stop the reader from queueing more work
+				}
+			}
+		}
+		if !failed {
+			collectErr <- nil
+		}
+	}()
+
+	// Reader: fill chunks from the source on this goroutine (sources are
+	// single-pass and not concurrency-safe).
+	readErr := m.readChunks(src, opts, width, work, free, abort)
+
+	close(work)
+	<-workersDone
+	close(results)
+	<-collectDone
+	cbErr := <-collectErr
+
+	if readErr != nil {
+		return nil, readErr
+	}
+	if cbErr != nil {
+		return nil, cbErr
+	}
+
+	res.Top = top.ranked()
+	res.TopTruncated = opts.TopK >= 0 && res.NumSuspicious > int64(len(res.Top))
+	res.CheckTime = time.Since(start)
+	return res, nil
+}
+
+// readChunks pulls rows from src into recycled chunk buffers and queues
+// them for scoring. It returns the first source error (io.EOF is a clean
+// end) and nil on abort (the collector already holds the real error).
+func (m *Model) readChunks(src dataset.RowSource, opts StreamOptions, width int, work chan<- *streamChunk, free <-chan *streamChunk, abort <-chan struct{}) error {
+	var rows int64
+	seq := 0
+	for {
+		var ck *streamChunk
+		select {
+		case <-abort:
+			return nil
+		case ck = <-free:
+		}
+		ck.seq = seq
+		ck.firstRow = rows
+		ck.n = 0
+		for ck.n < opts.ChunkSize {
+			buf := ck.vals[ck.n*width : (ck.n+1)*width]
+			id, err := src.Next(buf)
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					if ck.n > 0 {
+						work <- ck
+					}
+					return nil
+				}
+				return err
+			}
+			if opts.MaxRows > 0 && rows >= opts.MaxRows {
+				return &RowLimitError{Limit: opts.MaxRows}
+			}
+			ck.ids[ck.n] = id
+			ck.n++
+			rows++
+		}
+		seq++
+		select {
+		case <-abort:
+			return nil
+		case work <- ck:
+		}
+	}
+}
+
+// scoreChunk runs deviation detection over one chunk. slots maps schema
+// columns to tally indices (findings only ever reference modelled
+// attributes).
+func (m *Model) scoreChunk(ck *streamChunk, width int, slots []int) chunkResult {
+	cr := chunkResult{seq: ck.seq, rows: ck.n, tallies: make([]AttrTally, len(m.Attrs))}
+	for i, am := range m.Attrs {
+		cr.tallies[i].Attr = am.Class
+	}
+	for i := 0; i < ck.n; i++ {
+		rep := m.CheckRow(ck.vals[i*width : (i+1)*width])
+		rep.Row = int(ck.firstRow) + i
+		rep.ID = ck.ids[i]
+		for fi := range rep.Findings {
+			f := &rep.Findings[fi]
+			t := &cr.tallies[slots[f.Attr]]
+			t.Deviations++
+			t.SumErrorConf += f.ErrorConf
+			if f.ErrorConf > t.MaxErrorConf {
+				t.MaxErrorConf = f.ErrorConf
+			}
+			if f.ErrorConf >= m.Opts.MinConfidence {
+				t.Suspicious++
+			}
+		}
+		if rep.Suspicious {
+			cr.suspicious = append(cr.suspicious, rep)
+		}
+	}
+	return cr
+}
+
+// fold merges one scored chunk (arriving in sequence order) into the
+// running result.
+func (res *StreamResult) fold(cr chunkResult, top *topKHeap, opts StreamOptions) error {
+	res.RowsChecked += int64(cr.rows)
+	res.NumSuspicious += int64(len(cr.suspicious))
+	for i := range cr.tallies {
+		t, u := &res.Attrs[i], &cr.tallies[i]
+		t.Deviations += u.Deviations
+		t.Suspicious += u.Suspicious
+		t.SumErrorConf += u.SumErrorConf
+		if u.MaxErrorConf > t.MaxErrorConf {
+			t.MaxErrorConf = u.MaxErrorConf
+		}
+	}
+	for i := range cr.suspicious {
+		rep := &cr.suspicious[i]
+		if opts.OnSuspicious != nil {
+			if err := opts.OnSuspicious(rep); err != nil {
+				return err
+			}
+		}
+		top.offer(rep, opts.TopK)
+	}
+	return nil
+}
+
+// topKHeap retains the K best suspicious reports under the total order
+// "higher error confidence first, earlier row breaks ties" — exactly the
+// ranking (*Result).Suspicious produces (its stable sort keeps the row
+// order of equal confidences). The heap is a min-heap on that order, so
+// the root is the weakest retained report.
+type topKHeap struct {
+	reps []RecordReport
+}
+
+// rankedBefore reports whether a outranks b.
+func rankedBefore(a, b *RecordReport) bool {
+	if a.ErrorConf != b.ErrorConf {
+		return a.ErrorConf > b.ErrorConf
+	}
+	return a.Row < b.Row
+}
+
+func (h *topKHeap) Len() int           { return len(h.reps) }
+func (h *topKHeap) Less(i, j int) bool { return rankedBefore(&h.reps[j], &h.reps[i]) }
+func (h *topKHeap) Swap(i, j int)      { h.reps[i], h.reps[j] = h.reps[j], h.reps[i] }
+func (h *topKHeap) Push(x any)         { h.reps = append(h.reps, x.(RecordReport)) }
+func (h *topKHeap) Pop() any {
+	last := h.reps[len(h.reps)-1]
+	h.reps = h.reps[:len(h.reps)-1]
+	return last
+}
+
+// offer inserts the report if it ranks within the best k (k < 0: no cap).
+// The report is deep-copied so chunk-local findings slices are never
+// retained past their chunk.
+func (h *topKHeap) offer(rep *RecordReport, k int) {
+	if k == 0 {
+		return
+	}
+	if k > 0 && len(h.reps) >= k {
+		// Weakest retained report is at the root; skip reports that do
+		// not outrank it.
+		if !rankedBefore(rep, &h.reps[0]) {
+			return
+		}
+		heap.Pop(h)
+	}
+	heap.Push(h, copyReport(rep))
+}
+
+// ranked drains the heap into descending rank order.
+func (h *topKHeap) ranked() []RecordReport {
+	out := make([]RecordReport, len(h.reps))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(RecordReport)
+	}
+	// The heap order is total and strict (rows are unique), so the drain
+	// is already exact; the assertion below is cheap and keeps the
+	// contract honest under -race test runs.
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return rankedBefore(&out[i], &out[j]) }) {
+		panic("audit: topKHeap drain out of order")
+	}
+	return out
+}
+
+// copyReport deep-copies a report so the original's findings backing
+// array can be released with its chunk.
+func copyReport(rep *RecordReport) RecordReport {
+	cp := *rep
+	cp.Findings = append([]Finding(nil), rep.Findings...)
+	cp.repointBest()
+	return cp
+}

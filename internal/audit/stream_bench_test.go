@@ -1,0 +1,83 @@
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/quis"
+)
+
+// benchStreamFixture caches one polluted QUIS table + model across
+// benchmark runs (induction dominates setup, not the measured loop).
+var benchStreamFixture struct {
+	rows  int
+	model *Model
+	table *dataset.Table
+}
+
+func streamBenchSetup(b *testing.B, rows int) (*Model, *dataset.Table) {
+	b.Helper()
+	if benchStreamFixture.rows != rows {
+		sample, err := quis.Generate(quis.Params{NumRecords: rows, Seed: 2003})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := pollute.Plan{Cell: []pollute.Configured{
+			{Prob: 0.02, P: &pollute.WrongValuePolluter{}},
+			{Prob: 0.01, P: &pollute.NullValuePolluter{}},
+		}}
+		dirty, _ := pollute.Run(sample.Data, plan, rand.New(rand.NewSource(42)))
+		m, err := Induce(dirty, Options{MinConfidence: 0.8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchStreamFixture.rows, benchStreamFixture.model, benchStreamFixture.table = rows, m, dirty
+	}
+	return benchStreamFixture.model, benchStreamFixture.table
+}
+
+// BenchmarkAuditBatch is the baseline: batch scoring materializes one
+// RecordReport per row, so B/op grows linearly with the table
+// (go test -bench 'AuditBatch|AuditStream' -benchmem ./internal/audit).
+func BenchmarkAuditBatch(b *testing.B) {
+	for _, rows := range []int{50000} {
+		m, dirty := streamBenchSetup(b, rows)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("rows=%d/workers=%d", rows, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := m.AuditTableParallel(dirty, workers)
+					b.ReportMetric(float64(res.NumSuspicious()), "suspicious")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAuditStream scores the same rows through the bounded-memory
+// pipeline: retained state is O(ChunkSize × Workers + TopK), so B/op
+// stays a small fraction of the batch path's (the residual scales with
+// the number of *suspicious* rows, whose findings are transiently
+// allocated, not with the table).
+func BenchmarkAuditStream(b *testing.B) {
+	for _, rows := range []int{50000} {
+		m, dirty := streamBenchSetup(b, rows)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("rows=%d/workers=%d", rows, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := m.AuditStream(dataset.NewTableSource(dirty), StreamOptions{
+						Workers: workers, TopK: 100,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.NumSuspicious), "suspicious")
+				}
+			})
+		}
+	}
+}

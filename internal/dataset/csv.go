@@ -2,7 +2,6 @@ package dataset
 
 import (
 	"encoding/csv"
-	"fmt"
 	"io"
 	"os"
 )
@@ -28,39 +27,17 @@ func WriteCSV(w io.Writer, t *Table) error {
 }
 
 // ReadCSV parses a table from CSV against a known schema. The header row
-// must match the schema's attribute names in order.
+// must match the schema's attribute names in order. Rows whose width
+// mismatches the schema fail with a RowWidthError (wrapping ErrRowWidth).
+// It is the materializing shortcut over NewCSVSource + ReadAll; callers
+// that do not need the whole table resident should stream from a
+// CSVSource instead.
 func ReadCSV(r io.Reader, s *Schema) (*Table, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = s.Len()
-	header, err := cr.Read()
+	src, err := NewCSVSource(r, s)
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return nil, err
 	}
-	for i, name := range s.Names() {
-		if header[i] != name {
-			return nil, fmt.Errorf("dataset: CSV header %q does not match schema attribute %q", header[i], name)
-		}
-	}
-	t := NewTable(s)
-	row := make([]Value, s.Len())
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
-		}
-		for c, a := range s.Attrs() {
-			v, err := a.Parse(rec[c])
-			if err != nil {
-				return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
-			}
-			row[c] = v
-		}
-		t.AppendRow(row)
-	}
-	return t, nil
+	return ReadAll(src)
 }
 
 // WriteCSVFile writes the table to the named file.

@@ -1,0 +1,274 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrRowWidth is the sentinel wrapped by every row-arity failure: a row
+// entering the system (CSV, JSON, a merged audit result) whose width does
+// not match the schema it is checked against. Test with errors.Is.
+var ErrRowWidth = errors.New("row width mismatches schema")
+
+// RowWidthError carries the context of a width mismatch; it wraps
+// ErrRowWidth.
+type RowWidthError struct {
+	// Line is the 1-based source line (or row index) of the offending row,
+	// 0 when unknown.
+	Line int
+	// Got and Want are the observed and the schema's width.
+	Got, Want int
+}
+
+func (e *RowWidthError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("dataset: row at line %d has %d values, schema has %d attributes", e.Line, e.Got, e.Want)
+	}
+	return fmt.Sprintf("dataset: row has %d values, schema has %d attributes", e.Got, e.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrRowWidth) true.
+func (e *RowWidthError) Unwrap() error { return ErrRowWidth }
+
+// RowSource is a pull iterator over the rows of a relation — the streaming
+// counterpart of a fully materialized Table. Sources are single-pass and
+// not safe for concurrent use; the streaming audit engine
+// (audit.AuditStream) reads them from exactly one goroutine.
+type RowSource interface {
+	// Schema returns the relation schema every row conforms to.
+	Schema() *Schema
+	// Next fills buf (whose length must equal Schema().Len()) with the
+	// next row and returns its record ID. It returns io.EOF when the
+	// source is exhausted.
+	Next(buf []Value) (id int64, err error)
+}
+
+// TableSource adapts a materialized Table into a RowSource, preserving the
+// table's record IDs. It is the bridge that lets batch callers reuse the
+// streaming engine (and lets tests prove the two paths equivalent).
+type TableSource struct {
+	tab *Table
+	row int
+}
+
+// NewTableSource returns a RowSource over the table's rows in order.
+func NewTableSource(t *Table) *TableSource { return &TableSource{tab: t} }
+
+// Schema implements RowSource.
+func (s *TableSource) Schema() *Schema { return s.tab.Schema() }
+
+// Next implements RowSource.
+func (s *TableSource) Next(buf []Value) (int64, error) {
+	if s.row >= s.tab.NumRows() {
+		return 0, io.EOF
+	}
+	s.tab.RowInto(s.row, buf)
+	id := s.tab.ID(s.row)
+	s.row++
+	return id, nil
+}
+
+// CSVSource decodes CSV incrementally against a known schema: one row per
+// Next call, O(1) memory regardless of input size. Record IDs are the
+// 0-based data row index (the first row after the header is ID 0). Width
+// mismatches surface as RowWidthError (wrapping ErrRowWidth), parse
+// failures as the attribute's parse error, both tagged with the line
+// number.
+type CSVSource struct {
+	schema *Schema
+	cr     *csv.Reader
+	budget *budgetReader // nil unless record bytes are bounded
+	max    int64
+	line   int // 1-based line of the next record (header was line 1)
+	nextID int64
+}
+
+// NewCSVSource wraps a CSV stream. The header row is read and validated
+// against the schema immediately, so a malformed upload fails before any
+// data row is consumed.
+func NewCSVSource(r io.Reader, s *Schema) (*CSVSource, error) {
+	return newCSVSource(r, s, 0)
+}
+
+// NewBoundedCSVSource is NewCSVSource with a cap on the bytes of any
+// single record (header included). The cap is enforced inside the read
+// path, so a pathological record — e.g. an unterminated quoted field
+// spanning gigabytes — fails once it crosses the cap instead of being
+// buffered whole. Servers decoding untrusted streams should always
+// bound records.
+func NewBoundedCSVSource(r io.Reader, s *Schema, maxRecordBytes int64) (*CSVSource, error) {
+	if maxRecordBytes <= 0 {
+		return nil, fmt.Errorf("dataset: record byte cap must be positive, got %d", maxRecordBytes)
+	}
+	return newCSVSource(r, s, maxRecordBytes)
+}
+
+func newCSVSource(r io.Reader, s *Schema, maxRecordBytes int64) (*CSVSource, error) {
+	src := &CSVSource{schema: s, max: maxRecordBytes}
+	if maxRecordBytes > 0 {
+		src.budget = &budgetReader{r: r, limit: maxRecordBytes, max: maxRecordBytes}
+		r = src.budget
+	}
+	cr := csv.NewReader(r)
+	// Arity is checked manually to produce the typed RowWidthError instead
+	// of encoding/csv's ErrFieldCount.
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	src.cr = cr
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	src.extendBudget()
+	if len(header) != s.Len() {
+		return nil, &RowWidthError{Line: 1, Got: len(header), Want: s.Len()}
+	}
+	for i, name := range s.Names() {
+		if header[i] != name {
+			return nil, fmt.Errorf("dataset: CSV header %q does not match schema attribute %q", header[i], name)
+		}
+	}
+	src.line = 2
+	return src, nil
+}
+
+// extendBudget grants the next record its byte allowance (called after
+// every successfully decoded record).
+func (s *CSVSource) extendBudget() {
+	if s.budget != nil {
+		// bufio inside csv.Reader may have read ahead past the record
+		// just decoded; basing the new limit on bytes consumed from the
+		// underlying reader only ever grants more headroom, never less.
+		s.budget.limit = s.budget.n + s.budget.max
+	}
+}
+
+// Schema implements RowSource.
+func (s *CSVSource) Schema() *Schema { return s.schema }
+
+// Next implements RowSource.
+func (s *CSVSource) Next(buf []Value) (int64, error) {
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return 0, io.EOF
+	}
+	if err != nil {
+		return 0, fmt.Errorf("dataset: reading CSV line %d: %w", s.line, err)
+	}
+	s.extendBudget()
+	line := s.line
+	s.line++
+	if len(rec) != s.schema.Len() {
+		return 0, &RowWidthError{Line: line, Got: len(rec), Want: s.schema.Len()}
+	}
+	for c, a := range s.schema.Attrs() {
+		v, err := a.Parse(rec[c])
+		if err != nil {
+			return 0, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		buf[c] = v
+	}
+	id := s.nextID
+	s.nextID++
+	return id, nil
+}
+
+// budgetReader fails once more bytes were consumed than the current
+// limit allows; CSVSource raises the limit as records complete, so the
+// cap is per record no matter how the record's bytes are laid out
+// (quoted fields may span any number of lines).
+type budgetReader struct {
+	r     io.Reader
+	n     int64 // total bytes consumed
+	limit int64 // n may not exceed this
+	max   int64 // per-record allowance
+}
+
+func (b *budgetReader) Read(p []byte) (int, error) {
+	if b.n >= b.limit {
+		return 0, fmt.Errorf("dataset: CSV record exceeds the %d-byte limit", b.max)
+	}
+	// Never read past the budget, so a runaway record cannot buffer more
+	// than max bytes before the error fires.
+	if rem := b.limit - b.n; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// StringRowsSource is a RowSource over pre-split string rows in the
+// attributes' text rendering — the shape JSON audit requests arrive in.
+// Record IDs are the 0-based row index.
+type StringRowsSource struct {
+	schema *Schema
+	rows   [][]string
+	next   int
+}
+
+// NewStringRowsSource wraps rendered string rows.
+func NewStringRowsSource(s *Schema, rows [][]string) *StringRowsSource {
+	return &StringRowsSource{schema: s, rows: rows}
+}
+
+// Schema implements RowSource.
+func (s *StringRowsSource) Schema() *Schema { return s.schema }
+
+// Next implements RowSource.
+func (s *StringRowsSource) Next(buf []Value) (int64, error) {
+	if s.next >= len(s.rows) {
+		return 0, io.EOF
+	}
+	rec := s.rows[s.next]
+	i := s.next
+	s.next++
+	if len(rec) != s.schema.Len() {
+		return 0, &RowWidthError{Line: i + 1, Got: len(rec), Want: s.schema.Len()}
+	}
+	for c, a := range s.schema.Attrs() {
+		v, err := a.Parse(rec[c])
+		if err != nil {
+			return 0, fmt.Errorf("dataset: row %d: %w", i, err)
+		}
+		buf[c] = v
+	}
+	return int64(i), nil
+}
+
+// ReadAll drains a RowSource into a materialized Table — the inverse of
+// NewTableSource. Source-assigned record IDs are discarded; the table
+// assigns its own.
+func ReadAll(src RowSource) (*Table, error) {
+	t := NewTable(src.Schema())
+	buf := make([]Value, src.Schema().Len())
+	for {
+		_, err := src.Next(buf)
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.AppendRow(buf)
+	}
+}
+
+// OpenCSVFileSource opens the named CSV file as a streaming RowSource.
+// The caller owns the returned closer and must close it when done.
+func OpenCSVFileSource(path string, s *Schema) (*CSVSource, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, err := NewCSVSource(f, s)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return src, f, nil
+}

@@ -85,11 +85,12 @@ func (s *Schema) Clone() *Schema {
 	return c
 }
 
-// CheckRow validates a row against the schema: correct arity, every value
-// null or within its attribute's domain range.
+// CheckRow validates a row against the schema: correct arity (a mismatch
+// is a RowWidthError wrapping ErrRowWidth), every value null or within its
+// attribute's domain range.
 func (s *Schema) CheckRow(row []Value) error {
 	if len(row) != len(s.attrs) {
-		return fmt.Errorf("dataset: row has %d values, schema has %d attributes", len(row), len(s.attrs))
+		return &RowWidthError{Got: len(row), Want: len(s.attrs)}
 	}
 	for i, v := range row {
 		if !s.attrs[i].Contains(v) {

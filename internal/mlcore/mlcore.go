@@ -1,14 +1,3 @@
-// Package mlcore is the shared classifier framework of the multiple
-// classification / regression approach (§5): weighted training instances
-// over a dataset.Table, class distributions with explicit support, and the
-// Classifier/Trainer interfaces every induction algorithm in this
-// repository implements (C4.5, the audit-adjusted tree, naive Bayes, kNN,
-// 1R, PRISM).
-//
-// The paper's error-confidence measure (Def. 7) "can be used with each
-// classifier that both outputs a predicted class distribution and the
-// number of training instances this prediction is based on"; Distribution
-// carries exactly those two pieces of information.
 package mlcore
 
 import (

@@ -1,21 +1,3 @@
-// Package registry is a thread-safe, disk-backed catalogue of named audit
-// models. It operationalizes the paper's asynchronous auditing workflow
-// (§2.2): structure models are induced once — possibly in another process
-// or on another machine — published under a stable name with a monotonic
-// version, and later loaded by scoring services to check incoming data.
-//
-// Layout on disk (one directory per model name):
-//
-//	<root>/<name>/v000042.model   gob-encoded audit.Model (via audit.Save)
-//	<root>/<name>/v000042.json    Meta sidecar — the commit record
-//
-// Publishing is atomic: both files are written to temporaries in the
-// target directory and moved into place with os.Rename, model first, meta
-// second. The meta sidecar is the commit point — a version without its
-// .json is an aborted publish and is ignored (and garbage-collected on the
-// next publish). Loads are lazy and cached with LRU eviction, so a serving
-// process can keep its hot models resident while rarely-used ones are
-// re-read from disk on demand.
 package registry
 
 import (
@@ -79,12 +61,24 @@ func ValidName(name string) bool { return nameRe.MatchString(name) }
 // Registry is the catalogue handle. All methods are safe for concurrent
 // use; a single Registry is meant to be shared by every goroutine of a
 // serving process.
+//
+// Locking: mu guards only the in-memory cache and is never held across
+// disk I/O, so a slow publish or cold load cannot stall cache hits.
+// pubMu serializes the writers (Publish, Delete) — version allocation
+// and the two-file commit must not interleave. Readers need no disk
+// lock at all: committed meta sidecars are immutable, and a mid-publish
+// directory scan simply does not see the uncommitted version yet (the
+// sidecar is the commit point). Lock order where both are held:
+// pubMu before mu.
 type Registry struct {
 	root string
+
+	pubMu sync.Mutex // serializes Publish/Delete disk mutations
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry // key: "<name>@<version>"
 	clock int64                  // logical clock for LRU bookkeeping
+	gen   int64                  // bumped by Delete; stale loads skip the cache
 	max   int
 }
 
@@ -160,8 +154,10 @@ func (r *Registry) Publish(name string, m *audit.Model) (Meta, error) {
 		return Meta{}, fmt.Errorf("registry: nil model")
 	}
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	// Serialize writers only: the encode + two renames below can take a
+	// while for a large model, and readers must not queue behind them.
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
 
 	dir := r.modelDir(name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -198,7 +194,9 @@ func (r *Registry) Publish(name string, m *audit.Model) (Meta, error) {
 	}
 	gcAborted(dir, version)
 
+	r.mu.Lock()
 	r.cachePutLocked(name, version, m, meta)
+	r.mu.Unlock()
 	return meta, nil
 }
 
@@ -263,20 +261,21 @@ func (r *Registry) GetVersion(name string, version int) (*audit.Model, Meta, err
 	}
 	dir := r.modelDir(name)
 
-	r.mu.Lock()
+	// Resolving "latest" scans the directory — no lock needed: committed
+	// sidecars are immutable and a mid-publish version is invisible
+	// until its sidecar lands.
 	if version == 0 {
 		versions, err := committedVersions(dir)
 		if err != nil {
-			r.mu.Unlock()
 			return nil, Meta{}, fmt.Errorf("registry: %w", err)
 		}
 		if len(versions) == 0 {
-			r.mu.Unlock()
 			return nil, Meta{}, &NotFoundError{Name: name}
 		}
 		version = versions[len(versions)-1]
 	}
 	key := cacheKey(name, version)
+	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.clock++
 		e.used = r.clock
@@ -284,6 +283,7 @@ func (r *Registry) GetVersion(name string, version int) (*audit.Model, Meta, err
 		r.mu.Unlock()
 		return m, meta, nil
 	}
+	genAtMiss := r.gen
 	r.mu.Unlock()
 
 	meta, err := r.readMeta(name, version)
@@ -303,7 +303,12 @@ func (r *Registry) GetVersion(name string, version int) (*audit.Model, Meta, err
 		r.clock++
 		e.used = r.clock
 		m, meta = e.model, e.meta
-	} else {
+	} else if r.gen == genAtMiss {
+		// Cache only when no Delete ran during the lock-free disk load:
+		// a model read concurrently with its deletion may be returned
+		// (it was committed when the read began) but must not be
+		// re-inserted, or the stale entry would keep serving — and after
+		// a re-publish restarts versions at 1, even alias — a dead model.
 		r.cachePutLocked(name, version, m, meta)
 	}
 	r.mu.Unlock()
@@ -345,11 +350,9 @@ func (r *Registry) readMeta(name string, version int) (Meta, error) {
 }
 
 // List returns the latest committed metadata of every model, sorted by
-// name.
+// name. Like MetaOf it takes no lock: it reads only immutable committed
+// sidecars.
 func (r *Registry) List() ([]Meta, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-
 	ents, err := os.ReadDir(r.root)
 	if err != nil {
 		return nil, fmt.Errorf("registry: %w", err)
@@ -383,19 +386,30 @@ func (r *Registry) Delete(name string) error {
 	if !ValidName(name) {
 		return fmt.Errorf("registry: invalid model name %q", name)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	// A writer: must not interleave with a publish into the same
+	// directory (pubMu), and must purge the cache atomically (mu).
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
 
 	dir := r.modelDir(name)
 	if _, err := os.Stat(dir); os.IsNotExist(err) {
 		return &NotFoundError{Name: name}
 	}
+	err := os.RemoveAll(dir)
+	// Purge and bump gen only after the files are gone: a lock-free load
+	// that started before the removal recorded the old gen and will skip
+	// its cache insert; one that starts after the purge finds nothing on
+	// disk. Purging first would leave a window to re-cache the dead
+	// model from still-present files.
+	r.mu.Lock()
+	r.gen++
 	for key := range r.cache {
 		if n, _, ok := strings.Cut(key, "@"); ok && n == name {
 			delete(r.cache, key)
 		}
 	}
-	return os.RemoveAll(dir)
+	r.mu.Unlock()
+	return err
 }
 
 // NotFoundError reports a missing model (or model version).

@@ -189,21 +189,8 @@ func reportJSON(m *audit.Model, rep *audit.RecordReport) ReportJSON {
 }
 
 // parseRows builds a table from rendered string rows against a schema.
+// Decoding (including the typed dataset.ErrRowWidth on arity mismatches)
+// is the same StringRowsSource path the streaming engine uses.
 func parseRows(s *dataset.Schema, rows [][]string) (*dataset.Table, error) {
-	tab := dataset.NewTable(s)
-	buf := make([]dataset.Value, s.Len())
-	for i, rec := range rows {
-		if len(rec) != s.Len() {
-			return nil, fmt.Errorf("row %d: has %d values, schema has %d attributes", i, len(rec), s.Len())
-		}
-		for c, a := range s.Attrs() {
-			v, err := a.Parse(rec[c])
-			if err != nil {
-				return nil, fmt.Errorf("row %d: %w", i, err)
-			}
-			buf[c] = v
-		}
-		tab.AppendRow(buf)
-	}
-	return tab, nil
+	return dataset.ReadAll(dataset.NewStringRowsSource(s, rows))
 }

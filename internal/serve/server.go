@@ -1,20 +1,3 @@
-// Package serve exposes the audit tool as a long-running JSON-over-HTTP
-// service — the deployment shape the paper sketches in §2.2: "While the
-// time-consuming structure induction can be prepared off-line, new data
-// can be checked for deviations and loaded quickly". Models live in an
-// internal/registry catalogue shared by every request, so a model is
-// loaded (and its classifiers deserialized) once and then scored
-// concurrently by any number of audit requests; batches fan out over the
-// parallel table-scoring path.
-//
-// API surface (all bodies JSON unless noted):
-//
-//	GET    /healthz                  liveness + model count
-//	GET    /v1/models                list published models
-//	POST   /v1/models                induce + publish (JSON or multipart)
-//	GET    /v1/models/{name}         latest metadata
-//	DELETE /v1/models/{name}         drop a model
-//	POST   /v1/models/{name}/audit   score a batch (JSON rows or text/csv)
 package serve
 
 import (
@@ -37,13 +20,15 @@ import (
 
 // Server is the auditd HTTP service.
 type Server struct {
-	reg      *registry.Registry
-	mux      *http.ServeMux
-	started  time.Time
-	logger   *log.Logger
-	maxBody  int64
-	workers  int
-	maxBatch int
+	reg         *registry.Registry
+	mux         *http.ServeMux
+	started     time.Time
+	logger      *log.Logger
+	maxBody     int64
+	workers     int
+	maxBatch    int
+	streamChunk int
+	streamTopK  int
 }
 
 // Option customizes New.
@@ -68,11 +53,34 @@ func WithWorkers(n int) Option {
 }
 
 // WithMaxBatchRows caps the number of rows per audit request (default
-// 1_000_000).
+// 1_000_000). The buffered endpoint rejects larger batches outright; the
+// streaming endpoint aborts mid-stream once the limit is crossed.
 func WithMaxBatchRows(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
 			s.maxBatch = n
+		}
+	}
+}
+
+// WithStreamChunkSize sets the default scoring-chunk size of the
+// streaming audit endpoint (default 1024; clients can override per
+// request with ?chunk=, capped at 65536).
+func WithStreamChunkSize(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.streamChunk = n
+		}
+	}
+}
+
+// WithStreamTopK sets the default ranking depth of the streaming audit
+// endpoint's summary (default 1000; clients override per request with
+// ?top=, capped at 10000 — the server never ranks unboundedly).
+func WithStreamTopK(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.streamTopK = n
 		}
 	}
 }
@@ -89,33 +97,43 @@ func WithLogger(l *log.Logger) Option {
 // New builds a Server over a registry.
 func New(reg *registry.Registry, opts ...Option) *Server {
 	s := &Server{
-		reg:      reg,
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
-		logger:   log.Default(),
-		maxBody:  64 << 20,
-		workers:  runtime.NumCPU(),
-		maxBatch: 1_000_000,
+		reg:         reg,
+		mux:         http.NewServeMux(),
+		started:     time.Now(),
+		logger:      log.Default(),
+		maxBody:     64 << 20,
+		workers:     runtime.NumCPU(),
+		maxBatch:    1_000_000,
+		streamChunk: 1024,
+		streamTopK:  1000,
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	// Every buffered route takes the body byte cap; the streaming audit
+	// route alone is registered uncapped — bounded memory regardless of
+	// upload size is its reason to exist, and its own guards (row limit,
+	// per-record byte cap, chunk/worker buffer bound) replace the cap.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/models", s.handleList)
-	s.mux.HandleFunc("POST /v1/models", s.handleInduce)
-	s.mux.HandleFunc("GET /v1/models/{name}", s.handleGet)
-	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDelete)
-	s.mux.HandleFunc("POST /v1/models/{name}/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /v1/models", s.limitedBody(s.handleList))
+	s.mux.HandleFunc("POST /v1/models", s.limitedBody(s.handleInduce))
+	s.mux.HandleFunc("GET /v1/models/{name}", s.limitedBody(s.handleGet))
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.limitedBody(s.handleDelete))
+	s.mux.HandleFunc("POST /v1/models/{name}/audit", s.limitedBody(s.handleAudit))
+	s.mux.HandleFunc("POST /v1/models/{name}/audit/stream", s.handleAuditStream)
 	return s
 }
 
-// Handler returns the service's root handler (body limits applied).
-func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+// limitedBody applies the body byte cap to one route.
+func (s *Server) limitedBody(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-		s.mux.ServeHTTP(w, r)
-	})
+		h(w, r)
+	}
 }
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -138,6 +156,37 @@ func (s *Server) maxWorkersPerRequest() int {
 		max = s.workers
 	}
 	return max
+}
+
+// versionParam parses ?version= (0 when absent, meaning latest).
+func versionParam(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("version")
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad version %q", v)
+	}
+	return n, nil
+}
+
+// workersParam parses ?workers=, capping the client-requested pool so
+// one request cannot spawn an arbitrary number of goroutines. ok is
+// false when the parameter is absent.
+func (s *Server) workersParam(r *http.Request) (workers int, ok bool, err error) {
+	v := r.URL.Query().Get("workers")
+	if v == "" {
+		return 0, false, nil
+	}
+	n, perr := strconv.Atoi(v)
+	if perr != nil || n < 1 {
+		return 0, false, fmt.Errorf("bad workers %q", v)
+	}
+	if max := s.maxWorkersPerRequest(); n > max {
+		n = max
+	}
+	return n, true, nil
 }
 
 // badRequestStatus distinguishes a body that tripped the MaxBytesReader
@@ -298,17 +347,12 @@ func decodeInduceRequest(r *http.Request) (*InduceRequest, error) {
 // handleAudit implements POST /v1/models/{name}/audit: score a batch (or a
 // single row) against a published model and return the ranked findings.
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	version := 0
-	if v := r.URL.Query().Get("version"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			s.writeError(w, http.StatusBadRequest, "bad version %q", v)
-			return
-		}
-		version = n
+	version, err := versionParam(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	model, meta, err := s.reg.GetVersion(name, version)
+	model, meta, err := s.reg.GetVersion(r.PathValue("name"), version)
 	if err != nil {
 		s.writeError(w, s.errStatus(err), "%v", err)
 		return
@@ -329,17 +373,10 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	workers := s.workers
-	if v := r.URL.Query().Get("workers"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			s.writeError(w, http.StatusBadRequest, "bad workers %q", v)
-			return
-		}
-		// Cap the client-requested pool: one request must not be able to
-		// spawn an arbitrary number of goroutines.
-		if max := s.maxWorkersPerRequest(); n > max {
-			n = max
-		}
+	if n, ok, err := s.workersParam(r); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	} else if ok {
 		workers = n
 	}
 

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"encoding/json"
+	"mime"
+	"net/http"
+	"strconv"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+)
+
+// The streaming audit endpoint: POST /v1/models/{name}/audit/stream
+// accepts a text/csv body of unbounded length and answers with NDJSON
+// (application/x-ndjson), one line per suspicious record as soon as its
+// chunk is scored — while the upload is still being read — terminated by
+// a summary line. Memory on the server stays O(chunk × workers + top-K)
+// regardless of the upload size (audit.AuditStream), which is what lets
+// auditd check warehouse-scale batches the buffered endpoint must reject.
+//
+// Line shapes (exactly one field set per line):
+//
+//	{"report": {...}}    one suspicious record, row order
+//	{"summary": {...}}   terminal line of a successful stream
+//	{"error": "..."}     terminal line of a failed stream
+//
+// Errors detected before the first row (unknown model, bad header, bad
+// query parameters) are plain JSON error responses with a 4xx/5xx status;
+// once streaming has begun the status is already 200 and failures arrive
+// as the terminal error line.
+
+// StreamLine is one NDJSON line of the streaming audit response.
+type StreamLine struct {
+	// Report is a suspicious record (row order, emitted incrementally).
+	Report *ReportJSON `json:"report,omitempty"`
+	// Summary terminates a successful stream.
+	Summary *StreamSummaryJSON `json:"summary,omitempty"`
+	// Error terminates a failed stream.
+	Error string `json:"error,omitempty"`
+}
+
+// AttrTallyJSON is the per-attribute deviation tally of a stream.
+type AttrTallyJSON struct {
+	// Attr is the audited attribute's name.
+	Attr string `json:"attr"`
+	// Deviations counts findings with positive error confidence;
+	// Suspicious those at or above the model's minimum confidence.
+	Deviations int64 `json:"deviations"`
+	Suspicious int64 `json:"suspicious"`
+	// MaxErrorConf / MeanErrorConf summarize the deviation strengths.
+	MaxErrorConf  float64 `json:"maxErrorConf"`
+	MeanErrorConf float64 `json:"meanErrorConf"`
+}
+
+// TopRecordJSON is one entry of the summary's confidence ranking — the
+// full reports were already emitted as report lines, so the ranking only
+// carries the keys needed to find them.
+type TopRecordJSON struct {
+	Row       int     `json:"row"`
+	ID        int64   `json:"id"`
+	ErrorConf float64 `json:"errorConf"`
+}
+
+// StreamSummaryJSON is the terminal summary line.
+type StreamSummaryJSON struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	// RowsChecked / NumSuspicious summarize the whole stream.
+	RowsChecked   int64 `json:"rowsChecked"`
+	NumSuspicious int64 `json:"numSuspicious"`
+	// TopK is the requested ranking depth; TopTruncated reports whether
+	// suspicious records beyond it were emitted but not ranked.
+	TopK         int  `json:"topK"`
+	TopTruncated bool `json:"topTruncated"`
+	// CheckMillis is the stream wall time; Workers / ChunkSize the pool
+	// geometry used.
+	CheckMillis int64 `json:"checkMillis"`
+	Workers     int   `json:"workers"`
+	ChunkSize   int   `json:"chunkSize"`
+	// Top is the top-K confidence ranking (descending error confidence,
+	// ties by ascending row) — identical to the buffered endpoint's
+	// report order, truncated to TopK.
+	Top []TopRecordJSON `json:"top"`
+	// AttrTallies lists the per-attribute deviation tallies.
+	AttrTallies []AttrTallyJSON `json:"attrTallies"`
+}
+
+// handleAuditStream implements POST /v1/models/{name}/audit/stream.
+func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
+	version, err := versionParam(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model, meta, err := s.reg.GetVersion(r.PathValue("name"), version)
+	if err != nil {
+		s.writeError(w, s.errStatus(err), "%v", err)
+		return
+	}
+
+	if ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); ct != "text/csv" && ct != "application/csv" {
+		s.writeError(w, http.StatusUnsupportedMediaType, "streaming audit needs a text/csv body, got %q", ct)
+		return
+	}
+
+	opts := audit.StreamOptions{
+		ChunkSize: s.streamChunk,
+		Workers:   s.workers,
+		TopK:      s.streamTopK,
+		MaxRows:   int64(s.maxBatch),
+	}
+	if workers, ok, err := s.workersParam(r); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	} else if ok {
+		opts.Workers = workers
+	}
+	if v := r.URL.Query().Get("chunk"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.writeError(w, http.StatusBadRequest, "bad chunk %q", v)
+			return
+		}
+		if n > maxStreamChunk {
+			n = maxStreamChunk
+		}
+		opts.ChunkSize = n
+	}
+	if v := r.URL.Query().Get("top"); v != "" {
+		// Unlike the library (where TopK < 0 means unlimited), the server
+		// keeps the ranking bounded so one request cannot grow its heap
+		// with the number of suspicious rows.
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.writeError(w, http.StatusBadRequest, "bad top %q (want 1..%d)", v, maxStreamTopK)
+			return
+		}
+		if n > maxStreamTopK {
+			n = maxStreamTopK
+		}
+		opts.TopK = n
+	}
+
+	// Bound the engine's upfront allocation: AuditStream pre-allocates
+	// workers+1 chunk buffers of ChunkSize × width values, and chunk and
+	// workers caps alone still allow their product to reach hundreds of
+	// MB per request. Shrink the chunk until the buffer pool fits the
+	// same order as the buffered endpoints' body cap.
+	if width := int64(model.Schema.Len()); width > 0 {
+		maxChunk := maxStreamBufferBytes / streamValueBytes / int64(opts.Workers+1) / width
+		if maxChunk < 1 {
+			maxChunk = 1
+		}
+		if int64(opts.ChunkSize) > maxChunk {
+			opts.ChunkSize = int(maxChunk)
+		}
+	}
+
+	// The streaming route is exempt from the body byte cap, so bound the
+	// one thing the incremental decoder buffers: a single CSV record.
+	// Without this, a body with no record boundary — no newline, or an
+	// unterminated quoted field spanning newlines — would grow
+	// encoding/csv's buffer to the upload size.
+	src, err := dataset.NewBoundedCSVSource(r.Body, model.Schema, maxStreamRecordBytes)
+	if err != nil {
+		s.writeError(w, badRequestStatus(err), "csv: %v", err)
+		return
+	}
+
+	// From here on the response is a 200 NDJSON stream; failures become
+	// the terminal error line. Full duplex lets report lines go out while
+	// the request body is still being read on HTTP/1.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex() // HTTP/2 always is; HTTP/1 needs opting in
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+
+	enc := json.NewEncoder(w)
+	emit := func(line StreamLine) error {
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+
+	opts.OnSuspicious = func(rep *audit.RecordReport) error {
+		rj := reportJSON(model, rep)
+		return emit(StreamLine{Report: &rj})
+	}
+
+	res, err := model.AuditStream(src, opts)
+	if err != nil {
+		s.logger.Printf("serve: stream %s v%d: %v", meta.Name, meta.Version, err)
+		_ = emit(StreamLine{Error: err.Error()})
+		return
+	}
+
+	summary := StreamSummaryJSON{
+		Model:         meta.Name,
+		Version:       meta.Version,
+		RowsChecked:   res.RowsChecked,
+		NumSuspicious: res.NumSuspicious,
+		TopK:          opts.TopK,
+		TopTruncated:  res.TopTruncated,
+		CheckMillis:   res.CheckTime.Milliseconds(),
+		Workers:       opts.Workers,
+		ChunkSize:     opts.ChunkSize,
+		Top:           make([]TopRecordJSON, 0, len(res.Top)),
+		AttrTallies:   make([]AttrTallyJSON, 0, len(res.Attrs)),
+	}
+	for i := range res.Top {
+		rep := &res.Top[i]
+		summary.Top = append(summary.Top, TopRecordJSON{Row: rep.Row, ID: rep.ID, ErrorConf: rep.ErrorConf})
+	}
+	for _, tally := range res.Attrs {
+		tj := AttrTallyJSON{
+			Attr:         model.Schema.Attr(tally.Attr).Name,
+			Deviations:   tally.Deviations,
+			Suspicious:   tally.Suspicious,
+			MaxErrorConf: tally.MaxErrorConf,
+		}
+		if tally.Deviations > 0 {
+			tj.MeanErrorConf = tally.SumErrorConf / float64(tally.Deviations)
+		}
+		summary.AttrTallies = append(summary.AttrTallies, tj)
+	}
+	_ = emit(StreamLine{Summary: &summary})
+}
+
+// maxStreamChunk bounds the client-requested chunk size so one request
+// cannot make the server buffer an arbitrarily large scoring unit.
+const maxStreamChunk = 1 << 16
+
+// maxStreamTopK bounds the client-requested ranking depth for the same
+// reason (each retained report carries its findings).
+const maxStreamTopK = 10_000
+
+// maxStreamRecordBytes bounds a single CSV record on the byte-cap-exempt
+// streaming route (enforced quote-aware inside the decoder).
+const maxStreamRecordBytes = 1 << 20
+
+// maxStreamBufferBytes bounds the scoring pipeline's pre-allocated chunk
+// pool per request; streamValueBytes is the in-memory size of one cell.
+const (
+	maxStreamBufferBytes = 64 << 20
+	streamValueBytes     = 16
+)

@@ -1,0 +1,38 @@
+// Package tdg implements the paper's rule-pattern-based test data
+// generator (§4.1) — the first of the three building blocks of the
+// systematic development method: before a data quality tool is trusted on
+// real data, it is exercised on artificial data whose regularities (and
+// planted violations) are known exactly.
+//
+// # The formula logic
+//
+// TDG-formulae (Definitions 1–2) are propositional formulae over the
+// attributes of the target relation: constant comparisons (A = a, N < n),
+// null tests (A isnull) and relational atoms (A = B, N < M), closed under
+// conjunction and disjunction. Negation is not a constructor — Negate
+// computes the TDG-negation of Table 1, which pushes negation down to the
+// atoms and keeps the language closed. A Rule (Definition 3) is a
+// premise/conclusion pair of formulae.
+//
+// # Satisfiability and naturalness
+//
+// Satisfiable is the pragmatic satisfiability test of §4.1.3: it narrows
+// per-attribute domain ranges through the formula structure instead of
+// calling a full SAT solver — sound for the rule shapes the generator
+// emits and fast enough to sit inside rejection-sampling loops. Implies
+// tests α ⇒ β via unsatisfiability of α ∧ ¬β. NaturalFormula /
+// NaturalRule / NaturalRuleSet check Definitions 4–6, the constraints
+// that keep generated rule sets consistent, non-redundant and free of
+// contradictions.
+//
+// # Generation
+//
+// GenerateRuleSet draws a random natural rule set under RuleGenParams
+// (rule count, nesting depth, atom mix — §4.1.2); Generate then produces
+// records that follow the rule set (§4.1.4), starting from parameterized
+// univariate start distributions (StartDists) or a Bayesian network
+// (internal/bayesnet) and repairing rule violations by resampling the
+// violated conclusion. The result is a dataset.Table whose regularities
+// are known by construction — the ground truth internal/pollute corrupts
+// and internal/evalx measures recovery against.
+package tdg

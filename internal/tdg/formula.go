@@ -1,10 +1,3 @@
-// Package tdg implements the paper's rule-pattern-based test data generator
-// (§4): TDG-formulae (Definitions 1–3), TDG-negation (Table 1), a pragmatic
-// satisfiability test (§4.1.3), naturalness constraints on formulae, rules
-// and rule sets (Definitions 4–6), parameterized random generation of
-// natural rule sets (§4.1.2), and generation of records that follow a rule
-// set starting from parameterized univariate distributions or a Bayesian
-// network (§4.1.4).
 package tdg
 
 import (

@@ -1,0 +1,35 @@
+#!/bin/sh
+# check_pkg_docs.sh — fail when any package in the module lacks a package
+# (doc) comment: a //-comment block immediately preceding the package
+# clause in at least one non-test file of the package. Run from the repo
+# root; the CI docs job runs it after gofmt and go vet.
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    has_doc=0
+    for f in "$dir"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        [ -e "$f" ] || continue
+        if awk '
+            /^package / { if (prev ~ /^\/\//) found = 1; exit }
+            { prev = $0 }
+            END { exit !found }
+        ' "$f"; then
+            has_doc=1
+            break
+        fi
+    done
+    if [ "$has_doc" -eq 0 ]; then
+        echo "missing package comment: $dir" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_pkg_docs: add a doc comment (// Package <name> ... or // Command <name> ...) to the packages above" >&2
+    exit 1
+fi
+echo "check_pkg_docs: every package documented"
