@@ -19,9 +19,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dataaudit/internal/audit"
 	"dataaudit/internal/audittree"
@@ -56,6 +58,15 @@ func main() {
 		fail("%v", err)
 	}
 
+	failOnHeaderMismatch := func(err error) {
+		// A reordered or renamed header used to be the silent
+		// column-misalignment trap; surface the offending columns and the
+		// expected order instead of a bare parse error.
+		if errors.Is(err, dataset.ErrHeader) {
+			fail("%v\n       expected column order: %s", err, strings.Join(schema.Names(), ","))
+		}
+	}
+
 	if *stream {
 		// The streaming path never loads the table: rows flow straight
 		// from the CSV decoder into the chunked scorer. That also means
@@ -70,12 +81,13 @@ func main() {
 		if err != nil {
 			fail("loading model: %v", err)
 		}
-		runStream(model, schema, *in, *top, *chunk, *workers)
+		runStream(model, schema, *in, *top, *chunk, *workers, failOnHeaderMismatch)
 		return
 	}
 
 	table, err := dataset.ReadCSVFile(*in, schema)
 	if err != nil {
+		failOnHeaderMismatch(err)
 		fail("%v", err)
 	}
 
@@ -162,9 +174,10 @@ func main() {
 
 // runStream audits the CSV through the bounded-memory pipeline and prints
 // the ranked top-K plus per-attribute deviation tallies.
-func runStream(model *audit.Model, schema *dataset.Schema, in string, top, chunk, workers int) {
+func runStream(model *audit.Model, schema *dataset.Schema, in string, top, chunk, workers int, failOnHeaderMismatch func(error)) {
 	src, closer, err := dataset.OpenCSVFileSource(in, schema)
 	if err != nil {
+		failOnHeaderMismatch(err)
 		fail("%v", err)
 	}
 	defer closer.Close()

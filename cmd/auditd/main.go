@@ -26,6 +26,14 @@
 //	curl -H 'Content-Type: application/json' \
 //	     -d '{"row":["404","911","01","M111","STU","W202","2151","1999-04-07"]}' \
 //	     localhost:8080/v1/models/engines/audit
+//
+//	# continuous monitoring: every audit feeds windowed quality snapshots
+//	# and drift detection against the model's induction-time baseline
+//	curl localhost:8080/v1/models/engines/quality
+//
+//	# close the loop: on drift, re-induce from recently audited rows and
+//	# publish the next model version automatically
+//	auditd -dir ./auditd-data -auto-reinduce -monitor-window 2048
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"dataaudit/internal/monitor"
 	"dataaudit/internal/registry"
 	"dataaudit/internal/serve"
 )
@@ -55,6 +64,12 @@ func main() {
 		drainFor = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 		chunk    = flag.Int("stream-chunk", 1024, "default scoring-chunk size of the streaming audit endpoint")
 		topK     = flag.Int("stream-top", 1000, "default ranking depth of the streaming audit summary")
+
+		monWindow  = flag.Int64("monitor-window", 1024, "quality-monitoring window size in audited rows")
+		driftDelta = flag.Float64("drift-delta", 0.10, "drift threshold: window suspicious-rate excess over the model's baseline")
+		phLambda   = flag.Float64("drift-ph-lambda", 0.25, "Page-Hinkley alarm threshold over the window suspicious-rate series")
+		reinduce   = flag.Bool("auto-reinduce", false, "on drift, re-induce the model from a reservoir of recently audited rows and publish the next version")
+		reservoir  = flag.Int("reservoir-rows", 4096, "row capacity of the re-induction reservoir sample")
 	)
 	flag.Parse()
 
@@ -72,6 +87,14 @@ func main() {
 		serve.WithMaxBatchRows(*maxRows),
 		serve.WithStreamChunkSize(*chunk),
 		serve.WithStreamTopK(*topK),
+		serve.WithMonitorOptions(monitor.Options{
+			WindowRows:    *monWindow,
+			DriftDelta:    *driftDelta,
+			PHLambda:      *phLambda,
+			AutoReinduce:  *reinduce,
+			ReservoirRows: *reservoir,
+			Logger:        logger,
+		}),
 	)
 	if *workers > 0 {
 		opts = append(opts, serve.WithWorkers(*workers))

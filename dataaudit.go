@@ -31,7 +31,13 @@
 //     cache of resident models,
 //   - NewAuditServer exposes induction, batch scoring and NDJSON
 //     streaming scoring as a JSON HTTP API; cmd/auditd is the
-//     ready-to-run daemon.
+//     ready-to-run daemon,
+//   - QualityMonitor turns one-shot auditing into a continuous loop: a
+//     QualityProfile baseline is frozen at induction, every scored batch
+//     and stream folds into windowed quality snapshots, drift detection
+//     (threshold + Page-Hinkley) watches them, and drift can trigger
+//     automatic re-induction of the next model version from a reservoir
+//     of recently audited rows.
 //
 // See ARCHITECTURE.md for the package map and data-flow diagrams, and
 // docs/api.md for the complete HTTP API reference.
@@ -49,6 +55,7 @@ import (
 	"dataaudit/internal/audittree"
 	"dataaudit/internal/dataset"
 	"dataaudit/internal/evalx"
+	"dataaudit/internal/monitor"
 	"dataaudit/internal/pollute"
 	"dataaudit/internal/quis"
 	"dataaudit/internal/registry"
@@ -84,6 +91,16 @@ type (
 // ErrRowWidth is the sentinel every row-arity failure wraps (CSV decode,
 // JSON rows, Schema.CheckRow, AuditResult.Merge); test with errors.Is.
 var ErrRowWidth = dataset.ErrRowWidth
+
+// ErrHeader is the sentinel every CSV-header failure wraps: an upload
+// whose header has the schema's arity but the wrong column names or
+// order. HeaderMismatchError carries the offending columns. Test with
+// errors.Is.
+var ErrHeader = dataset.ErrHeader
+
+// HeaderMismatchError names every header column that disagrees with the
+// schema; it wraps ErrHeader.
+type HeaderMismatchError = dataset.HeaderMismatchError
 
 // Re-exported constructors and helpers of the relational substrate.
 var (
@@ -219,6 +236,11 @@ type (
 	StreamOptions = audit.StreamOptions
 	StreamResult  = audit.StreamResult
 	AttrTally     = audit.AttrTally
+	// QualityProfile / AttrQuality freeze a model's quality baseline on
+	// its training table (AuditModel.QualityProfile) — the reference the
+	// monitoring layer measures drift against.
+	QualityProfile = audit.QualityProfile
+	AttrQuality    = audit.AttrQuality
 )
 
 // ErrRowLimit is the sentinel wrapped when a stream exceeds
@@ -290,7 +312,42 @@ var (
 	// audit endpoint (POST /v1/models/{name}/audit/stream).
 	ServerStreamChunkSize = serve.WithStreamChunkSize
 	ServerStreamTopK      = serve.WithStreamTopK
+	// ServerMonitorOptions configures the quality monitor the audit routes
+	// feed (window size, drift thresholds, opt-in auto re-induction).
+	ServerMonitorOptions = serve.WithMonitorOptions
 )
+
+// ---------------------------------------------------------------------------
+// Continuous quality monitoring (internal/monitor)
+
+// QualityMonitor folds every scored batch and stream into time-windowed
+// per-model snapshots, runs drift detection (baseline threshold plus a
+// Page-Hinkley cumulative test) against the model's QualityProfile, and —
+// when auto re-induction is enabled — re-induces the model from a
+// reservoir of recently audited rows and publishes the next version
+// through the registry's atomic path. GET /v1/models/{name}/quality
+// serves its state.
+type (
+	QualityMonitor  = monitor.Monitor
+	MonitorOptions  = monitor.Options
+	MonitorState    = monitor.State
+	MonitorSnapshot = monitor.Snapshot
+	MonitorEvent    = monitor.Event
+	DriftState      = monitor.DriftState
+)
+
+// Lifecycle event kinds of the monitoring loop.
+const (
+	EventBaselineAdopted = monitor.EventBaselineAdopted
+	EventDrift           = monitor.EventDrift
+	EventReinduced       = monitor.EventReinduced
+	EventReinduceSkipped = monitor.EventReinduceSkipped
+	EventReinduceFailed  = monitor.EventReinduceFailed
+)
+
+// NewQualityMonitor builds a monitor over a registry; embedders that do
+// not run the HTTP layer can feed it via ObserveBatch and Stream.
+var NewQualityMonitor = monitor.New
 
 // ---------------------------------------------------------------------------
 // Test environment and measures (internal/evalx)

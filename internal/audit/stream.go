@@ -64,6 +64,12 @@ type StreamOptions struct {
 	// still being read. Returning an error aborts the stream with that
 	// error. The report (and its findings) must not be retained.
 	OnSuspicious func(rep *RecordReport) error
+	// OnRow, when non-nil, is called from the reader goroutine for every
+	// row pulled from the source, in source order, before the row is
+	// scored — the hook the monitoring layer samples rows through (e.g.
+	// into a re-induction reservoir). The row buffer is recycled between
+	// calls and must be copied if retained.
+	OnRow func(row []dataset.Value, id int64)
 }
 
 // withDefaults fills unset fields.
@@ -281,6 +287,9 @@ func (m *Model) readChunks(src dataset.RowSource, opts StreamOptions, width int,
 			if opts.MaxRows > 0 && rows >= opts.MaxRows {
 				return &RowLimitError{Limit: opts.MaxRows}
 			}
+			if opts.OnRow != nil {
+				opts.OnRow(buf, id)
+			}
 			ck.ids[ck.n] = id
 			ck.n++
 			rows++
@@ -306,23 +315,53 @@ func (m *Model) scoreChunk(ck *streamChunk, width int, slots []int) chunkResult 
 		rep := m.CheckRow(ck.vals[i*width : (i+1)*width])
 		rep.Row = int(ck.firstRow) + i
 		rep.ID = ck.ids[i]
-		for fi := range rep.Findings {
-			f := &rep.Findings[fi]
-			t := &cr.tallies[slots[f.Attr]]
-			t.Deviations++
-			t.SumErrorConf += f.ErrorConf
-			if f.ErrorConf > t.MaxErrorConf {
-				t.MaxErrorConf = f.ErrorConf
-			}
-			if f.ErrorConf >= m.Opts.MinConfidence {
-				t.Suspicious++
-			}
-		}
+		tallyReport(&rep, slots, cr.tallies, m.Opts.MinConfidence)
 		if rep.Suspicious {
 			cr.suspicious = append(cr.suspicious, rep)
 		}
 	}
 	return cr
+}
+
+// tallyReport folds one report's findings into the per-attribute tallies;
+// slots maps schema columns to tally indices. This is the single
+// definition of the tally semantics — the streaming engine (scoreChunk)
+// and the batch condenser (TallyResult) both use it, so the two paths
+// cannot drift apart.
+func tallyReport(rep *RecordReport, slots []int, tallies []AttrTally, minConf float64) {
+	for fi := range rep.Findings {
+		f := &rep.Findings[fi]
+		t := &tallies[slots[f.Attr]]
+		t.Deviations++
+		t.SumErrorConf += f.ErrorConf
+		if f.ErrorConf > t.MaxErrorConf {
+			t.MaxErrorConf = f.ErrorConf
+		}
+		if f.ErrorConf >= minConf {
+			t.Suspicious++
+		}
+	}
+}
+
+// TallyResult condenses a batch Result into the suspicious count and the
+// per-attribute tallies a StreamResult carries natively (aligned with
+// Model.Attrs), so batch and stream observations fold identically in
+// downstream consumers like the quality monitor.
+func (m *Model) TallyResult(res *Result) (suspicious int64, tallies []AttrTally) {
+	slots := make([]int, m.Schema.Len())
+	tallies = make([]AttrTally, len(m.Attrs))
+	for i, am := range m.Attrs {
+		slots[am.Class] = i
+		tallies[i].Attr = am.Class
+	}
+	for ri := range res.Reports {
+		rep := &res.Reports[ri]
+		if rep.Suspicious {
+			suspicious++
+		}
+		tallyReport(rep, slots, tallies, m.Opts.MinConfidence)
+	}
+	return suspicious, tallies
 }
 
 // fold merges one scored chunk (arriving in sequence order) into the

@@ -6,12 +6,45 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // ErrRowWidth is the sentinel wrapped by every row-arity failure: a row
 // entering the system (CSV, JSON, a merged audit result) whose width does
 // not match the schema it is checked against. Test with errors.Is.
 var ErrRowWidth = errors.New("row width mismatches schema")
+
+// ErrHeader is the sentinel wrapped by every CSV-header failure: an upload
+// whose header row has the schema's arity but the wrong column names or
+// order. Without this check such a file would be silently scored with
+// every value parsed against the wrong attribute — confidently wrong
+// findings instead of a fast failure. Test with errors.Is.
+var ErrHeader = errors.New("CSV header mismatches schema")
+
+// HeaderMismatchError names every header column that disagrees with the
+// schema; it wraps ErrHeader.
+type HeaderMismatchError struct {
+	// Got and Want are the observed header and the schema's attribute
+	// names (same length — an arity mismatch is a RowWidthError instead).
+	Got, Want []string
+	// Bad lists the 0-based columns where Got differs from Want.
+	Bad []int
+}
+
+func (e *HeaderMismatchError) Error() string {
+	var b strings.Builder
+	b.WriteString("dataset: CSV header mismatches schema:")
+	for i, c := range e.Bad {
+		if i > 0 {
+			b.WriteString(";")
+		}
+		fmt.Fprintf(&b, " column %d is %q (want %q)", c+1, e.Got[c], e.Want[c])
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrHeader) true.
+func (e *HeaderMismatchError) Unwrap() error { return ErrHeader }
 
 // RowWidthError carries the context of a width mismatch; it wraps
 // ErrRowWidth.
@@ -127,10 +160,19 @@ func newCSVSource(r io.Reader, s *Schema, maxRecordBytes int64) (*CSVSource, err
 	if len(header) != s.Len() {
 		return nil, &RowWidthError{Line: 1, Got: len(header), Want: s.Len()}
 	}
-	for i, name := range s.Names() {
+	want := s.Names()
+	var bad []int
+	for i, name := range want {
 		if header[i] != name {
-			return nil, fmt.Errorf("dataset: CSV header %q does not match schema attribute %q", header[i], name)
+			bad = append(bad, i)
 		}
+	}
+	if len(bad) > 0 {
+		// header aliases csv.Reader's reusable record buffer; copy it
+		// before it is overwritten by the next Read.
+		got := make([]string, len(header))
+		copy(got, header)
+		return nil, &HeaderMismatchError{Got: got, Want: want, Bad: bad}
 	}
 	src.line = 2
 	return src, nil

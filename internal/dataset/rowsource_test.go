@@ -90,7 +90,7 @@ func TestCSVSourceMalformed(t *testing.T) {
 		{
 			name:   "wrong header name",
 			csv:    "BRV,XXX,DISP\n404,901,2100\n",
-			wantIn: "does not match schema attribute",
+			wantIn: `column 2 is "XXX" (want "GBM")`,
 		},
 	}
 	for _, tc := range cases {
@@ -251,5 +251,70 @@ func TestCheckRowWidthTyped(t *testing.T) {
 	s := sourceSchema()
 	if err := s.CheckRow([]Value{Nom(0)}); !errors.Is(err, ErrRowWidth) {
 		t.Fatalf("want ErrRowWidth, got %v", err)
+	}
+}
+
+// TestCSVHeaderMismatchTyped is the regression test for the silent
+// column-misalignment bug: a header with the right arity but wrong names
+// or order must fail fast with the typed HeaderMismatchError naming every
+// offending column — never be scored misaligned.
+func TestCSVHeaderMismatchTyped(t *testing.T) {
+	s := sourceSchema()
+	cases := []struct {
+		name    string
+		csv     string
+		wantBad []int
+	}{
+		{
+			// Same columns, shuffled order: the arity check alone would
+			// accept this and silently misalign every value.
+			name:    "shuffled columns",
+			csv:     "GBM,BRV,DISP\n901,404,2100\n",
+			wantBad: []int{0, 1},
+		},
+		{
+			name:    "renamed column",
+			csv:     "BRV,GEARBOX,DISP\n404,901,2100\n",
+			wantBad: []int{1},
+		},
+		{
+			name:    "all columns wrong",
+			csv:     "a,b,c\n404,901,2100\n",
+			wantBad: []int{0, 1, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewCSVSource(strings.NewReader(tc.csv), s)
+			if err == nil {
+				t.Fatal("misaligned header accepted")
+			}
+			if !errors.Is(err, ErrHeader) {
+				t.Fatalf("errors.Is(err, ErrHeader) = false (err: %v)", err)
+			}
+			var hm *HeaderMismatchError
+			if !errors.As(err, &hm) {
+				t.Fatalf("error %T is not a HeaderMismatchError", err)
+			}
+			if len(hm.Bad) != len(tc.wantBad) {
+				t.Fatalf("Bad = %v, want %v", hm.Bad, tc.wantBad)
+			}
+			for i, c := range tc.wantBad {
+				if hm.Bad[i] != c {
+					t.Fatalf("Bad = %v, want %v", hm.Bad, tc.wantBad)
+				}
+				if !strings.Contains(err.Error(), hm.Got[c]) || !strings.Contains(err.Error(), hm.Want[c]) {
+					t.Fatalf("error %q does not name column %d (%q vs %q)", err, c, hm.Got[c], hm.Want[c])
+				}
+			}
+			// The batch reader is the same decoder, so it must agree.
+			if _, berr := ReadCSV(strings.NewReader(tc.csv), s); !errors.Is(berr, ErrHeader) {
+				t.Fatalf("ReadCSV disagrees: %v", berr)
+			}
+			// An arity mismatch stays a RowWidthError, not a header error.
+			if _, werr := NewCSVSource(strings.NewReader("BRV,GBM\n404,901\n"), s); errors.Is(werr, ErrHeader) || !errors.Is(werr, ErrRowWidth) {
+				t.Fatalf("arity mismatch misclassified: %v", werr)
+			}
+		})
 	}
 }

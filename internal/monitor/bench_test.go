@@ -1,0 +1,56 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/registry"
+)
+
+// benchModel builds a model shell with n audited attributes — the fold
+// path only touches Schema names and the Attrs slice, never the
+// classifiers.
+func benchModel(n int) *audit.Model {
+	attrs := make([]*dataset.Attribute, n)
+	ams := make([]*audit.AttrModel, n)
+	for i := range attrs {
+		attrs[i] = dataset.NewNumeric(fmt.Sprintf("a%d", i), 0, 1)
+		ams[i] = &audit.AttrModel{Class: i}
+	}
+	return &audit.Model{Schema: dataset.MustSchema(attrs...), Attrs: ams}
+}
+
+// BenchmarkMonitorFold measures the monitoring overhead per observation:
+// one pre-tallied aggregate folded into the windowed state, sealing a
+// snapshot (and running both drift detectors) every WindowRows/obsRows
+// folds — so snapshots/sec = folds/sec × obsRows/WindowRows.
+func BenchmarkMonitorFold(b *testing.B) {
+	for _, obsRows := range []int64{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("obsRows=%d", obsRows), func(b *testing.B) {
+			const attrs = 8
+			tallies := make([]audit.AttrTally, attrs)
+			rng := rand.New(rand.NewSource(1))
+			for i := range tallies {
+				tallies[i] = audit.AttrTally{
+					Attr:         i,
+					Deviations:   rng.Int63n(obsRows),
+					Suspicious:   rng.Int63n(obsRows/4 + 1),
+					MaxErrorConf: rng.Float64(),
+				}
+			}
+			mon := New(nil, Options{WindowRows: 4096})
+			meta := registry.Meta{Name: "bench", Version: 1, Quality: &audit.QualityProfile{SuspiciousRate: 0.01}}
+			st := mon.state(meta, benchModel(attrs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.mu.Lock()
+				mon.foldLocked(st, obsRows, obsRows/100, tallies)
+				st.mu.Unlock()
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package monitor
+
+// pageHinkley is the Page-Hinkley cumulative test for an upward change in
+// the mean of a series — here the per-window suspicious rate. Each
+// observation x updates the running mean x̄ and the cumulative sum
+// m += x − x̄ − δ (δ absorbs noise); the statistic PH = m − min(m) grows
+// only while observations sit persistently above the running mean, and an
+// alarm fires once PH exceeds λ. Unlike the single-window threshold
+// detector this accumulates evidence, so a slow degradation that never
+// trips the threshold in any one window is still caught.
+type pageHinkley struct {
+	Delta  float64 // δ: per-observation tolerance
+	Lambda float64 // λ: alarm threshold
+
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	Cum  float64 `json:"cum"`
+	Min  float64 `json:"min"`
+	PH   float64 `json:"ph"`
+}
+
+// observe folds one window rate and reports whether the alarm fires.
+func (p *pageHinkley) observe(x float64) bool {
+	p.N++
+	p.Mean += (x - p.Mean) / float64(p.N)
+	p.Cum += x - p.Mean - p.Delta
+	if p.Cum < p.Min {
+		p.Min = p.Cum
+	}
+	p.PH = p.Cum - p.Min
+	return p.PH > p.Lambda
+}
+
+// reset clears the accumulated state (after re-induction establishes a
+// new baseline).
+func (p *pageHinkley) reset() {
+	p.N, p.Mean, p.Cum, p.Min, p.PH = 0, 0, 0, 0, 0
+}

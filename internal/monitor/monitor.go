@@ -1,0 +1,628 @@
+package monitor
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/registry"
+)
+
+// Options configure a Monitor.
+type Options struct {
+	// WindowRows is the snapshot granularity: a window seals once at least
+	// this many audited rows accumulated (default 1024). Windows are
+	// counted in rows, not wall time, so snapshot history is a
+	// deterministic function of the observation sequence.
+	WindowRows int64
+	// MaxSnapshots bounds the retained snapshot history per model
+	// (default 128; oldest dropped first).
+	MaxSnapshots int
+	// MaxEvents bounds the retained lifecycle events per model
+	// (default 256; oldest dropped first).
+	MaxEvents int
+	// DriftDelta is the threshold detector: drift fires when a sealed
+	// window's suspicious rate exceeds the baseline rate by more than this.
+	// Zero or negative selects the default 0.10 (as everywhere in this
+	// struct — there is no "fire on any excess" zero setting; use a tiny
+	// positive delta for that).
+	DriftDelta float64
+	// PHDelta and PHLambda parameterize the Page-Hinkley cumulative test
+	// over the window suspicious-rate series (defaults 0.005 and 0.25;
+	// zero or negative selects the default).
+	PHDelta, PHLambda float64
+	// MinWindows is the number of sealed windows required since the
+	// baseline before either detector may fire (default 2) — a warm-up
+	// against alarming on the very first partial view of the data.
+	MinWindows int
+	// ReservoirRows caps the uniform row sample kept for re-induction
+	// (default 4096).
+	ReservoirRows int
+	// MinReinduceRows is the smallest reservoir that may be re-induced
+	// from (default 128); with fewer rows a drift only emits events.
+	MinReinduceRows int
+	// AutoReinduce enables drift-triggered re-induction: on drift the
+	// monitor induces a successor from the reservoir and publishes it as
+	// the next version through the registry's atomic publish path.
+	AutoReinduce bool
+	// Seed seeds the reservoir PRNG (default 1); fixed so the sample is a
+	// deterministic function of the observed rows.
+	Seed int64
+	// Now is the clock used for snapshot/event timestamps (default
+	// time.Now; injectable for byte-identical histories in tests).
+	Now func() time.Time
+	// Logger receives lifecycle messages (default log.Default()).
+	Logger *log.Logger
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.WindowRows <= 0 {
+		o.WindowRows = 1024
+	}
+	if o.MaxSnapshots <= 0 {
+		o.MaxSnapshots = 128
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 256
+	}
+	if o.DriftDelta <= 0 {
+		o.DriftDelta = 0.10
+	}
+	if o.PHDelta <= 0 {
+		o.PHDelta = 0.005
+	}
+	if o.PHLambda <= 0 {
+		o.PHLambda = 0.25
+	}
+	if o.MinWindows <= 0 {
+		o.MinWindows = 2
+	}
+	if o.ReservoirRows <= 0 {
+		o.ReservoirRows = 4096
+	}
+	if o.MinReinduceRows <= 0 {
+		o.MinReinduceRows = 128
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Logger == nil {
+		o.Logger = log.Default()
+	}
+	return o
+}
+
+// EventKind names a lifecycle event.
+type EventKind string
+
+const (
+	// EventBaselineAdopted: the model had no induction-time QualityProfile,
+	// so the first sealed window was adopted as the baseline.
+	EventBaselineAdopted EventKind = "baseline-adopted"
+	// EventDrift: a drift detector fired against the baseline.
+	EventDrift EventKind = "drift"
+	// EventReinduced: a successor model was induced from the reservoir and
+	// published as the next version.
+	EventReinduced EventKind = "reinduced"
+	// EventReinduceSkipped: drift fired but re-induction was not attempted
+	// (disabled, or the reservoir is too small).
+	EventReinduceSkipped EventKind = "reinduce-skipped"
+	// EventReinduceFailed: re-induction or the publish failed.
+	EventReinduceFailed EventKind = "reinduce-failed"
+)
+
+// Event is one entry of a model's lifecycle log.
+type Event struct {
+	Kind    EventKind `json:"kind"`
+	Window  int       `json:"window"`
+	Version int       `json:"version"`
+	// NewVersion is the published successor version (EventReinduced only).
+	NewVersion int `json:"newVersion,omitempty"`
+	// Detector names what fired an EventDrift: "threshold" or
+	// "page-hinkley".
+	Detector string `json:"detector,omitempty"`
+	// Delta is the window suspicious rate minus the baseline rate; PH the
+	// Page-Hinkley statistic, both at the time of the event.
+	Delta   float64   `json:"delta,omitempty"`
+	PH      float64   `json:"ph,omitempty"`
+	Message string    `json:"message,omitempty"`
+	At      time.Time `json:"at"`
+}
+
+// AttrWindow is one attribute's deviation tally inside a sealed window.
+// Only grouping-insensitive statistics appear here — counts, rates and
+// max are bit-identical however the stream engine chunked the rows,
+// whereas a float sum (and thus a mean) picks up ULP differences from the
+// summation order. That restriction is what makes snapshot history
+// byte-identical across chunkings and worker counts.
+type AttrWindow struct {
+	Attr         string  `json:"attr"`
+	Deviations   int64   `json:"deviations"`
+	Suspicious   int64   `json:"suspicious"`
+	MaxErrorConf float64 `json:"maxErrorConf"`
+}
+
+// Snapshot is one sealed monitoring window.
+type Snapshot struct {
+	// Window is the 0-based sealed-window index over the model's whole
+	// monitored lifetime; Version the model version the rows were scored
+	// against.
+	Window  int `json:"window"`
+	Version int `json:"version"`
+	// Rows and Suspicious count the window; a window holds at least
+	// Options.WindowRows rows (it seals at the first observation boundary
+	// at or past the target, so a large batch lands in one window).
+	Rows           int64        `json:"rows"`
+	Suspicious     int64        `json:"suspicious"`
+	SuspiciousRate float64      `json:"suspiciousRate"`
+	Attrs          []AttrWindow `json:"attrs"`
+	At             time.Time    `json:"at"`
+}
+
+// DriftState is the live detector state of one model.
+type DriftState struct {
+	// Drifted latches once a detector fires and clears when re-induction
+	// establishes a new baseline.
+	Drifted bool `json:"drifted"`
+	// LastDelta is the most recent window's suspicious-rate delta versus
+	// the baseline.
+	LastDelta float64 `json:"lastDelta"`
+	// PH and PHMean expose the Page-Hinkley statistic and its running
+	// mean.
+	PH     float64 `json:"ph"`
+	PHMean float64 `json:"phMean"`
+	// WindowsSinceBaseline counts sealed windows since the current
+	// baseline was established.
+	WindowsSinceBaseline int `json:"windowsSinceBaseline"`
+}
+
+// State is a point-in-time copy of one model's monitoring state.
+type State struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// WindowRows / Windows describe the snapshot cadence; PendingRows is
+	// the open (not yet sealed) window's row count.
+	WindowRows  int64 `json:"windowRows"`
+	Windows     int   `json:"windows"`
+	PendingRows int64 `json:"pendingRows"`
+	// Baseline is the QualityProfile drift is measured against;
+	// BaselineAdopted reports it was taken from the first sealed window
+	// rather than captured at induction.
+	Baseline        *audit.QualityProfile `json:"baseline,omitempty"`
+	BaselineAdopted bool                  `json:"baselineAdopted,omitempty"`
+	Snapshots       []Snapshot            `json:"snapshots"`
+	Drift           DriftState            `json:"drift"`
+	Events          []Event               `json:"events"`
+	// ReservoirRows / ReservoirSeen describe the re-induction sample: rows
+	// currently held and rows ever offered since the last re-induction.
+	ReservoirRows int   `json:"reservoirRows"`
+	ReservoirSeen int64 `json:"reservoirSeen"`
+	AutoReinduce  bool  `json:"autoReinduce"`
+}
+
+// Monitor folds audit results into per-model windowed snapshots, runs the
+// drift detectors and (optionally) closes the re-induction loop through
+// the registry. All methods are safe for concurrent use.
+type Monitor struct {
+	reg  *registry.Registry
+	opts Options
+
+	mu     sync.Mutex
+	models map[string]*modelState
+}
+
+// New builds a Monitor over a registry.
+func New(reg *registry.Registry, opts Options) *Monitor {
+	return &Monitor{reg: reg, opts: opts.WithDefaults(), models: make(map[string]*modelState)}
+}
+
+// modelState is the per-model monitoring state. Its own mutex (not the
+// Monitor's) guards it, so folding one model never blocks another; the
+// Monitor lock only guards the map.
+type modelState struct {
+	mu sync.Mutex
+
+	name      string
+	version   int
+	createdAt time.Time // publish time of the tracked version (incarnation check)
+
+	// What the fold and re-induction paths need from the model — never the
+	// model itself: retaining every audited model's classifiers here would
+	// defeat the registry's LRU bound on resident models.
+	schema  *dataset.Schema
+	opts    audit.Options
+	classes []int // schema column of each tallied attribute (Model.Attrs order)
+
+	baseline        *audit.QualityProfile
+	baselineAdopted bool
+
+	// open-window accumulation
+	winRows, winSuspicious int64
+	winAttrs               []audit.AttrTally
+
+	windows              int
+	windowsSinceBaseline int
+	snapshots            []Snapshot
+	ph                   pageHinkley
+	drifted              bool
+	lastDelta            float64
+	events               []Event
+	rv                   *reservoir
+}
+
+// state returns (creating if needed) the tracked state for a model
+// version, resetting it when a newer version appears. It returns nil when
+// the observation is for an older version than the one being tracked —
+// stale scores must not perturb the current model's drift statistics.
+func (m *Monitor) state(meta registry.Meta, model *audit.Model) *modelState {
+	m.mu.Lock()
+	st, ok := m.models[meta.Name]
+	if !ok {
+		st = &modelState{name: meta.Name}
+		m.models[meta.Name] = st
+	}
+	m.mu.Unlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case st.version == 0:
+		st.resetForVersion(meta, model, m.opts)
+	case meta.Version > st.version:
+		st.resetForVersion(meta, model, m.opts)
+	case meta.Version < st.version:
+		return nil
+	case !meta.CreatedAt.Equal(st.createdAt):
+		// Same version number, different publish time: a different
+		// incarnation of the name (the model was deleted and recreated —
+		// versions restart at 1 — while an audit of the old incarnation
+		// was in flight). The newer incarnation wins; observations of the
+		// older one are dropped so a ghost cannot poison the successor's
+		// baseline and reservoir.
+		if !meta.CreatedAt.After(st.createdAt) {
+			return nil
+		}
+		st.resetForVersion(meta, model, m.opts)
+	}
+	return st
+}
+
+// resetForVersion points the state at a (new) model version; st.mu held.
+// Events and snapshot history survive version switches — they are the
+// lifecycle log — but windows, detectors and the reservoir restart.
+func (st *modelState) resetForVersion(meta registry.Meta, model *audit.Model, opts Options) {
+	if st.version == meta.Version && st.createdAt.Equal(meta.CreatedAt) {
+		return
+	}
+	st.version = meta.Version
+	st.createdAt = meta.CreatedAt
+	st.adoptModel(model)
+	st.baseline = meta.Quality
+	st.baselineAdopted = false
+	st.windowsSinceBaseline = 0
+	st.ph = pageHinkley{Delta: opts.PHDelta, Lambda: opts.PHLambda}
+	st.drifted = false
+	st.lastDelta = 0
+	if st.rv == nil {
+		st.rv = newReservoir(model.Schema, opts.ReservoirRows, opts.Seed)
+	} else {
+		st.rv.schema = model.Schema
+		st.rv.resetSample()
+	}
+}
+
+// adoptModel captures the slices of the model the fold path needs and
+// rebuilds the open-window accumulators to match its attribute set;
+// st.mu held.
+func (st *modelState) adoptModel(model *audit.Model) {
+	st.schema = model.Schema
+	st.opts = model.Opts
+	st.classes = make([]int, len(model.Attrs))
+	st.winAttrs = make([]audit.AttrTally, len(model.Attrs))
+	for i, am := range model.Attrs {
+		st.classes[i] = am.Class
+		st.winAttrs[i].Attr = am.Class
+	}
+	st.winRows, st.winSuspicious = 0, 0
+}
+
+// ObserveBatch folds one buffered audit (the /audit route, or any
+// AuditTable/AuditTableParallel result) into the model's monitoring
+// state: every row is offered to the re-induction reservoir and the
+// result's aggregate seals windows as they fill.
+func (m *Monitor) ObserveBatch(meta registry.Meta, model *audit.Model, tab *dataset.Table, res *audit.Result) {
+	st := m.state(meta, model)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.version != meta.Version {
+		return // raced with a newer version between state() and here
+	}
+	row := make([]dataset.Value, tab.NumCols())
+	for r := 0; r < tab.NumRows(); r++ {
+		st.rv.offer(tab.RowInto(r, row))
+	}
+	sus, tallies := model.TallyResult(res)
+	m.foldLocked(st, int64(tab.NumRows()), sus, tallies)
+}
+
+// StreamObserver feeds one streaming audit into the monitor: wire OnRow
+// into audit.StreamOptions.OnRow and call Finish with the StreamResult
+// once the stream succeeded. A failed stream is simply never finished —
+// its sampled rows stay in the reservoir (they were audited), but no
+// aggregate is folded.
+type StreamObserver struct {
+	m    *Monitor
+	meta registry.Meta
+	st   *modelState // nil when the observation is for a stale version
+}
+
+// Stream returns an observer for one streaming audit of the given model
+// version.
+func (m *Monitor) Stream(meta registry.Meta, model *audit.Model) *StreamObserver {
+	return &StreamObserver{m: m, meta: meta, st: m.state(meta, model)}
+}
+
+// OnRow offers one audited row to the re-induction reservoir (rows arrive
+// in source order from the stream engine's reader goroutine).
+func (o *StreamObserver) OnRow(row []dataset.Value, id int64) {
+	if o.st == nil {
+		return
+	}
+	o.st.mu.Lock()
+	if o.st.version == o.meta.Version {
+		o.st.rv.offer(row)
+	}
+	o.st.mu.Unlock()
+}
+
+// Finish folds the completed stream's aggregate.
+func (o *StreamObserver) Finish(res *audit.StreamResult) {
+	if o.st == nil {
+		return
+	}
+	o.st.mu.Lock()
+	defer o.st.mu.Unlock()
+	if o.st.version != o.meta.Version {
+		return
+	}
+	tallies := append([]audit.AttrTally(nil), res.Attrs...)
+	o.m.foldLocked(o.st, res.RowsChecked, res.NumSuspicious, tallies)
+}
+
+// foldLocked accumulates one observation into the open window and seals
+// it when full; st.mu must be held.
+func (m *Monitor) foldLocked(st *modelState, rows, suspicious int64, tallies []audit.AttrTally) {
+	st.winRows += rows
+	st.winSuspicious += suspicious
+	for i := range tallies {
+		if i >= len(st.winAttrs) {
+			break
+		}
+		t, u := &st.winAttrs[i], &tallies[i]
+		t.Deviations += u.Deviations
+		t.Suspicious += u.Suspicious
+		t.SumErrorConf += u.SumErrorConf
+		if u.MaxErrorConf > t.MaxErrorConf {
+			t.MaxErrorConf = u.MaxErrorConf
+		}
+	}
+	if st.winRows >= m.opts.WindowRows {
+		m.sealLocked(st)
+	}
+}
+
+// sealLocked turns the open window into a Snapshot, runs the drift
+// detectors and (on drift) the re-induction path; st.mu must be held.
+func (m *Monitor) sealLocked(st *modelState) {
+	snap := Snapshot{
+		Window:     st.windows,
+		Version:    st.version,
+		Rows:       st.winRows,
+		Suspicious: st.winSuspicious,
+		At:         m.opts.Now(),
+		Attrs:      make([]AttrWindow, len(st.winAttrs)),
+	}
+	if snap.Rows > 0 {
+		snap.SuspiciousRate = float64(snap.Suspicious) / float64(snap.Rows)
+	}
+	for i := range st.winAttrs {
+		t := &st.winAttrs[i]
+		snap.Attrs[i] = AttrWindow{
+			Attr:         st.schema.Attr(t.Attr).Name,
+			Deviations:   t.Deviations,
+			Suspicious:   t.Suspicious,
+			MaxErrorConf: t.MaxErrorConf,
+		}
+	}
+	st.snapshots = append(st.snapshots, snap)
+	if len(st.snapshots) > m.opts.MaxSnapshots {
+		st.snapshots = st.snapshots[len(st.snapshots)-m.opts.MaxSnapshots:]
+	}
+	st.windows++
+	st.windowsSinceBaseline++
+	st.winRows, st.winSuspicious = 0, 0
+	for i := range st.winAttrs {
+		st.winAttrs[i] = audit.AttrTally{Attr: st.winAttrs[i].Attr}
+	}
+
+	if st.baseline == nil {
+		// A model published without an induction-time profile: adopt the
+		// first sealed window as the baseline of "normal".
+		st.baseline = baselineFromSnapshot(&snap, st.schema)
+		st.baselineAdopted = true
+		st.windowsSinceBaseline = 0
+		m.event(st, Event{Kind: EventBaselineAdopted, Window: snap.Window, Version: st.version,
+			Message: fmt.Sprintf("adopted window %d (suspicious rate %.4f) as baseline", snap.Window, snap.SuspiciousRate)})
+		return
+	}
+
+	st.lastDelta = snap.SuspiciousRate - st.baseline.SuspiciousRate
+	phTrip := st.ph.observe(snap.SuspiciousRate)
+	if st.drifted || st.windowsSinceBaseline < m.opts.MinWindows {
+		return
+	}
+	detector := ""
+	switch {
+	case st.lastDelta > m.opts.DriftDelta:
+		detector = "threshold"
+	case phTrip:
+		detector = "page-hinkley"
+	default:
+		return
+	}
+	st.drifted = true
+	m.event(st, Event{Kind: EventDrift, Window: snap.Window, Version: st.version,
+		Detector: detector, Delta: st.lastDelta, PH: st.ph.PH,
+		Message: fmt.Sprintf("window %d suspicious rate %.4f vs baseline %.4f", snap.Window, snap.SuspiciousRate, st.baseline.SuspiciousRate)})
+	m.reinduceLocked(st, snap.Window)
+}
+
+// baselineFromSnapshot lifts a sealed window into a QualityProfile so the
+// detectors have something to compare against. AttrQuality.Attr is the
+// schema column (resolved by name), matching every other profile
+// producer — Model.Attrs may be a subset of the schema under
+// SkipClasses, so the tally index is not the column.
+func baselineFromSnapshot(snap *Snapshot, schema *dataset.Schema) *audit.QualityProfile {
+	p := &audit.QualityProfile{
+		Rows:           snap.Rows,
+		SuspiciousRate: snap.SuspiciousRate,
+		ConfHist:       make([]int64, audit.ConfHistBins),
+	}
+	for _, aw := range snap.Attrs {
+		aq := audit.AttrQuality{
+			Attr:     schema.Index(aw.Attr),
+			Name:     aw.Attr,
+			ConfHist: make([]int64, audit.ConfHistBins),
+		}
+		if snap.Rows > 0 {
+			aq.DeviationRate = float64(aw.Deviations) / float64(snap.Rows)
+			aq.SuspiciousRate = float64(aw.Suspicious) / float64(snap.Rows)
+		}
+		p.Attrs = append(p.Attrs, aq)
+	}
+	return p
+}
+
+// reinduceLocked closes the lifecycle loop after a drift: induce a
+// successor from the reservoir sample and publish it as the next version
+// through the registry's atomic publish path; st.mu must be held.
+func (m *Monitor) reinduceLocked(st *modelState, window int) {
+	if !m.opts.AutoReinduce {
+		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
+			Message: "auto re-induction disabled"})
+		return
+	}
+	if len(st.rv.rows) < m.opts.MinReinduceRows {
+		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
+			Message: fmt.Sprintf("reservoir has %d rows, need %d", len(st.rv.rows), m.opts.MinReinduceRows)})
+		return
+	}
+	tab := st.rv.table()
+	next, err := audit.Induce(tab, st.opts)
+	if err != nil {
+		m.event(st, Event{Kind: EventReinduceFailed, Window: window, Version: st.version,
+			Message: fmt.Sprintf("induction over %d reservoir rows: %v", tab.NumRows(), err)})
+		return
+	}
+	profile := next.QualityProfile(tab, 0)
+	meta, err := m.reg.PublishWithQuality(st.name, next, profile)
+	if err != nil {
+		m.event(st, Event{Kind: EventReinduceFailed, Window: window, Version: st.version,
+			Message: fmt.Sprintf("publish: %v", err)})
+		return
+	}
+	m.opts.Logger.Printf("monitor: %s drifted at window %d; re-induced v%d from %d reservoir rows",
+		st.name, window, meta.Version, tab.NumRows())
+	m.event(st, Event{Kind: EventReinduced, Window: window, Version: st.version, NewVersion: meta.Version,
+		Message: fmt.Sprintf("re-induced from %d reservoir rows", tab.NumRows())})
+
+	// The successor becomes the tracked version with a fresh baseline;
+	// history (snapshots, events) carries across. adoptModel rebuilds the
+	// window accumulators for the successor's attribute set — a model
+	// re-induced from a small reservoir can model fewer attributes than
+	// its predecessor, and stale accumulators would misattribute tallies.
+	st.version = meta.Version
+	st.createdAt = meta.CreatedAt
+	st.adoptModel(next)
+	st.baseline = profile
+	st.baselineAdopted = false
+	st.windowsSinceBaseline = 0
+	st.ph.reset()
+	st.drifted = false
+	st.lastDelta = 0
+	st.rv.resetSample()
+}
+
+// event appends to the bounded lifecycle log; st.mu must be held.
+func (m *Monitor) event(st *modelState, e Event) {
+	if e.At.IsZero() {
+		e.At = m.opts.Now()
+	}
+	st.events = append(st.events, e)
+	if len(st.events) > m.opts.MaxEvents {
+		st.events = st.events[len(st.events)-m.opts.MaxEvents:]
+	}
+}
+
+// Forget drops the named model's monitoring state (after the model is
+// deleted from the registry). Without this, a model recreated under the
+// same name would inherit the deleted model's baseline, windows and
+// reservoir — and, because versions restart at 1, the stale state would
+// never be reset by the version check.
+func (m *Monitor) Forget(name string) {
+	m.mu.Lock()
+	delete(m.models, name)
+	m.mu.Unlock()
+}
+
+// Quality returns a copy of the named model's monitoring state; ok is
+// false when the monitor has not observed the model yet.
+func (m *Monitor) Quality(name string) (State, bool) {
+	m.mu.Lock()
+	st, ok := m.models[name]
+	m.mu.Unlock()
+	if !ok {
+		return State{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.version == 0 {
+		// The entry was created by a concurrent first observation whose
+		// resetForVersion has not run yet; there is no state to report
+		// (and st.rv is still nil).
+		return State{}, false
+	}
+	out := State{
+		Name:            st.name,
+		Version:         st.version,
+		WindowRows:      m.opts.WindowRows,
+		Windows:         st.windows,
+		PendingRows:     st.winRows,
+		Baseline:        st.baseline,
+		BaselineAdopted: st.baselineAdopted,
+		// Empty histories marshal as [] (not null) for wire clients.
+		Snapshots: append([]Snapshot{}, st.snapshots...),
+		Events:    append([]Event{}, st.events...),
+		Drift: DriftState{
+			Drifted:              st.drifted,
+			LastDelta:            st.lastDelta,
+			PH:                   st.ph.PH,
+			PHMean:               st.ph.Mean,
+			WindowsSinceBaseline: st.windowsSinceBaseline,
+		},
+		ReservoirRows: len(st.rv.rows),
+		ReservoirSeen: st.rv.seen,
+		AutoReinduce:  m.opts.AutoReinduce,
+	}
+	return out, true
+}

@@ -1,0 +1,57 @@
+package monitor
+
+import (
+	"math/rand"
+
+	"dataaudit/internal/dataset"
+)
+
+// reservoir keeps a bounded uniform sample of audited rows (algorithm R)
+// for drift-triggered re-induction. The PRNG is seeded, so the sample —
+// and therefore the re-induced model — is a deterministic function of the
+// observed row sequence.
+type reservoir struct {
+	schema *dataset.Schema
+	cap    int
+	rng    *rand.Rand
+	rows   [][]dataset.Value
+	seen   int64
+}
+
+func newReservoir(schema *dataset.Schema, capRows int, seed int64) *reservoir {
+	return &reservoir{
+		schema: schema,
+		cap:    capRows,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// offer considers one row for the sample; the row is copied, never
+// retained.
+func (rv *reservoir) offer(row []dataset.Value) {
+	rv.seen++
+	if len(rv.rows) < rv.cap {
+		rv.rows = append(rv.rows, append([]dataset.Value(nil), row...))
+		return
+	}
+	if j := rv.rng.Int63n(rv.seen); j < int64(rv.cap) {
+		copy(rv.rows[j], row)
+	}
+}
+
+// table materializes the sample as a Table over the reservoir's schema.
+func (rv *reservoir) table() *dataset.Table {
+	t := dataset.NewTable(rv.schema)
+	for _, row := range rv.rows {
+		t.AppendRow(row)
+	}
+	return t
+}
+
+// resetSample drops the sampled rows (after they were consumed by a
+// re-induction) but keeps the PRNG stream, so determinism holds across
+// the whole observation sequence.
+func (rv *reservoir) resetSample() {
+	rv.rows = rv.rows[:0]
+	rv.seen = 0
+}

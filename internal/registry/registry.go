@@ -40,15 +40,35 @@ type Meta struct {
 	InduceMillis int64 `json:"induceMillis"`
 	// CreatedAt is the publish timestamp (UTC).
 	CreatedAt time.Time `json:"createdAt"`
+	// Quality is the model's quality baseline on its training table
+	// (audit.Model.QualityProfile), persisted with the meta sidecar so the
+	// monitoring layer can compare fresh audits against it without
+	// re-scoring the training data. Nil on versions published without a
+	// profile.
+	Quality *audit.QualityProfile `json:"quality,omitempty"`
 }
 
 // SchemaHash computes the canonical schema fingerprint recorded in Meta.
+// It returns "" when the schema does not render to a well-formed text form
+// (e.g. an attribute of unknown type, which renders an empty line) — a
+// fingerprint over such text would not round-trip through ParseSchema.
+// Publish refuses to commit a Meta with an empty hash, so a corrupt
+// fingerprint can never be published.
 func SchemaHash(s *dataset.Schema) string {
 	var b strings.Builder
 	if err := dataset.WriteSchemaText(&b, s); err != nil {
 		return "" // strings.Builder never errors; defensive only
 	}
-	sum := sha256.Sum256([]byte(b.String()))
+	text := b.String()
+	if text == "" {
+		return ""
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if line == "" {
+			return ""
+		}
+	}
+	sum := sha256.Sum256([]byte(text))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -147,11 +167,25 @@ func committedVersions(dir string) ([]int, error) {
 // rename for both files): concurrent readers either see the previous
 // latest version or the new one, never a torn state.
 func (r *Registry) Publish(name string, m *audit.Model) (Meta, error) {
+	return r.PublishWithQuality(name, m, nil)
+}
+
+// PublishWithQuality is Publish with a quality baseline attached: the
+// profile is committed inside the meta sidecar (the same atomic rename),
+// so a version either carries its baseline or does not exist.
+func (r *Registry) PublishWithQuality(name string, m *audit.Model, quality *audit.QualityProfile) (Meta, error) {
 	if !ValidName(name) {
 		return Meta{}, fmt.Errorf("registry: invalid model name %q", name)
 	}
 	if m == nil || m.Schema == nil {
 		return Meta{}, fmt.Errorf("registry: nil model")
+	}
+	hash := SchemaHash(m.Schema)
+	if hash == "" {
+		// SchemaHash's defensive error path must never become a published
+		// fingerprint: an empty hash would make every schema-drift
+		// comparison silently pass.
+		return Meta{}, fmt.Errorf("registry: refusing to publish %q: empty schema hash", name)
 	}
 
 	// Serialize writers only: the encode + two renames below can take a
@@ -175,13 +209,14 @@ func (r *Registry) Publish(name string, m *audit.Model) (Meta, error) {
 	meta := Meta{
 		Name:          name,
 		Version:       version,
-		SchemaHash:    SchemaHash(m.Schema),
+		SchemaHash:    hash,
 		Attributes:    m.Schema.Names(),
 		Inducer:       m.Opts.Inducer,
 		TrainRows:     m.TrainRows,
 		NumAttrModels: len(m.Attrs),
 		InduceMillis:  m.InduceTime.Milliseconds(),
 		CreatedAt:     time.Now().UTC(),
+		Quality:       quality,
 	}
 
 	modelFile, metaFile := versionFiles(version)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -255,5 +256,83 @@ func TestSchemaHashStability(t *testing.T) {
 	other := dataset.MustSchema(dataset.NewNominal("X", "a", "b"))
 	if SchemaHash(s1) == SchemaHash(other) {
 		t.Fatal("different schemas share a hash")
+	}
+}
+
+// TestPublishRefusesEmptySchemaHash pins the corrupt-fingerprint guard: a
+// schema that does not render to well-formed text (here: an attribute
+// whose Type was corrupted after construction) hashes to "", and Publish
+// must refuse to commit it rather than publish a Meta whose empty hash
+// would make every schema-drift comparison silently pass.
+func TestPublishRefusesEmptySchemaHash(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(t)
+	if SchemaHash(m.Schema) == "" {
+		t.Fatal("healthy schema must hash")
+	}
+	m.Schema.Attrs()[0].Type = dataset.Type(99) // corrupt in place
+	if SchemaHash(m.Schema) != "" {
+		t.Fatal("corrupt schema must hash to empty")
+	}
+	if _, err := reg.Publish("corrupt", m); err == nil || !strings.Contains(err.Error(), "schema hash") {
+		t.Fatalf("publish of corrupt schema not refused: %v", err)
+	}
+	// Nothing may have been committed — the model must not exist.
+	if _, err := reg.MetaOf("corrupt"); !IsNotFound(err) {
+		t.Fatalf("refused publish left state behind: %v", err)
+	}
+}
+
+// TestPublishWithQualityRoundTrip checks the quality baseline commits
+// atomically with the meta sidecar and survives a registry reopen.
+func TestPublishWithQualityRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(t)
+	profile := &audit.QualityProfile{
+		Rows:           800,
+		SuspiciousRate: 0.0125,
+		ConfHist:       make([]int64, audit.ConfHistBins),
+		Attrs: []audit.AttrQuality{
+			{Attr: 0, Name: "BRV", DeviationRate: 0.02, ConfHist: make([]int64, audit.ConfHistBins)},
+		},
+	}
+	profile.ConfHist[1] = 10
+
+	meta, err := reg.PublishWithQuality("engines", m, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Quality == nil || meta.Quality.SuspiciousRate != 0.0125 {
+		t.Fatalf("publish dropped the profile: %+v", meta.Quality)
+	}
+
+	// A fresh registry handle reads the profile back from the sidecar.
+	reg2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg2.MetaOf("engines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quality == nil || got.Quality.Rows != 800 || got.Quality.ConfHist[1] != 10 ||
+		len(got.Quality.Attrs) != 1 || got.Quality.Attrs[0].Name != "BRV" {
+		t.Fatalf("profile did not round-trip: %+v", got.Quality)
+	}
+
+	// Plain Publish still works and simply carries no baseline.
+	meta2, err := reg2.Publish("engines", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.Version != 2 || meta2.Quality != nil {
+		t.Fatalf("plain publish meta wrong: v%d quality=%v", meta2.Version, meta2.Quality)
 	}
 }

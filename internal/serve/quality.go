@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"net/http"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/monitor"
+)
+
+// GET /v1/models/{name}/quality — the continuous-monitoring view of one
+// model: the induction-time quality baseline, the windowed snapshot
+// history folded from every audit served, the live drift-detector state
+// and the lifecycle event log (drift, re-induction). The route reads only
+// registry metadata and the monitor's in-memory state; it never loads the
+// model.
+
+// QualityResponse is the body of GET /v1/models/{name}/quality.
+type QualityResponse struct {
+	Model string `json:"model"`
+	// Version is the latest committed registry version; the monitor's
+	// state (when present) reports which version it is tracking.
+	Version int `json:"version"`
+	// Baseline is the latest version's induction-time QualityProfile
+	// (null for versions published without one).
+	Baseline *audit.QualityProfile `json:"baseline,omitempty"`
+	// Monitor is the windowed snapshot history, drift state and lifecycle
+	// events; null until the model's first audit through this server.
+	Monitor *monitor.State `json:"monitor,omitempty"`
+}
+
+// handleQuality implements GET /v1/models/{name}/quality.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	meta, err := s.reg.MetaOf(name)
+	if err != nil {
+		s.writeError(w, s.errStatus(err), "%v", err)
+		return
+	}
+	resp := QualityResponse{Model: meta.Name, Version: meta.Version, Baseline: meta.Quality}
+	if st, ok := s.mon.Quality(name); ok {
+		resp.Monitor = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

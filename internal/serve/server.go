@@ -15,6 +15,7 @@ import (
 
 	"dataaudit/internal/audit"
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/monitor"
 	"dataaudit/internal/registry"
 )
 
@@ -29,6 +30,8 @@ type Server struct {
 	maxBatch    int
 	streamChunk int
 	streamTopK  int
+	monOpts     monitor.Options
+	mon         *monitor.Monitor
 }
 
 // Option customizes New.
@@ -94,6 +97,14 @@ func WithLogger(l *log.Logger) Option {
 	}
 }
 
+// WithMonitorOptions configures the quality monitor every audit route
+// feeds (window size, drift thresholds, auto re-induction). Monitoring
+// itself is always on — it costs one aggregate fold per request — and
+// auto re-induction stays opt-in via monitor.Options.AutoReinduce.
+func WithMonitorOptions(opts monitor.Options) Option {
+	return func(s *Server) { s.monOpts = opts }
+}
+
 // New builds a Server over a registry.
 func New(reg *registry.Registry, opts ...Option) *Server {
 	s := &Server{
@@ -110,6 +121,10 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.monOpts.Logger == nil {
+		s.monOpts.Logger = s.logger
+	}
+	s.mon = monitor.New(reg, s.monOpts)
 	// Every buffered route takes the body byte cap; the streaming audit
 	// route alone is registered uncapped — bounded memory regardless of
 	// upload size is its reason to exist, and its own guards (row limit,
@@ -118,11 +133,15 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/models", s.limitedBody(s.handleList))
 	s.mux.HandleFunc("POST /v1/models", s.limitedBody(s.handleInduce))
 	s.mux.HandleFunc("GET /v1/models/{name}", s.limitedBody(s.handleGet))
+	s.mux.HandleFunc("GET /v1/models/{name}/quality", s.limitedBody(s.handleQuality))
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.limitedBody(s.handleDelete))
 	s.mux.HandleFunc("POST /v1/models/{name}/audit", s.limitedBody(s.handleAudit))
 	s.mux.HandleFunc("POST /v1/models/{name}/audit/stream", s.handleAuditStream)
 	return s
 }
+
+// Monitor exposes the server's quality monitor (tests and embedders).
+func (s *Server) Monitor() *monitor.Monitor { return s.mon }
 
 // limitedBody applies the body byte cap to one route.
 func (s *Server) limitedBody(h http.HandlerFunc) http.HandlerFunc {
@@ -158,15 +177,18 @@ func (s *Server) maxWorkersPerRequest() int {
 	return max
 }
 
-// versionParam parses ?version= (0 when absent, meaning latest).
+// versionParam parses ?version= (0 when absent, meaning latest). An
+// explicit ?version=0 is rejected: registry versions start at 1, and
+// silently serving latest for it would mask a client bug (e.g. an
+// uninitialized version field) with confidently wrong scores.
 func versionParam(r *http.Request) (int, error) {
 	v := r.URL.Query().Get("version")
 	if v == "" {
 		return 0, nil
 	}
 	n, err := strconv.Atoi(v)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("bad version %q", v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad version %q (versions start at 1; omit the parameter for latest)", v)
 	}
 	return n, nil
 }
@@ -253,6 +275,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, s.errStatus(err), "%v", err)
 		return
 	}
+	// Drop the monitoring state with the model: versions restart at 1 on
+	// re-creation, so stale state would otherwise survive the version
+	// check and poison the new model's baseline and reservoir.
+	s.mon.Forget(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -292,7 +318,10 @@ func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, "induction: %v", err)
 		return
 	}
-	meta, err := s.reg.Publish(req.Name, model)
+	// Freeze the quality baseline on the training table so the monitor
+	// can measure drift against it from the model's first audit on.
+	profile := model.QualityProfile(tab, s.workers)
+	meta, err := s.reg.PublishWithQuality(req.Name, model, profile)
 	if err != nil {
 		s.writeError(w, s.errStatus(err), "%v", err)
 		return
@@ -381,6 +410,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res := model.AuditTableParallel(tab, workers)
+	s.mon.ObserveBatch(meta, model, tab, res)
 
 	resp := AuditResponse{
 		Model:         meta.Name,

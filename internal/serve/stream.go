@@ -187,6 +187,10 @@ func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
 		rj := reportJSON(model, rep)
 		return emit(StreamLine{Report: &rj})
 	}
+	// Feed the quality monitor: rows sampled in source order while the
+	// stream runs, the aggregate folded only if the stream succeeds.
+	obs := s.mon.Stream(meta, model)
+	opts.OnRow = obs.OnRow
 
 	res, err := model.AuditStream(src, opts)
 	if err != nil {
@@ -194,6 +198,7 @@ func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
 		_ = emit(StreamLine{Error: err.Error()})
 		return
 	}
+	obs.Finish(res)
 
 	summary := StreamSummaryJSON{
 		Model:         meta.Name,
