@@ -1,0 +1,300 @@
+// Command benchcore measures the scoring core end-to-end and gates CI on
+// the result. In measure mode it scores a deterministic generated table
+// (QUIS sample + seeded pollution, the same fixture the audit benchmarks
+// use) through the three scoring surfaces and writes BENCH_core.json:
+//
+//	go run ./cmd/benchcore -out BENCH_core.json
+//
+// The committed BENCH_core.json at the repo root is the performance
+// baseline. In gate mode benchcore compares a candidate measurement
+// against that baseline and exits non-zero on a regression — more than
+// -max-ns-regress percent slower per row, or any allocs-per-row increase
+// on the steady-state (zero-allocation) scoring path:
+//
+//	go run ./cmd/benchcore -gate BENCH_core.json -candidate new.json
+//
+// scripts/bench_gate.sh wires the two modes into the CI bench job.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/benchutil"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/quis"
+)
+
+// Run is one measured scoring surface.
+type Run struct {
+	// Name identifies the surface: "checkrow" (steady-state per-record
+	// scoring through a ScoreScratch), "batch" (AuditTableParallel) or
+	// "stream" (AuditStream).
+	Name string `json:"name"`
+	// Rows is the number of rows scored per benchmark operation.
+	Rows int `json:"rows"`
+	// Workers is the scoring pool size (1 for checkrow).
+	Workers int `json:"workers"`
+	// RowsPerSec is the end-to-end scoring throughput.
+	RowsPerSec float64 `json:"rowsPerSec"`
+	// NsPerRow is the inverse throughput the gate checks.
+	NsPerRow float64 `json:"nsPerRow"`
+	// AllocsPerRow and BytesPerRow are per-row heap allocation counts;
+	// on the steady-state path AllocsPerRow must be exactly 0.
+	AllocsPerRow float64 `json:"allocsPerRow"`
+	BytesPerRow  float64 `json:"bytesPerRow"`
+	// PeakHeapMB is the sampled max live heap above the pre-run baseline.
+	PeakHeapMB float64 `json:"peakHeapMB"`
+	// Suspicious is the suspicious-record count — a determinism check:
+	// it must be identical across surfaces and machines.
+	Suspicious int64 `json:"suspicious"`
+	// SteadyState marks the allocation-free contract: the gate fails if
+	// such a run ever allocates.
+	SteadyState bool `json:"steadyState"`
+}
+
+// Report is the BENCH_core.json document.
+type Report struct {
+	GeneratedBy string `json:"generatedBy"`
+	GoVersion   string `json:"goVersion"`
+	NumCPU      int    `json:"numCPU"`
+	TrainRows   int    `json:"trainRows"`
+	Seed        int64  `json:"seed"`
+	Runs        []Run  `json:"runs"`
+}
+
+func main() {
+	var (
+		out          = flag.String("out", "BENCH_core.json", "output file (- for stdout)")
+		rows         = flag.Int("rows", 30000, "generated table size (also the induction sample; QUIS needs >= 30000)")
+		workers      = flag.Int("workers", 4, "scoring workers for the batch and stream surfaces")
+		seed         = flag.Int64("seed", 2003, "generator seed (fixture is fully deterministic)")
+		gate         = flag.String("gate", "", "baseline BENCH_core.json: compare -candidate against it instead of measuring")
+		candidate    = flag.String("candidate", "", "candidate BENCH_core.json for -gate mode")
+		maxNsRegress = flag.Float64("max-ns-regress", 15, "max tolerated ns/row regression in percent")
+	)
+	flag.Parse()
+
+	if *gate != "" {
+		if *candidate == "" {
+			fmt.Fprintln(os.Stderr, "benchcore: -gate requires -candidate")
+			os.Exit(2)
+		}
+		baseRep, err := readReport(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
+			os.Exit(2)
+		}
+		candRep, err := readReport(*candidate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
+			os.Exit(2)
+		}
+		// Wall-clock comparisons are only meaningful on comparable
+		// machines; flag mismatches so a ns/row failure on foreign
+		// hardware is read as "refresh the baseline", not "regression"
+		// (the allocs/row and suspicious-count checks stay exact
+		// regardless).
+		if baseRep.NumCPU != candRep.NumCPU || baseRep.GoVersion != candRep.GoVersion {
+			fmt.Fprintf(os.Stderr,
+				"benchcore: WARNING: baseline measured on %s/%d-cpu, candidate on %s/%d-cpu — ns/row comparison may be hardware noise (see docs/benchmarks.md on refreshing the baseline)\n",
+				baseRep.GoVersion, baseRep.NumCPU, candRep.GoVersion, candRep.NumCPU)
+		}
+		violations := gateReports(baseRep, candRep, *maxNsRegress)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchcore: GATE FAIL: %s\n", v)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchcore: gate passed (%d runs within %.0f%% ns/row, no alloc regressions)\n",
+			len(candRep.Runs), *maxNsRegress)
+		return
+	}
+
+	rep := measure(*rows, *workers, *seed)
+	if err := benchutil.WriteJSON(rep, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// measure builds the deterministic fixture and benchmarks the three
+// scoring surfaces.
+func measure(rows, workers int, seed int64) Report {
+	fmt.Fprintf(os.Stderr, "benchcore: generating %d-row fixture (seed %d) and inducing model\n", rows, seed)
+	dirty, model := fixture(rows, seed)
+
+	rep := Report{
+		GeneratedBy: "cmd/benchcore",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		TrainRows:   model.TrainRows,
+		Seed:        seed,
+	}
+
+	n := dirty.NumRows()
+
+	// Steady-state per-record scoring: the zero-allocation contract.
+	var susRow int64
+	rep.Runs = append(rep.Runs, run("checkrow", n, 1, true, func(b *testing.B) {
+		row := make([]dataset.Value, dirty.NumCols())
+		scratch := audit.NewScoreScratch(model)
+		sus := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < n; r++ {
+				dirty.RowInto(r, row)
+				if model.CheckRowScratch(row, scratch).Suspicious {
+					sus++
+				}
+			}
+		}
+		susRow = sus / int64(b.N)
+	}, func() int64 { return susRow }))
+
+	// Whole-table parallel scoring (the auditd batch route).
+	var susBatch int64
+	rep.Runs = append(rep.Runs, run("batch", n, workers, false, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := model.AuditTableParallel(dirty, workers)
+			susBatch = int64(res.NumSuspicious())
+		}
+	}, func() int64 { return susBatch }))
+
+	// Bounded-memory streaming (the auditd stream route).
+	var susStream int64
+	rep.Runs = append(rep.Runs, run("stream", n, workers, false, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := model.AuditStream(dataset.NewTableSource(dirty), audit.StreamOptions{
+				Workers: workers, TopK: 100,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchcore: stream failed: %v\n", err)
+				os.Exit(1)
+			}
+			susStream = res.NumSuspicious
+		}
+	}, func() int64 { return susStream }))
+
+	return rep
+}
+
+// run benchmarks one surface with a live-heap sampler and converts the
+// per-op numbers to per-row.
+func run(name string, rows, workers int, steady bool, bench func(*testing.B), suspicious func() int64) Run {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	mon := benchutil.StartHeapMonitor()
+	res := testing.Benchmark(bench)
+	peak := mon.Stop()
+	if peak < before.HeapAlloc {
+		peak = before.HeapAlloc
+	}
+	peak -= before.HeapAlloc // live heap above the resident fixture
+
+	perRow := func(v float64) float64 { return v / float64(rows) }
+	r := Run{
+		Name:         name,
+		Rows:         rows,
+		Workers:      workers,
+		RowsPerSec:   float64(rows) * float64(res.N) / res.T.Seconds(),
+		NsPerRow:     perRow(float64(res.NsPerOp())),
+		AllocsPerRow: perRow(float64(res.AllocsPerOp())),
+		BytesPerRow:  perRow(float64(res.AllocedBytesPerOp())),
+		PeakHeapMB:   float64(peak) / (1 << 20),
+		Suspicious:   suspicious(),
+		SteadyState:  steady,
+	}
+	fmt.Fprintf(os.Stderr, "benchcore: %-9s rows=%-7d workers=%d  %12.0f rows/s  %7.1f ns/row  %8.4f allocs/row  peak=%6.1f MB  suspicious=%d\n",
+		name, rows, workers, r.RowsPerSec, r.NsPerRow, r.AllocsPerRow, r.PeakHeapMB, r.Suspicious)
+	return r
+}
+
+// gateReports compares a candidate measurement against the baseline and
+// returns the list of violations (empty: gate passes). The checks:
+//
+//   - ns/row must not regress by more than maxNsRegressPct percent;
+//   - a steady-state run must not allocate at all;
+//   - no run's allocs/row may exceed the baseline beyond 2% measurement
+//     noise (allocation counts are near-deterministic, so any real
+//     increase is a code change, not jitter).
+func gateReports(base, cand Report, maxNsRegressPct float64) []string {
+	var violations []string
+	baseByName := make(map[string]Run, len(base.Runs))
+	for _, r := range base.Runs {
+		baseByName[r.Name] = r
+	}
+	for _, c := range cand.Runs {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			continue // new surface: no baseline yet
+		}
+		if c.SteadyState && c.AllocsPerRow > 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: steady-state path allocates (%.6f allocs/row, want 0)", c.Name, c.AllocsPerRow))
+		}
+		if b.NsPerRow > 0 {
+			regress := (c.NsPerRow - b.NsPerRow) / b.NsPerRow * 100
+			if regress > maxNsRegressPct {
+				violations = append(violations,
+					fmt.Sprintf("%s: ns/row regressed %.1f%% (%.1f -> %.1f, tolerance %.0f%%)",
+						c.Name, regress, b.NsPerRow, c.NsPerRow, maxNsRegressPct))
+			}
+		}
+		if c.AllocsPerRow > b.AllocsPerRow*1.02+1e-9 {
+			violations = append(violations,
+				fmt.Sprintf("%s: allocs/row increased (%.6f -> %.6f)", c.Name, b.AllocsPerRow, c.AllocsPerRow))
+		}
+		if b.Suspicious != 0 && c.Suspicious != b.Suspicious && c.Rows == b.Rows {
+			violations = append(violations,
+				fmt.Sprintf("%s: suspicious count changed (%d -> %d) — scoring output drifted", c.Name, b.Suspicious, c.Suspicious))
+		}
+	}
+	return violations
+}
+
+// fixture builds the deterministic polluted QUIS table and its model —
+// the same construction the audit package benchmarks use.
+func fixture(rows int, seed int64) (*dataset.Table, *audit.Model) {
+	sample, err := quis.Generate(quis.Params{NumRecords: rows, Seed: seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
+		os.Exit(1)
+	}
+	plan := pollute.Plan{Cell: []pollute.Configured{
+		{Prob: 0.02, P: &pollute.WrongValuePolluter{}},
+		{Prob: 0.01, P: &pollute.NullValuePolluter{}},
+	}}
+	dirty, _ := pollute.Run(sample.Data, plan, rand.New(rand.NewSource(42)))
+	model, err := audit.Induce(dirty, audit.Options{MinConfidence: 0.8})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
+		os.Exit(1)
+	}
+	return dirty, model
+}
+
+// readReport loads and validates a BENCH_core.json document.
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Runs) == 0 {
+		return rep, fmt.Errorf("%s: no runs — not a benchcore report", path)
+	}
+	return rep, nil
+}

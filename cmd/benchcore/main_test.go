@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dataaudit/internal/benchutil"
+)
+
+// baseReport is a miniature committed baseline.
+func baseReport() Report {
+	return Report{
+		GeneratedBy: "cmd/benchcore",
+		Runs: []Run{
+			{Name: "checkrow", Rows: 30000, Workers: 1, NsPerRow: 160, AllocsPerRow: 0, Suspicious: 1425, SteadyState: true},
+			{Name: "batch", Rows: 30000, Workers: 4, NsPerRow: 190, AllocsPerRow: 0.08, Suspicious: 1425},
+			{Name: "stream", Rows: 30000, Workers: 4, NsPerRow: 195, AllocsPerRow: 0.08, Suspicious: 1425},
+		},
+	}
+}
+
+func TestGatePassesOnIdenticalReport(t *testing.T) {
+	base := baseReport()
+	if v := gateReports(base, base, 15); len(v) != 0 {
+		t.Fatalf("identical reports must pass, got violations: %v", v)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := baseReport()
+	cand := baseReport()
+	for i := range cand.Runs {
+		cand.Runs[i].NsPerRow *= 1.10 // 10% slower: inside the 15% budget
+	}
+	if v := gateReports(base, cand, 15); len(v) != 0 {
+		t.Fatalf("10%% regression must pass a 15%% gate, got: %v", v)
+	}
+}
+
+// TestGateFailsOnSyntheticNsRegression is the acceptance check: a 20%
+// ns/row regression on the scoring path must fail the 15% gate.
+func TestGateFailsOnSyntheticNsRegression(t *testing.T) {
+	base := baseReport()
+	cand := baseReport()
+	for i := range cand.Runs {
+		cand.Runs[i].NsPerRow *= 1.20
+	}
+	v := gateReports(base, cand, 15)
+	if len(v) != len(cand.Runs) {
+		t.Fatalf("20%% regression must fail every run, got %d violations: %v", len(v), v)
+	}
+	for _, msg := range v {
+		if !strings.Contains(msg, "ns/row regressed") {
+			t.Fatalf("unexpected violation message: %q", msg)
+		}
+	}
+}
+
+func TestGateFailsOnSteadyStateAllocation(t *testing.T) {
+	base := baseReport()
+	cand := baseReport()
+	cand.Runs[0].AllocsPerRow = 0.001 // any allocation on the 0-alloc path
+	v := gateReports(base, cand, 15)
+	if len(v) == 0 {
+		t.Fatal("steady-state allocation must fail the gate")
+	}
+	if !strings.Contains(v[0], "steady-state") {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+}
+
+func TestGateFailsOnAllocIncrease(t *testing.T) {
+	base := baseReport()
+	cand := baseReport()
+	cand.Runs[1].AllocsPerRow = 0.2 // batch path allocates more per row
+	v := gateReports(base, cand, 15)
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/row increased") {
+		t.Fatalf("alloc increase must fail the gate, got: %v", v)
+	}
+}
+
+func TestGateFailsOnSuspiciousDrift(t *testing.T) {
+	base := baseReport()
+	cand := baseReport()
+	cand.Runs[2].Suspicious = 1400
+	v := gateReports(base, cand, 15)
+	if len(v) != 1 || !strings.Contains(v[0], "suspicious count changed") {
+		t.Fatalf("output drift must fail the gate, got: %v", v)
+	}
+}
+
+func TestWriteReportFailsOnUnwritablePath(t *testing.T) {
+	rep := baseReport()
+	err := benchutil.WriteJSON(rep, filepath.Join(t.TempDir(), "no", "such", "dir", "out.json"))
+	if err == nil {
+		t.Fatal("WriteJSON must fail when the output cannot be created")
+	}
+}
+
+func TestReadReportRejectsNonReports(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "x.json")
+	if err := os.WriteFile(p, []byte(`{"runs": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReport(p); err == nil {
+		t.Fatal("an empty runs list must be rejected")
+	}
+	if _, err := readReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("a missing file must be rejected")
+	}
+}

@@ -12,7 +12,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,10 +19,10 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"sync/atomic"
 	"time"
 
 	"dataaudit/internal/audit"
+	"dataaudit/internal/benchutil"
 	"dataaudit/internal/dataset"
 	"dataaudit/internal/pollute"
 	"dataaudit/internal/quis"
@@ -73,41 +72,6 @@ func (s *cycleSource) Next(buf []dataset.Value) (int64, error) {
 	return int64(s.i - 1), nil
 }
 
-// heapMonitor samples live heap until stopped and reports the max.
-type heapMonitor struct {
-	stop chan struct{}
-	done chan struct{}
-	peak atomic.Uint64
-}
-
-func startHeapMonitor() *heapMonitor {
-	mon := &heapMonitor{stop: make(chan struct{}), done: make(chan struct{})}
-	go func() {
-		defer close(mon.done)
-		var ms runtime.MemStats
-		tick := time.NewTicker(2 * time.Millisecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-mon.stop:
-				return
-			case <-tick.C:
-				runtime.ReadMemStats(&ms)
-				if ms.HeapAlloc > mon.peak.Load() {
-					mon.peak.Store(ms.HeapAlloc)
-				}
-			}
-		}
-	}()
-	return mon
-}
-
-func (mon *heapMonitor) Stop() uint64 {
-	close(mon.stop)
-	<-mon.done
-	return mon.peak.Load()
-}
-
 const mb = 1 << 20
 
 func main() {
@@ -152,19 +116,8 @@ func main() {
 
 	rep.Conclusion = conclude(rep.Runs)
 
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		log.Fatal(err)
+	if err := benchutil.WriteJSON(rep, *out); err != nil {
+		log.Fatal(err) // non-zero exit: CI must not upload a stale/empty artifact
 	}
 }
 
@@ -202,7 +155,7 @@ func measure(mode string, rows, workers int, fn func() int64) Run {
 	runtime.GC()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
-	mon := startHeapMonitor()
+	mon := benchutil.StartHeapMonitor()
 
 	start := time.Now()
 	suspicious := fn()

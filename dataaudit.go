@@ -241,6 +241,11 @@ type (
 	// monitoring layer measures drift against.
 	QualityProfile = audit.QualityProfile
 	AttrQuality    = audit.AttrQuality
+	// ScoreScratch is the per-goroutine reusable buffer set of the
+	// zero-allocation scoring core: thread one through
+	// AuditModel.CheckRowScratch for steady-state record checking without
+	// heap allocations (reports must be Detach-ed before being retained).
+	ScoreScratch = audit.ScoreScratch
 )
 
 // ErrRowLimit is the sentinel wrapped when a stream exceeds
@@ -277,6 +282,8 @@ var (
 	// table with a worker pool, reports identical to AuditTable;
 	// AuditModel.AuditStream scores a RowSource with bounded memory.
 	MergeResults = audit.MergeResults
+	// NewScoreScratch sizes a ScoreScratch for a model's class domains.
+	NewScoreScratch = audit.NewScoreScratch
 )
 
 // ---------------------------------------------------------------------------

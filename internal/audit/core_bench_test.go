@@ -1,0 +1,26 @@
+package audit
+
+import (
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+// BenchmarkCheckRow measures steady-state single-record scoring — the
+// innermost loop of every audit surface (batch, parallel, stream, monitor
+// folds, auditd routes). With a per-worker ScoreScratch this is the
+// zero-allocation path: allocs/op must stay 0 (the CI bench gate enforces
+// it against the committed BENCH_core.json baseline).
+func BenchmarkCheckRow(b *testing.B) {
+	m, dirty := streamBenchSetup(b, 50000)
+	row := make([]dataset.Value, dirty.NumCols())
+	n := dirty.NumRows()
+	scratch := NewScoreScratch(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dirty.RowInto(i%n, row)
+		m.CheckRowScratch(row, scratch)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

@@ -62,16 +62,17 @@ func (m *Model) AuditTableParallel(tab *dataset.Table, workers int) *Result {
 		go func() {
 			defer wg.Done()
 			row := make([]dataset.Value, tab.NumCols())
+			scratch := NewScoreScratch(m)
 			for sp := range work {
 				// Each shard writes a disjoint index range of the shared
 				// report slice, so no further merging or locking is needed
 				// and the output order matches the sequential scan.
 				for r := sp.lo; r < sp.hi; r++ {
 					tab.RowInto(r, row)
-					rep := m.CheckRow(row)
+					rep := m.CheckRowScratch(row, scratch)
 					rep.Row = r
 					rep.ID = tab.ID(r)
-					res.Reports[r] = rep
+					res.Reports[r] = rep.Detach()
 				}
 			}
 		}()

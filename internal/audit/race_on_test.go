@@ -1,0 +1,7 @@
+//go:build race
+
+package audit
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation changes heap accounting.
+const raceEnabled = true

@@ -1,0 +1,107 @@
+package audit
+
+import (
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/mlcore"
+	"dataaudit/internal/stats"
+)
+
+// ScoreScratch is the per-worker reusable state of the scoring hot path:
+// one prediction distribution buffer plus a findings arena. Every scoring
+// surface (CheckRow, AuditTable, AuditTableParallel, AuditStream) threads
+// one scratch per goroutine through CheckRowScratch, so steady-state
+// record checking performs zero heap allocations — the buffers grow to
+// the model's high-water mark once and are reused for every subsequent
+// row.
+//
+// A ScoreScratch must not be shared between goroutines.
+type ScoreScratch struct {
+	dist     mlcore.Distribution
+	findings []Finding
+	rep      RecordReport
+}
+
+// NewScoreScratch returns a scratch pre-sized for the model: the
+// distribution buffer covers the widest class domain and the findings
+// arena one finding per modelled attribute (the per-row maximum).
+func NewScoreScratch(m *Model) *ScoreScratch {
+	maxK := 0
+	for _, am := range m.Attrs {
+		if am.K > maxK {
+			maxK = am.K
+		}
+	}
+	s := &ScoreScratch{findings: make([]Finding, 0, len(m.Attrs))}
+	s.dist.Reset(maxK)
+	return s
+}
+
+// CheckRowScratch runs deviation detection for one record using the
+// scratch's buffers. The returned report (including its Findings slice
+// and Best pointer) is backed by the scratch and is only valid until the
+// next CheckRowScratch call on the same scratch; callers that retain the
+// report must Detach it first. The report's values are identical to
+// CheckRow's on the same row.
+func (m *Model) CheckRowScratch(row []dataset.Value, s *ScoreScratch) *RecordReport {
+	rep := &s.rep
+	*rep = RecordReport{Row: -1, ID: -1}
+	s.findings = s.findings[:0]
+	best := -1
+	for _, am := range m.Attrs {
+		am.Classifier.PredictInto(row, &s.dist)
+		n := s.dist.N()
+		if n <= 0 {
+			continue // no evidence: the classifier offers no opinion
+		}
+		cHat, pHat := s.dist.Best()
+		obs := am.ClassIndex(row[am.Class])
+		if obs == cHat {
+			continue // errorConf stays 0, no finding
+		}
+		// A null observed value (obs < 0) has no support in the
+		// distribution; treat it as probability zero — this is how the
+		// tool addresses the completeness dimension (§2.2: "substituting
+		// an erroneously missing value by the suggestion of a data
+		// auditing application").
+		var pObs float64
+		if obs >= 0 {
+			pObs = s.dist.P(obs)
+		}
+		errConf := stats.ErrorConfidence(pHat, pObs, n, m.Opts.ConfLevel)
+		if errConf <= 0 {
+			continue
+		}
+		s.findings = append(s.findings, Finding{
+			Attr:       am.Class,
+			Observed:   obs,
+			Predicted:  cHat,
+			PHat:       pHat,
+			PObs:       pObs,
+			N:          n,
+			ErrorConf:  errConf,
+			Suggestion: am.SuggestedValue(cHat),
+		})
+		if errConf > rep.ErrorConf {
+			rep.ErrorConf = errConf
+			best = len(s.findings) - 1
+		}
+	}
+	if len(s.findings) > 0 {
+		rep.Findings = s.findings
+	}
+	if best >= 0 {
+		rep.Best = &rep.Findings[best]
+	}
+	rep.Suspicious = rep.ErrorConf >= m.Opts.MinConfidence
+	return rep
+}
+
+// Detach returns a self-contained copy of a scratch-backed report: the
+// findings are copied into a fresh slice and Best re-pointed into it, so
+// the copy stays valid after the scratch is reused.
+func (rep *RecordReport) Detach() RecordReport {
+	cp := *rep
+	cp.Findings = append([]Finding(nil), rep.Findings...)
+	cp.repointBest()
+	return cp
+}

@@ -184,8 +184,9 @@ func (m *Model) AuditStream(src dataset.RowSource, opts StreamOptions) (*StreamR
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer done.Done()
+				scratch := NewScoreScratch(m)
 				for ck := range work {
-					results <- m.scoreChunk(ck, width, slots)
+					results <- m.scoreChunk(ck, width, slots, scratch)
 					free <- ck
 				}
 			}()
@@ -303,21 +304,22 @@ func (m *Model) readChunks(src dataset.RowSource, opts StreamOptions, width int,
 	}
 }
 
-// scoreChunk runs deviation detection over one chunk. slots maps schema
-// columns to tally indices (findings only ever reference modelled
-// attributes).
-func (m *Model) scoreChunk(ck *streamChunk, width int, slots []int) chunkResult {
+// scoreChunk runs deviation detection over one chunk using the worker's
+// scratch. slots maps schema columns to tally indices (findings only ever
+// reference modelled attributes). Non-suspicious rows live and die inside
+// the scratch — only the suspicious minority is detached and retained.
+func (m *Model) scoreChunk(ck *streamChunk, width int, slots []int, scratch *ScoreScratch) chunkResult {
 	cr := chunkResult{seq: ck.seq, rows: ck.n, tallies: make([]AttrTally, len(m.Attrs))}
 	for i, am := range m.Attrs {
 		cr.tallies[i].Attr = am.Class
 	}
 	for i := 0; i < ck.n; i++ {
-		rep := m.CheckRow(ck.vals[i*width : (i+1)*width])
+		rep := m.CheckRowScratch(ck.vals[i*width:(i+1)*width], scratch)
 		rep.Row = int(ck.firstRow) + i
 		rep.ID = ck.ids[i]
-		tallyReport(&rep, slots, cr.tallies, m.Opts.MinConfidence)
+		tallyReport(rep, slots, cr.tallies, m.Opts.MinConfidence)
 		if rep.Suspicious {
-			cr.suspicious = append(cr.suspicious, rep)
+			cr.suspicious = append(cr.suspicious, rep.Detach())
 		}
 	}
 	return cr
@@ -418,8 +420,8 @@ func (h *topKHeap) Pop() any {
 }
 
 // offer inserts the report if it ranks within the best k (k < 0: no cap).
-// The report is deep-copied so chunk-local findings slices are never
-// retained past their chunk.
+// Reports arriving here were already detached by scoreChunk, so the heap
+// can take ownership without another copy.
 func (h *topKHeap) offer(rep *RecordReport, k int) {
 	if k == 0 {
 		return
@@ -432,7 +434,7 @@ func (h *topKHeap) offer(rep *RecordReport, k int) {
 		}
 		heap.Pop(h)
 	}
-	heap.Push(h, copyReport(rep))
+	heap.Push(h, *rep)
 }
 
 // ranked drains the heap into descending rank order.
@@ -448,13 +450,4 @@ func (h *topKHeap) ranked() []RecordReport {
 		panic("audit: topKHeap drain out of order")
 	}
 	return out
-}
-
-// copyReport deep-copies a report so the original's findings backing
-// array can be released with its chunk.
-func copyReport(rep *RecordReport) RecordReport {
-	cp := *rep
-	cp.Findings = append([]Finding(nil), rep.Findings...)
-	cp.repointBest()
-	return cp
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"dataaudit/internal/c45"
 	"dataaudit/internal/dataset"
@@ -204,18 +205,53 @@ type RuleSet struct {
 	K int
 	// Dropped counts the rules deleted by filtering (for reports).
 	Dropped int
+
+	// compileOnce builds the trie matcher lazily on first prediction (and
+	// so also after a gob load, which bypasses ExtractRules). Both fields
+	// are unexported: gob ignores them and a decoded RuleSet recompiles.
+	compileOnce sync.Once
+	trie        *trieNode
 }
 
 var _ mlcore.Classifier = (*RuleSet)(nil)
 
-// Predict implements mlcore.Classifier.
-func (rs *RuleSet) Predict(row []dataset.Value) mlcore.Distribution {
+// match returns the first rule matching the row, or nil. Rules extracted
+// from a tree are disjoint prefix paths, so the compiled trie descends to
+// the unique match in O(depth); rule sets that do not conform to the tree
+// shape (hand-built sets) keep the linear first-match scan.
+func (rs *RuleSet) match(row []dataset.Value) *Rule {
+	rs.compileOnce.Do(func() { rs.trie = compileRules(rs.Rules) })
+	if rs.trie != nil {
+		if i := rs.trie.match(row); i >= 0 {
+			return &rs.Rules[i]
+		}
+		return nil
+	}
 	for i := range rs.Rules {
 		if rs.Rules[i].Matches(row) {
-			return rs.Rules[i].Dist
+			return &rs.Rules[i]
 		}
 	}
+	return nil
+}
+
+// Predict implements mlcore.Classifier.
+func (rs *RuleSet) Predict(row []dataset.Value) mlcore.Distribution {
+	if r := rs.match(row); r != nil {
+		return r.Dist
+	}
 	return mlcore.NewDistribution(rs.K)
+}
+
+// PredictInto implements mlcore.Classifier without allocating: the
+// matched rule's distribution is copied into the caller's scratch buffer;
+// rows matching no retained rule answer with an empty distribution.
+func (rs *RuleSet) PredictInto(row []dataset.Value, d *mlcore.Distribution) {
+	if r := rs.match(row); r != nil {
+		d.CopyFrom(r.Dist)
+		return
+	}
+	d.Reset(rs.K)
 }
 
 // ExtractRules walks the tree and converts every root-to-leaf path into a

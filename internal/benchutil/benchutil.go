@@ -1,0 +1,78 @@
+// Package benchutil holds the measurement plumbing shared by the
+// benchmark commands (cmd/benchcore, cmd/benchstream): fail-loud JSON
+// report writing and a sampled live-heap peak monitor.
+package benchutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// WriteJSON writes v as indented JSON to out ("-" for stdout),
+// surfacing create, encode and close failures — a benchmark command must
+// exit non-zero on a failed write so CI can never upload a stale or
+// truncated artifact.
+func WriteJSON(v any, out string) error {
+	enc := func(w io.Writer) error {
+		e := json.NewEncoder(w)
+		e.SetIndent("", "  ")
+		return e.Encode(v)
+	}
+	if out == "-" {
+		return enc(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := enc(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", out, err)
+	}
+	return nil
+}
+
+// HeapMonitor samples the live heap until stopped and reports the max.
+type HeapMonitor struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+// StartHeapMonitor begins sampling runtime.MemStats.HeapAlloc every 2ms.
+func StartHeapMonitor() *HeapMonitor {
+	mon := &HeapMonitor{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(mon.done)
+		var ms runtime.MemStats
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-mon.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > mon.peak.Load() {
+					mon.peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	return mon
+}
+
+// Stop ends sampling and returns the peak observed live heap in bytes.
+func (mon *HeapMonitor) Stop() uint64 {
+	close(mon.stop)
+	<-mon.done
+	return mon.peak.Load()
+}

@@ -462,3 +462,38 @@ func TestEmptyBranchFallsBackToParent(t *testing.T) {
 		t.Fatalf("unseen branch should answer with parent evidence (n=%g, want %g)", d.N(), tree.Root.Dist.N())
 	}
 }
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	tab := conjTable(t, 400, 61)
+	ins := buildInstances(t, tab, []int{0, 1, 2, 3})
+	tree, err := (&Trainer{Opts: Options{UseGainRatio: true, Prune: true}}).TrainTree(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d mlcore.Distribution
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 500; i++ {
+		row := []dataset.Value{
+			dataset.Nom(rng.Intn(2)), dataset.Nom(rng.Intn(2)), dataset.Nom(rng.Intn(3)),
+			dataset.Num(float64(rng.Intn(101))), dataset.Null(),
+		}
+		if rng.Intn(4) == 0 {
+			row[rng.Intn(4)] = dataset.Null()
+		}
+		want := tree.Predict(row)
+		tree.PredictInto(row, &d)
+		if want.Total != d.Total || len(want.Counts) != len(d.Counts) {
+			t.Fatalf("row %v: Predict %+v, PredictInto %+v", row, want, d)
+		}
+		for c := range want.Counts {
+			if want.Counts[c] != d.Counts[c] {
+				t.Fatalf("row %v class %d: %v vs %v", row, c, want.Counts[c], d.Counts[c])
+			}
+		}
+		// PredictInto must hand back an independent copy, not the node's
+		// own distribution.
+		if len(want.Counts) > 0 && &want.Counts[0] == &d.Counts[0] {
+			t.Fatal("PredictInto must not alias the tree's distribution")
+		}
+	}
+}

@@ -56,11 +56,25 @@ var _ mlcore.Classifier = (*Tree)(nil)
 // distribution (with its training support as Total). Missing values stop
 // at the current node and return its aggregate distribution.
 func (t *Tree) Predict(row []dataset.Value) mlcore.Distribution {
+	return t.descend(row).Dist
+}
+
+// PredictInto implements mlcore.Classifier without allocating: the
+// answering node's distribution is copied into the caller's scratch
+// buffer.
+func (t *Tree) PredictInto(row []dataset.Value, d *mlcore.Distribution) {
+	d.CopyFrom(t.descend(row).Dist)
+}
+
+// descend walks to the node that answers the row: the selected leaf, or
+// the interior node at which a missing or out-of-domain value stops the
+// descent (its aggregate distribution is the fractional-descent answer).
+func (t *Tree) descend(row []dataset.Value) *Node {
 	n := t.Root
 	for !n.IsLeaf() {
 		v := row[n.Attr]
 		if v.IsNull() {
-			return n.Dist
+			return n
 		}
 		if n.IsNumeric {
 			if v.Float() <= n.Thresh {
@@ -71,12 +85,12 @@ func (t *Tree) Predict(row []dataset.Value) mlcore.Distribution {
 		} else {
 			idx := v.NomIdx()
 			if idx >= len(n.Children) {
-				return n.Dist // out-of-domain code: fall back to the node
+				return n // out-of-domain code: fall back to the node
 			}
 			n = n.Children[idx]
 		}
 	}
-	return n.Dist
+	return n
 }
 
 // Size returns the number of nodes.

@@ -106,37 +106,60 @@ func (m *Model) distance(row []dataset.Value, i int) float64 {
 	return math.Sqrt(d)
 }
 
+// cand is one neighbourhood candidate during selection.
+type cand struct {
+	dist float64
+	idx  int
+}
+
+// candStackSize bounds the neighbourhood that fits in a stack-allocated
+// selection buffer; larger k values fall back to a heap allocation.
+const candStackSize = 32
+
+// candSiftDown restores the max-heap property from index i down; heap[0]
+// is the farthest of the current k nearest.
+func candSiftDown(heap []cand, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(heap) && heap[l].dist > heap[largest].dist {
+			largest = l
+		}
+		if r < len(heap) && heap[r].dist > heap[largest].dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		heap[i], heap[largest] = heap[largest], heap[i]
+		i = largest
+	}
+}
+
 // Predict implements mlcore.Classifier: the class histogram of the k
 // nearest stored instances, with the neighbourhood weight as support.
 // Selection uses a bounded max-heap (O(n log k)), not a full sort — kNN is
 // already the slowest family in the §5 comparison without extra help.
 func (m *Model) Predict(row []dataset.Value) mlcore.Distribution {
+	var d mlcore.Distribution
+	m.PredictInto(row, &d)
+	return d
+}
+
+// PredictInto implements mlcore.Classifier without allocating for the
+// usual neighbourhood sizes: the selection buffer lives on the stack for
+// k <= candStackSize.
+func (m *Model) PredictInto(row []dataset.Value, d *mlcore.Distribution) {
 	k := m.K
 	if k > len(m.Rows) {
 		k = len(m.Rows)
 	}
-	type cand struct {
-		dist float64
-		idx  int
-	}
-	// heap[0] is the farthest of the current k nearest.
-	heap := make([]cand, 0, k)
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			largest := i
-			if l < len(heap) && heap[l].dist > heap[largest].dist {
-				largest = l
-			}
-			if r < len(heap) && heap[r].dist > heap[largest].dist {
-				largest = r
-			}
-			if largest == i {
-				return
-			}
-			heap[i], heap[largest] = heap[largest], heap[i]
-			i = largest
-		}
+	var stack [candStackSize]cand
+	var heap []cand
+	if k <= candStackSize {
+		heap = stack[:0]
+	} else {
+		heap = make([]cand, 0, k)
 	}
 	for i := range m.Rows {
 		dist := m.distance(row, i)
@@ -154,12 +177,11 @@ func (m *Model) Predict(row []dataset.Value) mlcore.Distribution {
 		}
 		if dist < heap[0].dist {
 			heap[0] = cand{dist, i}
-			siftDown(0)
+			candSiftDown(heap, 0)
 		}
 	}
-	d := mlcore.NewDistribution(m.Classes)
+	d.Reset(m.Classes)
 	for _, c := range heap {
 		d.Add(m.Class[c.idx], m.Weight[c.idx])
 	}
-	return d
 }

@@ -115,3 +115,39 @@ func TestKNNNoLabelsFails(t *testing.T) {
 		t.Fatalf("training without labels must fail")
 	}
 }
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	tab := clustersTable(t, 400, 47)
+	model, err := (&Trainer{Opts: Options{K: 5}}).Train(knnInstances(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d mlcore.Distribution
+	rng := rand.New(rand.NewSource(48))
+	for i := 0; i < 500; i++ {
+		row := []dataset.Value{dataset.Nom(rng.Intn(2)), dataset.Num(rng.Float64() * 100), dataset.Null()}
+		if rng.Intn(5) == 0 {
+			row[0] = dataset.Null()
+		}
+		if rng.Intn(5) == 0 {
+			row[1] = dataset.Null()
+		}
+		want := model.Predict(row)
+		model.(*Model).PredictInto(row, &d)
+		if want.Total != d.Total || !slicesEqual(want.Counts, d.Counts) {
+			t.Fatalf("row %v: Predict %+v, PredictInto %+v", row, want, d)
+		}
+	}
+}
+
+func slicesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package mlcore
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDistributionReset(t *testing.T) {
+	var d Distribution
+	d.Reset(3)
+	if d.K() != 3 || d.N() != 0 {
+		t.Fatalf("fresh reset: got k=%d n=%.1f", d.K(), d.N())
+	}
+	d.Add(1, 2)
+	d.Add(2, 4)
+	backing := &d.Counts[0]
+
+	// Shrinking reuse: same backing array, zeroed contents.
+	d.Reset(2)
+	if d.K() != 2 || d.N() != 0 || d.Counts[0] != 0 || d.Counts[1] != 0 {
+		t.Fatalf("reset did not clear: %+v", d)
+	}
+	if &d.Counts[0] != backing {
+		t.Fatal("reset to a smaller k must reuse the backing array")
+	}
+
+	// Growing past capacity reallocates.
+	d.Reset(8)
+	if d.K() != 8 || d.N() != 0 {
+		t.Fatalf("grow reset: got k=%d n=%.1f", d.K(), d.N())
+	}
+	for i, c := range d.Counts {
+		if c != 0 {
+			t.Fatalf("count %d not zeroed after grow: %v", i, d.Counts)
+		}
+	}
+}
+
+func TestDistributionCopyFrom(t *testing.T) {
+	src := NewDistribution(3)
+	src.Add(0, 1.5)
+	src.Add(2, 2.5)
+
+	var dst Distribution
+	dst.CopyFrom(src)
+	if !reflect.DeepEqual(dst.Counts, src.Counts) || dst.Total != src.Total {
+		t.Fatalf("copy differs: src %+v dst %+v", src, dst)
+	}
+	// No sharing: mutating the copy must not touch the source.
+	dst.Add(1, 10)
+	if src.Counts[1] != 0 || src.Total != 4 {
+		t.Fatalf("CopyFrom shared memory with the source: %+v", src)
+	}
+
+	// Reuse: copying a smaller distribution into a grown buffer keeps the
+	// backing array and truncates the visible length.
+	backing := &dst.Counts[0]
+	small := NewDistribution(2)
+	small.Add(1, 3)
+	dst.CopyFrom(small)
+	if dst.K() != 2 || dst.Total != 3 || dst.Counts[1] != 3 {
+		t.Fatalf("copy of smaller distribution: %+v", dst)
+	}
+	if &dst.Counts[0] != backing {
+		t.Fatal("CopyFrom must reuse a large-enough backing array")
+	}
+}
+
+func TestDistributionResetZeroAlloc(t *testing.T) {
+	var d Distribution
+	d.Reset(5)
+	allocs := testing.AllocsPerRun(100, func() {
+		d.Reset(5)
+		d.Add(3, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset at steady capacity allocated %.1f times per run", allocs)
+	}
+}

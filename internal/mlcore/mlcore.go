@@ -65,6 +65,35 @@ func (d Distribution) Clone() Distribution {
 	return Distribution{Counts: append([]float64(nil), d.Counts...), Total: d.Total}
 }
 
+// Reset clears the distribution to k zeroed classes, reusing the backing
+// array when it is large enough. It is the entry point of every
+// PredictInto implementation: after Reset the distribution is empty and
+// no memory of the previous prediction remains.
+func (d *Distribution) Reset(k int) {
+	if cap(d.Counts) < k {
+		d.Counts = make([]float64, k)
+	} else {
+		d.Counts = d.Counts[:k]
+		for i := range d.Counts {
+			d.Counts[i] = 0
+		}
+	}
+	d.Total = 0
+}
+
+// CopyFrom overwrites the distribution with o's contents, reusing the
+// backing array when possible. After CopyFrom the two distributions share
+// no memory.
+func (d *Distribution) CopyFrom(o Distribution) {
+	if cap(d.Counts) < len(o.Counts) {
+		d.Counts = make([]float64, len(o.Counts))
+	} else {
+		d.Counts = d.Counts[:len(o.Counts)]
+	}
+	copy(d.Counts, o.Counts)
+	d.Total = o.Total
+}
+
 // Instances is a weighted view over a table for supervised induction: the
 // base attributes, a class assignment per row, and per-row weights
 // (fractional weights implement C4.5's missing-value handling).
@@ -161,11 +190,23 @@ func (ins *Instances) Validate() error {
 }
 
 // Classifier predicts a class distribution (with support) for a row.
+//
+// The allocation contract: PredictInto is the steady-state scoring path —
+// once the caller's scratch distribution has grown to the classifier's
+// class count, a PredictInto call performs no heap allocation. Predict is
+// the convenience form; implementations may allocate or may return a
+// distribution sharing memory with the model (callers must not mutate
+// it). The two must produce identical values for the same row.
 type Classifier interface {
 	// Predict returns the class distribution for the row. The
 	// distribution's Total is the weighted number of training instances
 	// the prediction is based on — the n of Definition 7.
 	Predict(row []dataset.Value) Distribution
+	// PredictInto writes the class distribution for the row into d,
+	// reusing d's backing memory (via Reset/CopyFrom) instead of
+	// allocating. d's previous contents are discarded; after the call d
+	// shares no memory with the model.
+	PredictInto(row []dataset.Value, d *Distribution)
 }
 
 // Trainer induces a Classifier from instances.

@@ -153,7 +153,17 @@ func (t *Trainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
 // is the full training weight: naive Bayes bases every prediction on the
 // entire training set.
 func (m *Model) Predict(row []dataset.Value) mlcore.Distribution {
-	logp := make([]float64, m.K)
+	var d mlcore.Distribution
+	m.PredictInto(row, &d)
+	return d
+}
+
+// PredictInto implements mlcore.Classifier without allocating: the
+// caller's buffer doubles as the log-probability workspace, which is then
+// normalized in place.
+func (m *Model) PredictInto(row []dataset.Value, d *mlcore.Distribution) {
+	d.Reset(m.K)
+	logp := d.Counts
 	for c := range logp {
 		logp[c] = math.Log(m.Priors[c])
 	}
@@ -188,7 +198,6 @@ func (m *Model) Predict(row []dataset.Value) mlcore.Distribution {
 			maxLog = lp
 		}
 	}
-	d := mlcore.NewDistribution(m.K)
 	total := 0.0
 	for c, lp := range logp {
 		p := math.Exp(lp - maxLog)
@@ -201,5 +210,4 @@ func (m *Model) Predict(row []dataset.Value) mlcore.Distribution {
 		}
 	}
 	d.Total = m.TotalW
-	return d
 }

@@ -144,3 +144,32 @@ func TestNaiveBayesUnseenClassGaussian(t *testing.T) {
 		}
 	}
 }
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	tab := mixedTable(t, 1000, 53)
+	model, err := (&Trainer{}).Train(nbInstances(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d mlcore.Distribution
+	rng := rand.New(rand.NewSource(54))
+	for i := 0; i < 500; i++ {
+		row := []dataset.Value{dataset.Nom(rng.Intn(2)), dataset.Num(rng.Float64() * 100), dataset.Null()}
+		if rng.Intn(5) == 0 {
+			row[0] = dataset.Null()
+		}
+		if rng.Intn(5) == 0 {
+			row[1] = dataset.Null()
+		}
+		want := model.Predict(row)
+		model.(*Model).PredictInto(row, &d)
+		if want.Total != d.Total {
+			t.Fatalf("row %v: totals differ: %v vs %v", row, want.Total, d.Total)
+		}
+		for c := range want.Counts {
+			if want.Counts[c] != d.Counts[c] {
+				t.Fatalf("row %v class %d: Predict %v, PredictInto %v", row, c, want.Counts[c], d.Counts[c])
+			}
+		}
+	}
+}

@@ -176,6 +176,11 @@ func (m *OneRModel) Predict(row []dataset.Value) mlcore.Distribution {
 	return m.BucketDist[b]
 }
 
+// PredictInto implements mlcore.Classifier without allocating.
+func (m *OneRModel) PredictInto(row []dataset.Value, d *mlcore.Distribution) {
+	d.CopyFrom(m.Predict(row))
+}
+
 // ---------------------------------------------------------------------------
 // PRISM
 
@@ -361,10 +366,21 @@ func (t *PrismTrainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
 	return model, nil
 }
 
+// featStackSize bounds the base-attribute count whose feature buckets fit
+// in a stack-allocated buffer during Predict; wider schemas fall back to a
+// heap allocation.
+const featStackSize = 64
+
 // Predict implements mlcore.Classifier: the first matching rule's training
 // distribution, falling back to the global class distribution.
 func (m *PrismModel) Predict(row []dataset.Value) mlcore.Distribution {
-	feats := make([]int, len(m.FV.Base))
+	var stack [featStackSize]int
+	var feats []int
+	if len(m.FV.Base) <= featStackSize {
+		feats = stack[:len(m.FV.Base)]
+	} else {
+		feats = make([]int, len(m.FV.Base))
+	}
 	for pos := range m.FV.Base {
 		feats[pos] = m.FV.feature(row, pos)
 	}
@@ -381,4 +397,10 @@ func (m *PrismModel) Predict(row []dataset.Value) mlcore.Distribution {
 		}
 	}
 	return m.Default
+}
+
+// PredictInto implements mlcore.Classifier without allocating for the
+// usual schema widths.
+func (m *PrismModel) PredictInto(row []dataset.Value, d *mlcore.Distribution) {
+	d.CopyFrom(m.Predict(row))
 }

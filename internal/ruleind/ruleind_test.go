@@ -182,3 +182,37 @@ func TestTrainerNames(t *testing.T) {
 		t.Fatalf("trainer names changed")
 	}
 }
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	tab := aDrivenTable(t, 600, 57)
+	ins := riInstances(t, tab)
+	for _, tr := range []mlcore.Trainer{&OneRTrainer{}, &PrismTrainer{}} {
+		t.Run(tr.Name(), func(t *testing.T) {
+			model, err := tr.Train(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d mlcore.Distribution
+			rng := rand.New(rand.NewSource(58))
+			for i := 0; i < 500; i++ {
+				row := []dataset.Value{
+					dataset.Nom(rng.Intn(3)), dataset.Nom(rng.Intn(2)),
+					dataset.Num(rng.Float64() * 100), dataset.Null(),
+				}
+				if rng.Intn(5) == 0 {
+					row[rng.Intn(3)] = dataset.Null()
+				}
+				want := model.Predict(row)
+				model.PredictInto(row, &d)
+				if want.Total != d.Total || len(want.Counts) != len(d.Counts) {
+					t.Fatalf("row %v: Predict %+v, PredictInto %+v", row, want, d)
+				}
+				for c := range want.Counts {
+					if want.Counts[c] != d.Counts[c] {
+						t.Fatalf("row %v class %d: %v vs %v", row, c, want.Counts[c], d.Counts[c])
+					}
+				}
+			}
+		})
+	}
+}

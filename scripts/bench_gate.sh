@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench_gate.sh — the CI perf-regression gate for the scoring core.
+#
+# Measures the current tree with cmd/benchcore (or takes a pre-measured
+# candidate via $CANDIDATE) and compares it against the committed
+# baseline BENCH_core.json. Exits non-zero when the candidate regresses:
+# more than $MAX_NS_REGRESS percent slower per row (default 15), or any
+# allocs/row increase on the steady-state scoring path.
+#
+#   ./scripts/bench_gate.sh                      # measure + gate
+#   CANDIDATE=new.json ./scripts/bench_gate.sh   # gate a saved measurement
+#   BASELINE=other.json MAX_NS_REGRESS=5 ./scripts/bench_gate.sh
+#
+# To refresh the baseline after an intentional change (run on the same
+# machine class as CI so ns/row is comparable):
+#
+#   go run ./cmd/benchcore -out BENCH_core.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=${BASELINE:-BENCH_core.json}
+candidate=${CANDIDATE:-}
+max_ns_regress=${MAX_NS_REGRESS:-15}
+
+if [ ! -f "$baseline" ]; then
+  echo "bench_gate: baseline $baseline not found (generate with: go run ./cmd/benchcore -out $baseline)" >&2
+  exit 2
+fi
+
+if [ -z "$candidate" ]; then
+  candidate=$(mktemp -t bench_core_candidate.XXXXXX)
+  trap 'rm -f "$candidate"' EXIT
+  echo "bench_gate: measuring candidate (go run ./cmd/benchcore)" >&2
+  go run ./cmd/benchcore -out "$candidate"
+fi
+
+exec go run ./cmd/benchcore -gate "$baseline" -candidate "$candidate" -max-ns-regress "$max_ns_regress"

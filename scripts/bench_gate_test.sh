@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench_gate_test.sh — proves the perf gate actually gates.
+#
+# Derives synthetic candidates from the committed baseline and asserts:
+#   1. an identical candidate passes;
+#   2. a 20% ns/row regression fails (the gate's tolerance is 15%);
+#   3. an allocation on the steady-state path fails.
+#
+# Requires jq. Run from anywhere: ./scripts/bench_gate_test.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=${BASELINE:-BENCH_core.json}
+command -v jq >/dev/null || { echo "bench_gate_test: jq is required" >&2; exit 2; }
+[ -f "$baseline" ] || { echo "bench_gate_test: baseline $baseline not found" >&2; exit 2; }
+
+tmpdir=$(mktemp -d -t bench_gate_test.XXXXXX)
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() { echo "bench_gate_test: FAIL: $*" >&2; exit 1; }
+
+# 1. Identity: the baseline gated against itself must pass.
+CANDIDATE="$baseline" ./scripts/bench_gate.sh >/dev/null 2>&1 \
+  || fail "identical candidate was rejected"
+
+# 2. Synthetic 20% ns/row regression must fail.
+jq '.runs |= map(.nsPerRow = .nsPerRow * 1.2)' "$baseline" > "$tmpdir/slow.json"
+if CANDIDATE="$tmpdir/slow.json" ./scripts/bench_gate.sh >/dev/null 2>&1; then
+  fail "a 20% ns/row regression passed the gate"
+fi
+
+# 3. Any allocation on the steady-state path must fail.
+jq '.runs |= map(if .steadyState then .allocsPerRow = 0.01 else . end)' \
+  "$baseline" > "$tmpdir/alloc.json"
+if CANDIDATE="$tmpdir/alloc.json" ./scripts/bench_gate.sh >/dev/null 2>&1; then
+  fail "a steady-state allocation passed the gate"
+fi
+
+echo "bench_gate_test: PASS (identity accepted; 20% regression and steady-state allocation rejected)"

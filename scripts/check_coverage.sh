@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# check_coverage.sh — enforces per-package statement-coverage floors on
+# the scoring core.
+#
+#   go test -coverprofile=coverage.out ./...
+#   ./scripts/check_coverage.sh coverage.out
+#
+# The floor applies to the packages whose correctness the audit results
+# depend on most directly; override with FLOOR / PACKAGES:
+#
+#   FLOOR=80 PACKAGES="dataaudit/internal/audit" ./scripts/check_coverage.sh
+set -euo pipefail
+
+profile=${1:-coverage.out}
+floor=${FLOOR:-70}
+packages=${PACKAGES:-"dataaudit/internal/audit dataaudit/internal/mlcore"}
+
+if [ ! -f "$profile" ]; then
+  echo "check_coverage: profile $profile not found (run: go test -coverprofile=$profile ./...)" >&2
+  exit 2
+fi
+
+status=0
+for pkg in $packages; do
+  # Coverprofile lines: <file>:<positions> <numStatements> <hitCount>.
+  # Statement-weighted coverage per package = covered stmts / total stmts.
+  pct=$(awk -v pkg="$pkg/" '
+    NR > 1 {
+      file = $1
+      sub(/:.*/, "", file)
+      if (index(file, pkg) == 1) {
+        total += $2
+        if ($3 > 0) covered += $2
+      }
+    }
+    END {
+      if (total == 0) print "-1"
+      else printf "%.1f", covered / total * 100
+    }' "$profile")
+  if [ "$pct" = "-1" ]; then
+    echo "check_coverage: FAIL: $pkg has no statements in $profile" >&2
+    status=1
+    continue
+  fi
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "check_coverage: FAIL: $pkg at ${pct}% (floor ${floor}%)" >&2
+    status=1
+  else
+    echo "check_coverage: $pkg at ${pct}% (floor ${floor}%)"
+  fi
+done
+exit $status
