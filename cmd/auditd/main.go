@@ -31,9 +31,16 @@
 //	# and drift detection against the model's induction-time baseline
 //	curl localhost:8080/v1/models/engines/quality
 //
-//	# close the loop: on drift, re-induce from recently audited rows and
-//	# publish the next model version automatically
+//	# close the loop: on drift, re-induce from recently audited rows in a
+//	# background worker (audits keep being served) and publish the next
+//	# model version automatically
 //	auditd -dir ./auditd-data -auto-reinduce -monitor-window 2048
+//
+// Monitoring state — quality snapshots, lifecycle events, drift-detector
+// state and the re-induction reservoir — is crash-durable: it persists
+// atomically under -monitor-state (default <dir>/.state) on every sealed
+// window and on graceful shutdown, and is reloaded at the next boot, so
+// GET /v1/models/{name}/quality history survives restarts.
 package main
 
 import (
@@ -68,8 +75,9 @@ func main() {
 		monWindow  = flag.Int64("monitor-window", 1024, "quality-monitoring window size in audited rows")
 		driftDelta = flag.Float64("drift-delta", 0.10, "drift threshold: window suspicious-rate excess over the model's baseline")
 		phLambda   = flag.Float64("drift-ph-lambda", 0.25, "Page-Hinkley alarm threshold over the window suspicious-rate series")
-		reinduce   = flag.Bool("auto-reinduce", false, "on drift, re-induce the model from a reservoir of recently audited rows and publish the next version")
+		reinduce   = flag.Bool("auto-reinduce", false, "on drift, re-induce the model from a reservoir of recently audited rows and publish the next version (runs in a background worker; audits are never blocked)")
 		reservoir  = flag.Int("reservoir-rows", 4096, "row capacity of the re-induction reservoir sample")
+		monState   = flag.String("monitor-state", "", "directory for crash-durable monitoring state (snapshots, events, drift state, reservoir); empty = <dir>/.state under the registry, \"disabled\" = keep monitoring state in memory only")
 	)
 	flag.Parse()
 
@@ -93,6 +101,7 @@ func main() {
 			PHLambda:      *phLambda,
 			AutoReinduce:  *reinduce,
 			ReservoirRows: *reservoir,
+			StateDir:      *monState,
 			Logger:        logger,
 		}),
 	)
@@ -129,6 +138,12 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Printf("forced shutdown: %v", err)
+		}
+		// With the HTTP server drained, let in-flight re-inductions land
+		// and persist the final monitoring state so quality history
+		// survives the restart.
+		if err := srv.Close(); err != nil {
+			logger.Printf("persisting monitoring state: %v", err)
 		}
 	}
 	fmt.Fprintln(os.Stderr, "auditd: stopped")

@@ -23,7 +23,7 @@ func baseReport() Report {
 
 func TestGatePassesOnIdenticalReport(t *testing.T) {
 	base := baseReport()
-	if v := gateReports(base, base, 15); len(v) != 0 {
+	if v := gateReports(base, base, 15, allChecks()); len(v) != 0 {
 		t.Fatalf("identical reports must pass, got violations: %v", v)
 	}
 }
@@ -34,7 +34,7 @@ func TestGatePassesWithinTolerance(t *testing.T) {
 	for i := range cand.Runs {
 		cand.Runs[i].NsPerRow *= 1.10 // 10% slower: inside the 15% budget
 	}
-	if v := gateReports(base, cand, 15); len(v) != 0 {
+	if v := gateReports(base, cand, 15, allChecks()); len(v) != 0 {
 		t.Fatalf("10%% regression must pass a 15%% gate, got: %v", v)
 	}
 }
@@ -47,7 +47,7 @@ func TestGateFailsOnSyntheticNsRegression(t *testing.T) {
 	for i := range cand.Runs {
 		cand.Runs[i].NsPerRow *= 1.20
 	}
-	v := gateReports(base, cand, 15)
+	v := gateReports(base, cand, 15, allChecks())
 	if len(v) != len(cand.Runs) {
 		t.Fatalf("20%% regression must fail every run, got %d violations: %v", len(v), v)
 	}
@@ -62,7 +62,7 @@ func TestGateFailsOnSteadyStateAllocation(t *testing.T) {
 	base := baseReport()
 	cand := baseReport()
 	cand.Runs[0].AllocsPerRow = 0.001 // any allocation on the 0-alloc path
-	v := gateReports(base, cand, 15)
+	v := gateReports(base, cand, 15, allChecks())
 	if len(v) == 0 {
 		t.Fatal("steady-state allocation must fail the gate")
 	}
@@ -75,7 +75,7 @@ func TestGateFailsOnAllocIncrease(t *testing.T) {
 	base := baseReport()
 	cand := baseReport()
 	cand.Runs[1].AllocsPerRow = 0.2 // batch path allocates more per row
-	v := gateReports(base, cand, 15)
+	v := gateReports(base, cand, 15, allChecks())
 	if len(v) != 1 || !strings.Contains(v[0], "allocs/row increased") {
 		t.Fatalf("alloc increase must fail the gate, got: %v", v)
 	}
@@ -85,9 +85,84 @@ func TestGateFailsOnSuspiciousDrift(t *testing.T) {
 	base := baseReport()
 	cand := baseReport()
 	cand.Runs[2].Suspicious = 1400
-	v := gateReports(base, cand, 15)
+	v := gateReports(base, cand, 15, allChecks())
 	if len(v) != 1 || !strings.Contains(v[0], "suspicious count changed") {
 		t.Fatalf("output drift must fail the gate, got: %v", v)
+	}
+}
+
+// TestGateChecksAreSelectable pins the hermetic-gate split: with -checks
+// ns a candidate that only regresses allocations passes (and vice
+// versa), so bench_gate.sh can gate ns/row against a same-machine
+// merge-base measurement and allocations against the committed baseline
+// without either check masking the other.
+func TestGateChecksAreSelectable(t *testing.T) {
+	base := baseReport()
+	slow := baseReport()
+	for i := range slow.Runs {
+		slow.Runs[i].NsPerRow *= 1.5
+	}
+	leaky := baseReport()
+	leaky.Runs[0].AllocsPerRow = 0.5 // steady-state allocation
+	drifted := baseReport()
+	drifted.Runs[2].Suspicious = 7
+
+	cases := []struct {
+		name   string
+		checks gateChecks
+		cand   Report
+		fails  bool
+	}{
+		{"ns-only catches slowdown", gateChecks{ns: true}, slow, true},
+		{"ns-only ignores allocation", gateChecks{ns: true}, leaky, false},
+		{"ns-only ignores output drift", gateChecks{ns: true}, drifted, false},
+		{"alloc-only catches allocation", gateChecks{alloc: true}, leaky, true},
+		{"alloc-only ignores slowdown", gateChecks{alloc: true}, slow, false},
+		{"suspicious-only catches drift", gateChecks{suspicious: true}, drifted, true},
+		{"suspicious-only ignores slowdown", gateChecks{suspicious: true}, slow, false},
+		{"alloc+suspicious ignores slowdown", gateChecks{alloc: true, suspicious: true}, slow, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := gateReports(base, tc.cand, 15, tc.checks)
+			if tc.fails && len(v) == 0 {
+				t.Fatalf("checks %s must fail this candidate", tc.checks)
+			}
+			if !tc.fails && len(v) != 0 {
+				t.Fatalf("checks %s must ignore this candidate, got: %v", tc.checks, v)
+			}
+		})
+	}
+}
+
+func TestParseChecks(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"all", "ns,alloc,suspicious", false},
+		{"ns", "ns", false},
+		{"alloc,suspicious", "alloc,suspicious", false},
+		{" ns , alloc ", "ns,alloc", false},
+		{"bogus", "", true},
+		{"", "", true},
+		{",", "", true},
+	}
+	for _, tc := range cases {
+		c, err := parseChecks(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Fatalf("parseChecks(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("parseChecks(%q): %v", tc.in, err)
+		}
+		if c.String() != tc.want {
+			t.Fatalf("parseChecks(%q) = %s, want %s", tc.in, c, tc.want)
+		}
 	}
 }
 

@@ -331,9 +331,13 @@ var (
 // per-model snapshots, runs drift detection (baseline threshold plus a
 // Page-Hinkley cumulative test) against the model's QualityProfile, and —
 // when auto re-induction is enabled — re-induces the model from a
-// reservoir of recently audited rows and publishes the next version
-// through the registry's atomic path. GET /v1/models/{name}/quality
-// serves its state.
+// reservoir of recently audited rows in a background worker (audits of
+// the drifting model are never blocked) and publishes the next version
+// through the registry's atomic path. With MonitorOptions.StateDir set
+// the whole lifecycle state is crash-durable: it persists atomically on
+// every sealed window and on Close, and is recovered — guarded against
+// deleted/recreated incarnations — at the next boot. GET
+// /v1/models/{name}/quality serves its state.
 type (
 	QualityMonitor  = monitor.Monitor
 	MonitorOptions  = monitor.Options
@@ -345,16 +349,27 @@ type (
 
 // Lifecycle event kinds of the monitoring loop.
 const (
-	EventBaselineAdopted = monitor.EventBaselineAdopted
-	EventDrift           = monitor.EventDrift
-	EventReinduced       = monitor.EventReinduced
-	EventReinduceSkipped = monitor.EventReinduceSkipped
-	EventReinduceFailed  = monitor.EventReinduceFailed
+	EventBaselineAdopted    = monitor.EventBaselineAdopted
+	EventDrift              = monitor.EventDrift
+	EventReinduced          = monitor.EventReinduced
+	EventReinduceSkipped    = monitor.EventReinduceSkipped
+	EventReinduceFailed     = monitor.EventReinduceFailed
+	EventReinduceSuperseded = monitor.EventReinduceSuperseded
+
+	// MonitorStateDisabled is the MonitorOptions.StateDir sentinel that
+	// turns crash-durable persistence off explicitly in contexts (like
+	// the serving layer) that otherwise default it on.
+	MonitorStateDisabled = monitor.StateDisabled
 )
 
 // NewQualityMonitor builds a monitor over a registry; embedders that do
-// not run the HTTP layer can feed it via ObserveBatch and Stream.
-var NewQualityMonitor = monitor.New
+// not run the HTTP layer can feed it via ObserveBatch and Stream, and
+// should Close it on shutdown to persist final state. MonitorStateFile
+// locates one model's persisted state inside a state directory.
+var (
+	NewQualityMonitor = monitor.New
+	MonitorStateFile  = monitor.StateFile
+)
 
 // ---------------------------------------------------------------------------
 // Test environment and measures (internal/evalx)

@@ -21,7 +21,20 @@
 // bounded reservoir sample of recently audited rows and publishes it
 // through the registry's atomic publish path, so the model lifecycle
 // closes without operator intervention: induce → monitor → drift →
-// re-induce → monitor.
+// re-induce → monitor. Re-induction runs in a background worker outside
+// the per-model lock (worker.go): concurrent audits of a drifting model
+// — including in-flight streams — are never blocked while it adapts,
+// duplicate drift triggers coalesce into the running worker, and the
+// final swap is guarded by (version, createdAt) so a model republished,
+// deleted or recreated mid-flight discards the stale candidate instead
+// of being clobbered by it.
+//
+// With Options.StateDir set the lifecycle is also crash-durable
+// (persist.go): state commits atomically on every sealed window, every
+// re-induction outcome and on Close, and is recovered lazily at the next
+// boot — validated against the registry so a deleted incarnation's state
+// file is discarded rather than resurrected, and degrading to fresh
+// state (never failing the model) on corrupt files.
 //
 // Windows are counted in rows (not wall time) and the reservoir uses a
 // seeded deterministic PRNG, so the same sequence of observations always

@@ -1,0 +1,110 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"dataaudit/internal/registry"
+)
+
+// TestIncarnationGuardTable drives every (version, createdAt) ordering a
+// late or racing observation can arrive with, against a tracked state,
+// and pins what the guard must do: fold (same version, same incarnation),
+// reset (anything newer — a successor version or a recreated name), or
+// drop (anything older — including the ROADMAP hijack, a *deleted*
+// model's higher version arriving at a recreated same-name model). After
+// every case a live-model observation must still fold: monitoring must
+// never go silently dead.
+func TestIncarnationGuardTable(t *testing.T) {
+	model, clean, _ := fixture(t, 1000)
+	rows := int64(clean.NumRows())
+	t0 := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+
+	type effect int
+	const (
+		fold effect = iota
+		drop
+		reset
+	)
+	mkMeta := func(version int, at time.Time) registry.Meta {
+		return registry.Meta{Name: "engines", Version: version, CreatedAt: at, Quality: model.QualityProfile(clean, 0)}
+	}
+
+	cases := []struct {
+		name     string
+		tracked  registry.Meta
+		incoming registry.Meta
+		want     effect
+	}{
+		{"same version, same incarnation folds",
+			mkMeta(2, t0), mkMeta(2, t0), fold},
+		{"older version of the same incarnation drops",
+			mkMeta(2, t0), mkMeta(1, t0.Add(-time.Hour)), drop},
+		{"successor version of the same incarnation resets",
+			mkMeta(2, t0), mkMeta(3, t0.Add(time.Hour)), reset},
+		{"recreated name (same version, later publish) resets",
+			mkMeta(1, t0), mkMeta(1, t0.Add(time.Hour)), reset},
+		{"ghost same-version earlier publish drops",
+			mkMeta(1, t0), mkMeta(1, t0.Add(-time.Hour)), drop},
+		{"deleted model's higher version cannot hijack a recreated model (ROADMAP)",
+			mkMeta(1, t0), mkMeta(5, t0.Add(-time.Hour)), drop},
+		{"newer incarnation with a lower version resets",
+			mkMeta(5, t0), mkMeta(1, t0.Add(time.Hour)), reset},
+		{"equal publish time, higher version resets (synthetic metas)",
+			mkMeta(1, t0), mkMeta(2, t0), reset},
+		{"equal publish time, lower version drops (synthetic metas)",
+			mkMeta(2, t0), mkMeta(1, t0), drop},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mon := New(nil, withClock(Options{WindowRows: 10 * rows}))
+
+			// Establish the tracked state, then fire the incoming
+			// observation and diff the reservoir's seen counter — it
+			// advances by exactly the observed rows on every fold.
+			mon.ObserveBatch(tc.tracked, model, clean, model.AuditTable(clean))
+			st, ok := mon.Quality("engines")
+			if !ok || st.ReservoirSeen != rows || st.Version != tc.tracked.Version {
+				t.Fatalf("tracked state not established: ok=%v %+v", ok, st)
+			}
+
+			mon.ObserveBatch(tc.incoming, model, clean, model.AuditTable(clean))
+			st, _ = mon.Quality("engines")
+			switch tc.want {
+			case fold:
+				if st.Version != tc.tracked.Version || st.ReservoirSeen != 2*rows {
+					t.Fatalf("want fold, got %+v", st)
+				}
+			case drop:
+				if st.Version != tc.tracked.Version || st.ReservoirSeen != rows {
+					t.Fatalf("want drop, got %+v", st)
+				}
+			case reset:
+				if st.Version != tc.incoming.Version || st.ReservoirSeen != rows {
+					t.Fatalf("want reset onto the incoming incarnation, got %+v", st)
+				}
+			}
+
+			// Whatever happened, the *live* model — the newest of the two
+			// incarnations — must still fold. Before the CreatedAt check
+			// ran on the higher-version branch, the hijack case left the
+			// recreated model's audits dropping into the ghost's
+			// stale-version branch: monitoring silently dead.
+			live := tc.tracked
+			if tc.want == reset {
+				live = tc.incoming
+			}
+			seenBefore := st.ReservoirSeen
+			mon.ObserveBatch(live, model, clean, model.AuditTable(clean))
+			st, _ = mon.Quality("engines")
+			if st.ReservoirSeen != seenBefore+rows {
+				t.Fatalf("monitoring went dead for the live model %d@%s: seen %d -> %d",
+					live.Version, live.CreatedAt, seenBefore, st.ReservoirSeen)
+			}
+			if st.Version != live.Version {
+				t.Fatalf("live model not tracked after the dust settled: %+v", st)
+			}
+		})
+	}
+}

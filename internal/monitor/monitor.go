@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dataaudit/internal/audit"
@@ -45,17 +46,38 @@ type Options struct {
 	// from (default 128); with fewer rows a drift only emits events.
 	MinReinduceRows int
 	// AutoReinduce enables drift-triggered re-induction: on drift the
-	// monitor induces a successor from the reservoir and publishes it as
-	// the next version through the registry's atomic publish path.
+	// monitor induces a successor from the reservoir in a background
+	// worker and publishes it as the next version through the registry's
+	// atomic publish path. The induction runs outside the model's
+	// monitoring lock, so concurrent audits of a drifting model never
+	// stall behind it (see worker.go).
 	AutoReinduce bool
+	// StateDir, when non-empty, makes monitoring state crash-durable:
+	// snapshots, events, drift-detector state and the re-induction
+	// reservoir are serialized atomically (temp file + rename, versioned
+	// envelope) into this directory on every window close and on
+	// SaveAll/Close, and reloaded lazily at the next boot so quality
+	// history survives process restarts (see persist.go). Empty disables
+	// persistence. The serving layer defaults this to the registry's
+	// StateDir.
+	StateDir string
 	// Seed seeds the reservoir PRNG (default 1); fixed so the sample is a
-	// deterministic function of the observed rows.
+	// deterministic function of the observed rows. After a state reload
+	// the PRNG restarts from the seed — sampled rows and the seen count
+	// survive a restart exactly, while the sampling stream itself is only
+	// deterministic between restarts.
 	Seed int64
 	// Now is the clock used for snapshot/event timestamps (default
 	// time.Now; injectable for byte-identical histories in tests).
 	Now func() time.Time
 	// Logger receives lifecycle messages (default log.Default()).
 	Logger *log.Logger
+
+	// hookReinduceStart, when set, is called by the background
+	// re-induction worker after the reservoir snapshot is taken and
+	// before induction begins — test instrumentation for simulating slow
+	// re-inductions. It runs outside every monitor lock.
+	hookReinduceStart func(name string, version int)
 }
 
 // WithDefaults fills unset fields.
@@ -112,10 +134,17 @@ const (
 	// published as the next version.
 	EventReinduced EventKind = "reinduced"
 	// EventReinduceSkipped: drift fired but re-induction was not attempted
-	// (disabled, or the reservoir is too small).
+	// (disabled, the reservoir is too small, or a re-induction for the
+	// model is already in flight — duplicate triggers coalesce into the
+	// running one).
 	EventReinduceSkipped EventKind = "reinduce-skipped"
 	// EventReinduceFailed: re-induction or the publish failed.
 	EventReinduceFailed EventKind = "reinduce-failed"
+	// EventReinduceSuperseded: a background re-induction finished but the
+	// tracked (version, createdAt) changed while it ran — the model was
+	// deleted, recreated or republished — so the candidate was discarded
+	// instead of swapped in.
+	EventReinduceSuperseded EventKind = "reinduce-superseded"
 )
 
 // Event is one entry of a model's lifecycle log.
@@ -123,7 +152,8 @@ type Event struct {
 	Kind    EventKind `json:"kind"`
 	Window  int       `json:"window"`
 	Version int       `json:"version"`
-	// NewVersion is the published successor version (EventReinduced only).
+	// NewVersion is the published successor version (EventReinduced, or an
+	// EventReinduceSuperseded whose publish had already committed).
 	NewVersion int `json:"newVersion,omitempty"`
 	// Detector names what fired an EventDrift: "threshold" or
 	// "page-hinkley".
@@ -205,6 +235,9 @@ type State struct {
 	ReservoirRows int   `json:"reservoirRows"`
 	ReservoirSeen int64 `json:"reservoirSeen"`
 	AutoReinduce  bool  `json:"autoReinduce"`
+	// Reinducing reports that a background re-induction worker is in
+	// flight for the model (audits keep being served meanwhile).
+	Reinducing bool `json:"reinducing,omitempty"`
 }
 
 // Monitor folds audit results into per-model windowed snapshots, runs the
@@ -216,11 +249,32 @@ type Monitor struct {
 
 	mu     sync.Mutex
 	models map[string]*modelState
+
+	// wg tracks background work: re-induction workers and asynchronous
+	// state writes. Close/WaitReinductions rendezvous on it.
+	wg sync.WaitGroup
+
+	// disk is the crash-durability sink (nil: persistence disabled).
+	disk *persister
+	// gens numbers modelState generations: every state entered into the
+	// map (fresh or loaded) takes the next value, so the persister can
+	// tell a dead generation's late write from a recreated name's fresh
+	// one.
+	gens atomic.Uint64
 }
+
+// StateDisabled is the Options.StateDir sentinel that turns persistence
+// off explicitly — for embedders (like the serving layer) that default a
+// non-empty state dir when the field is left empty.
+const StateDisabled = "disabled"
 
 // New builds a Monitor over a registry.
 func New(reg *registry.Registry, opts Options) *Monitor {
-	return &Monitor{reg: reg, opts: opts.WithDefaults(), models: make(map[string]*modelState)}
+	m := &Monitor{reg: reg, opts: opts.WithDefaults(), models: make(map[string]*modelState)}
+	if m.opts.StateDir != "" && m.opts.StateDir != StateDisabled {
+		m.disk = newPersister(m.opts.StateDir)
+	}
+	return m
 }
 
 // modelState is the per-model monitoring state. Its own mutex (not the
@@ -232,6 +286,23 @@ type modelState struct {
 	name      string
 	version   int
 	createdAt time.Time // publish time of the tracked version (incarnation check)
+	// gen is the Monitor-wide generation number assigned when the state
+	// entered the model map (see Monitor.gens).
+	gen uint64
+
+	// dead marks a state removed by Forget while a background worker may
+	// still hold a pointer to it: the worker's swap guard refuses a dead
+	// state, so an in-flight re-induction cannot resurrect a deleted
+	// model.
+	dead bool
+	// reinducing coalesces drift triggers: while a background
+	// re-induction worker is in flight for this model, further triggers
+	// are logged as skipped instead of spawning duplicate workers.
+	reinducing bool
+	// saveSeq orders persisted snapshots of this state: each marshal under
+	// st.mu takes the next sequence number, and the persister drops writes
+	// that would regress it (see persist.go).
+	saveSeq uint64
 
 	// What the fold and re-induction paths need from the model — never the
 	// model itself: retaining every audited model's classifiers here would
@@ -257,40 +328,87 @@ type modelState struct {
 	rv                   *reservoir
 }
 
+// tracking reports whether the state is still tracking exactly the given
+// model version — same version AND same publish time, so two incarnations
+// of a name that happen to share a version number never alias; st.mu must
+// be held.
+func (st *modelState) tracking(meta registry.Meta) bool {
+	return !st.dead && st.version == meta.Version && st.createdAt.Equal(meta.CreatedAt)
+}
+
 // state returns (creating if needed) the tracked state for a model
-// version, resetting it when a newer version appears. It returns nil when
-// the observation is for an older version than the one being tracked —
-// stale scores must not perturb the current model's drift statistics.
+// version, resetting it when a newer version or incarnation appears. It
+// returns nil when the observation is stale — an older version, or any
+// version of an earlier incarnation of the name — because stale scores
+// must not perturb the current model's drift statistics.
+//
+// Observations are ordered incarnation-first, by (CreatedAt, Version):
+// within one incarnation versions and publish times increase together,
+// and across a delete/recreate the newer incarnation has the later
+// publish time even though its version counter restarted at 1. Comparing
+// versions alone would let a late audit of a *deleted* model's higher
+// version hijack a recreated same-name model's state (and then every
+// live-model audit would be dropped as "stale" until the new incarnation's
+// version caught up — monitoring silently dead).
 func (m *Monitor) state(meta registry.Meta, model *audit.Model) *modelState {
-	m.mu.Lock()
-	st, ok := m.models[meta.Name]
-	if !ok {
-		st = &modelState{name: meta.Name}
-		m.models[meta.Name] = st
-	}
-	m.mu.Unlock()
+	st := m.lookupOrLoad(meta.Name, true)
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	switch {
+	case st.dead:
+		return nil // raced with Forget; the next observation re-creates
 	case st.version == 0:
 		st.resetForVersion(meta, model, m.opts)
-	case meta.Version > st.version:
+	case meta.Version == st.version && meta.CreatedAt.Equal(st.createdAt):
+		// the tracked version: fold
+	case meta.CreatedAt.After(st.createdAt):
+		// Newer publish time: either the next version of the same
+		// incarnation, or the first version of a newer incarnation
+		// (delete + recreate). Either way the newer model wins.
 		st.resetForVersion(meta, model, m.opts)
-	case meta.Version < st.version:
+	case meta.CreatedAt.Before(st.createdAt):
+		// Older publish time — a stale version, or a ghost incarnation
+		// (even one with a higher version number): drop.
 		return nil
-	case !meta.CreatedAt.Equal(st.createdAt):
-		// Same version number, different publish time: a different
-		// incarnation of the name (the model was deleted and recreated —
-		// versions restart at 1 — while an audit of the old incarnation
-		// was in flight). The newer incarnation wins; observations of the
-		// older one are dropped so a ghost cannot poison the successor's
-		// baseline and reservoir.
-		if !meta.CreatedAt.After(st.createdAt) {
-			return nil
-		}
+	case meta.Version > st.version:
+		// Identical publish times with different versions cannot come from
+		// the registry clock; trust the version order (synthetic metas).
 		st.resetForVersion(meta, model, m.opts)
+	default:
+		return nil
 	}
+	return st
+}
+
+// lookupOrLoad returns the map entry for a name, recovering persisted
+// state from the state dir on the first sight of the name since boot
+// (disk I/O outside both locks). With create set it always returns an
+// entry, allocating an empty one when nothing was persisted; without it
+// the result is nil for unknown names — the Quality read path must not
+// invent entries.
+func (m *Monitor) lookupOrLoad(name string, create bool) *modelState {
+	m.mu.Lock()
+	st, ok := m.models[name]
+	m.mu.Unlock()
+	if ok {
+		return st
+	}
+	loaded := m.loadState(name)
+	if loaded == nil && !create {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, raced := m.models[name]; raced {
+		return cur // a concurrent first sight won; use its entry
+	}
+	st = loaded
+	if st == nil {
+		st = &modelState{name: name}
+	}
+	st.gen = m.gens.Add(1)
+	m.models[name] = st
 	return st
 }
 
@@ -344,7 +462,7 @@ func (m *Monitor) ObserveBatch(meta registry.Meta, model *audit.Model, tab *data
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.version != meta.Version {
+	if !st.tracking(meta) {
 		return // raced with a newer version between state() and here
 	}
 	row := make([]dataset.Value, tab.NumCols())
@@ -379,7 +497,7 @@ func (o *StreamObserver) OnRow(row []dataset.Value, id int64) {
 		return
 	}
 	o.st.mu.Lock()
-	if o.st.version == o.meta.Version {
+	if o.st.tracking(o.meta) {
 		o.st.rv.offer(row)
 	}
 	o.st.mu.Unlock()
@@ -392,7 +510,7 @@ func (o *StreamObserver) Finish(res *audit.StreamResult) {
 	}
 	o.st.mu.Lock()
 	defer o.st.mu.Unlock()
-	if o.st.version != o.meta.Version {
+	if !o.st.tracking(o.meta) {
 		return
 	}
 	tallies := append([]audit.AttrTally(nil), res.Attrs...)
@@ -422,7 +540,8 @@ func (m *Monitor) foldLocked(st *modelState, rows, suspicious int64, tallies []a
 }
 
 // sealLocked turns the open window into a Snapshot, runs the drift
-// detectors and (on drift) the re-induction path; st.mu must be held.
+// detectors, triggers the (asynchronous) re-induction path on drift and
+// persists the sealed state; st.mu must be held.
 func (m *Monitor) sealLocked(st *modelState) {
 	snap := Snapshot{
 		Window:     st.windows,
@@ -454,6 +573,10 @@ func (m *Monitor) sealLocked(st *modelState) {
 	for i := range st.winAttrs {
 		st.winAttrs[i] = audit.AttrTally{Attr: st.winAttrs[i].Attr}
 	}
+	// Every sealed window is a persistence commit point: whatever happens
+	// below (baseline adoption, drift events, a re-induction trigger)
+	// mutates st before saveLocked runs at the end of each return path.
+	defer m.saveLocked(st)
 
 	if st.baseline == nil {
 		// A model published without an induction-time profile: adopt the
@@ -484,7 +607,7 @@ func (m *Monitor) sealLocked(st *modelState) {
 	m.event(st, Event{Kind: EventDrift, Window: snap.Window, Version: st.version,
 		Detector: detector, Delta: st.lastDelta, PH: st.ph.PH,
 		Message: fmt.Sprintf("window %d suspicious rate %.4f vs baseline %.4f", snap.Window, snap.SuspiciousRate, st.baseline.SuspiciousRate)})
-	m.reinduceLocked(st, snap.Window)
+	m.triggerReinduceLocked(st, snap.Window)
 }
 
 // baselineFromSnapshot lifts a sealed window into a QualityProfile so the
@@ -513,56 +636,6 @@ func baselineFromSnapshot(snap *Snapshot, schema *dataset.Schema) *audit.Quality
 	return p
 }
 
-// reinduceLocked closes the lifecycle loop after a drift: induce a
-// successor from the reservoir sample and publish it as the next version
-// through the registry's atomic publish path; st.mu must be held.
-func (m *Monitor) reinduceLocked(st *modelState, window int) {
-	if !m.opts.AutoReinduce {
-		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
-			Message: "auto re-induction disabled"})
-		return
-	}
-	if len(st.rv.rows) < m.opts.MinReinduceRows {
-		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
-			Message: fmt.Sprintf("reservoir has %d rows, need %d", len(st.rv.rows), m.opts.MinReinduceRows)})
-		return
-	}
-	tab := st.rv.table()
-	next, err := audit.Induce(tab, st.opts)
-	if err != nil {
-		m.event(st, Event{Kind: EventReinduceFailed, Window: window, Version: st.version,
-			Message: fmt.Sprintf("induction over %d reservoir rows: %v", tab.NumRows(), err)})
-		return
-	}
-	profile := next.QualityProfile(tab, 0)
-	meta, err := m.reg.PublishWithQuality(st.name, next, profile)
-	if err != nil {
-		m.event(st, Event{Kind: EventReinduceFailed, Window: window, Version: st.version,
-			Message: fmt.Sprintf("publish: %v", err)})
-		return
-	}
-	m.opts.Logger.Printf("monitor: %s drifted at window %d; re-induced v%d from %d reservoir rows",
-		st.name, window, meta.Version, tab.NumRows())
-	m.event(st, Event{Kind: EventReinduced, Window: window, Version: st.version, NewVersion: meta.Version,
-		Message: fmt.Sprintf("re-induced from %d reservoir rows", tab.NumRows())})
-
-	// The successor becomes the tracked version with a fresh baseline;
-	// history (snapshots, events) carries across. adoptModel rebuilds the
-	// window accumulators for the successor's attribute set — a model
-	// re-induced from a small reservoir can model fewer attributes than
-	// its predecessor, and stale accumulators would misattribute tallies.
-	st.version = meta.Version
-	st.createdAt = meta.CreatedAt
-	st.adoptModel(next)
-	st.baseline = profile
-	st.baselineAdopted = false
-	st.windowsSinceBaseline = 0
-	st.ph.reset()
-	st.drifted = false
-	st.lastDelta = 0
-	st.rv.resetSample()
-}
-
 // event appends to the bounded lifecycle log; st.mu must be held.
 func (m *Monitor) event(st *modelState, e Event) {
 	if e.At.IsZero() {
@@ -574,32 +647,49 @@ func (m *Monitor) event(st *modelState, e Event) {
 	}
 }
 
-// Forget drops the named model's monitoring state (after the model is
-// deleted from the registry). Without this, a model recreated under the
-// same name would inherit the deleted model's baseline, windows and
-// reservoir — and, because versions restart at 1, the stale state would
-// never be reset by the version check.
+// Forget drops the named model's monitoring state — in memory and on disk
+// — after the model is deleted from the registry. Without this, a model
+// recreated under the same name would inherit the deleted model's
+// baseline, windows and reservoir — and, because versions restart at 1,
+// the stale state would never be reset by the version check. The dropped
+// state is marked dead so an in-flight re-induction worker still holding
+// it cannot publish into (and thereby resurrect) the deleted model.
 func (m *Monitor) Forget(name string) {
 	m.mu.Lock()
+	st := m.models[name]
 	delete(m.models, name)
 	m.mu.Unlock()
+	var gen uint64
+	if st != nil {
+		st.mu.Lock()
+		st.dead = true
+		gen = st.gen
+		st.mu.Unlock()
+	}
+	if m.disk != nil {
+		// Exhausting the dead generation's sequence space blocks its
+		// in-flight writes; a recreated name gets a later generation and
+		// persists normally.
+		m.disk.remove(name, gen)
+	}
 }
 
 // Quality returns a copy of the named model's monitoring state; ok is
-// false when the monitor has not observed the model yet.
+// false when the monitor has not observed the model yet — neither in this
+// process nor, when persistence is enabled, in a previous one (persisted
+// state is recovered lazily, so quality history is served across restarts
+// even before the model's first audit).
 func (m *Monitor) Quality(name string) (State, bool) {
-	m.mu.Lock()
-	st, ok := m.models[name]
-	m.mu.Unlock()
-	if !ok {
+	st := m.lookupOrLoad(name, false)
+	if st == nil {
 		return State{}, false
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.version == 0 {
+	if st.version == 0 || st.dead {
 		// The entry was created by a concurrent first observation whose
-		// resetForVersion has not run yet; there is no state to report
-		// (and st.rv is still nil).
+		// resetForVersion has not run yet (or was just forgotten); there
+		// is no state to report (and st.rv may still be nil).
 		return State{}, false
 	}
 	out := State{
@@ -623,6 +713,7 @@ func (m *Monitor) Quality(name string) (State, bool) {
 		ReservoirRows: len(st.rv.rows),
 		ReservoirSeen: st.rv.seen,
 		AutoReinduce:  m.opts.AutoReinduce,
+		Reinducing:    st.reinducing,
 	}
 	return out, true
 }

@@ -182,8 +182,10 @@ func TestDriftLifecycle(t *testing.T) {
 		}
 	}
 
-	// Polluted traffic: drift fires, re-induction publishes v2.
+	// Polluted traffic: drift fires, the background worker re-induces and
+	// publishes v2 (WaitReinductions is the async rendezvous).
 	mon.ObserveBatch(meta, model, dirty, model.AuditTable(dirty))
+	mon.WaitReinductions()
 	st, _ = mon.Quality("engines")
 	var drifted, reinduced bool
 	for _, e := range st.Events {

@@ -55,3 +55,19 @@ func (rv *reservoir) resetSample() {
 	rv.rows = rv.rows[:0]
 	rv.seen = 0
 }
+
+// restore refills the sample from a persisted table (state reload). The
+// PRNG was freshly seeded by the caller: the recovered rows and the seen
+// count match the pre-restart sample exactly, while the sampling stream
+// restarts from the seed.
+func (rv *reservoir) restore(tab *dataset.Table, seen int64) {
+	rv.rows = rv.rows[:0]
+	buf := make([]dataset.Value, tab.NumCols())
+	for r := 0; r < tab.NumRows(); r++ {
+		rv.rows = append(rv.rows, append([]dataset.Value(nil), tab.RowInto(r, buf)...))
+	}
+	if seen < int64(len(rv.rows)) {
+		seen = int64(len(rv.rows))
+	}
+	rv.seen = seen
+}

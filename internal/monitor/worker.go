@@ -1,0 +1,176 @@
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+)
+
+// Asynchronous re-induction. Induction over the reservoir plus the
+// quality-profile audit of the candidate take CPU-seconds on a real
+// sample — far too long to run under st.mu inside a client's audit
+// request, where every concurrent batch and in-flight NDJSON stream of
+// the model (via OnRow) would stall behind it. Instead the drift path
+// snapshots everything the induction needs under the lock, runs the
+// expensive part in a background worker, and re-locks only to swap the
+// successor in — guarded by (version, createdAt, dead), so a model that
+// was republished, deleted or recreated while the worker ran can never
+// be clobbered by a stale candidate.
+
+// reinduceJob is the immutable snapshot a re-induction worker runs on.
+// Everything here is private to the worker: the sample is a fresh Table
+// copied out of the reservoir under st.mu, so later audits mutating the
+// reservoir race with nothing.
+type reinduceJob struct {
+	name      string
+	version   int
+	createdAt time.Time
+	window    int
+	opts      audit.Options
+	sample    *dataset.Table
+}
+
+// triggerReinduceLocked starts the asynchronous re-induction path after a
+// drift, or logs why it did not; st.mu must be held. Duplicate triggers
+// while a worker is in flight coalesce into the running one.
+func (m *Monitor) triggerReinduceLocked(st *modelState, window int) {
+	if !m.opts.AutoReinduce {
+		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
+			Message: "auto re-induction disabled"})
+		return
+	}
+	if st.reinducing {
+		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
+			Message: "re-induction already in flight; coalesced"})
+		return
+	}
+	if len(st.rv.rows) < m.opts.MinReinduceRows {
+		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
+			Message: fmt.Sprintf("reservoir has %d rows, need %d", len(st.rv.rows), m.opts.MinReinduceRows)})
+		return
+	}
+	job := reinduceJob{
+		name:      st.name,
+		version:   st.version,
+		createdAt: st.createdAt,
+		window:    window,
+		opts:      st.opts,
+		sample:    st.rv.table(),
+	}
+	st.reinducing = true
+	m.wg.Add(1)
+	go m.reinduce(st, job)
+}
+
+// reinduce is the background worker: induce a successor from the
+// reservoir snapshot, audit its quality profile, publish it through the
+// registry's atomic path, and swap it in — all without holding st.mu
+// during the expensive stages.
+func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
+	defer m.wg.Done()
+	if h := m.opts.hookReinduceStart; h != nil {
+		h(job.name, job.version)
+	}
+
+	next, indErr := audit.Induce(job.sample, job.opts)
+	var profile *audit.QualityProfile
+	if indErr == nil {
+		profile = next.QualityProfile(job.sample, 0)
+	}
+
+	// Pre-publish guard: if the tracked incarnation already moved on (or
+	// the model was deleted), discard the candidate before touching the
+	// registry — a publish for a dead name would recreate the deleted
+	// model's directory as a side effect.
+	st.mu.Lock()
+	if !st.guardHolds(job) {
+		m.finishSuperseded(st, job, 0)
+		st.mu.Unlock()
+		return
+	}
+	if indErr != nil {
+		st.reinducing = false
+		m.event(st, Event{Kind: EventReinduceFailed, Window: job.window, Version: job.version,
+			Message: fmt.Sprintf("induction over %d reservoir rows: %v", job.sample.NumRows(), indErr)})
+		m.saveLocked(st)
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Unlock()
+
+	// The publish (disk I/O) also runs outside st.mu. A Forget/Delete
+	// landing in this narrow window can still interleave with the commit
+	// — that ordering is a registry-level concern the monitor cannot
+	// close from here — but the swap below re-checks the guard, so the
+	// monitor state itself stays consistent and the outcome is logged as
+	// superseded rather than silently adopted.
+	meta, pubErr := m.reg.PublishWithQuality(job.name, next, profile)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.guardHolds(job) {
+		m.finishSuperseded(st, job, meta.Version)
+		return
+	}
+	st.reinducing = false
+	if pubErr != nil {
+		m.event(st, Event{Kind: EventReinduceFailed, Window: job.window, Version: job.version,
+			Message: fmt.Sprintf("publish: %v", pubErr)})
+		m.saveLocked(st)
+		return
+	}
+
+	m.opts.Logger.Printf("monitor: %s drifted at window %d; re-induced v%d from %d reservoir rows",
+		job.name, job.window, meta.Version, job.sample.NumRows())
+	m.event(st, Event{Kind: EventReinduced, Window: job.window, Version: job.version, NewVersion: meta.Version,
+		Message: fmt.Sprintf("re-induced from %d reservoir rows", job.sample.NumRows())})
+
+	// The successor becomes the tracked version with a fresh baseline;
+	// history (snapshots, events) carries across. adoptModel rebuilds the
+	// window accumulators for the successor's attribute set — a model
+	// re-induced from a small reservoir can model fewer attributes than
+	// its predecessor, and stale accumulators would misattribute tallies.
+	st.version = meta.Version
+	st.createdAt = meta.CreatedAt
+	st.adoptModel(next)
+	st.baseline = profile
+	st.baselineAdopted = false
+	st.windowsSinceBaseline = 0
+	st.ph.reset()
+	st.drifted = false
+	st.lastDelta = 0
+	st.rv.resetSample()
+	m.saveLocked(st)
+}
+
+// guardHolds reports whether the worker's snapshot still matches the
+// tracked incarnation; st.mu must be held.
+func (st *modelState) guardHolds(job reinduceJob) bool {
+	return !st.dead && st.version == job.version && st.createdAt.Equal(job.createdAt)
+}
+
+// finishSuperseded logs a worker that lost the guard race; st.mu must be
+// held. published is the committed successor version when the registry
+// publish had already happened (0 otherwise).
+func (m *Monitor) finishSuperseded(st *modelState, job reinduceJob, published int) {
+	st.reinducing = false
+	msg := "model version changed during re-induction; candidate discarded"
+	if st.dead {
+		msg = "model deleted during re-induction; candidate discarded"
+	}
+	if published > 0 {
+		msg += fmt.Sprintf(" (v%d had already been published)", published)
+	}
+	m.event(st, Event{Kind: EventReinduceSuperseded, Window: job.window, Version: job.version,
+		NewVersion: published, Message: msg})
+	m.saveLocked(st)
+}
+
+// WaitReinductions blocks until every in-flight background re-induction
+// worker and pending asynchronous state write has finished — the
+// rendezvous tests and graceful shutdown use before inspecting or
+// persisting final state. It does not prevent new work from starting;
+// callers are expected to have quiesced the observation sources first.
+func (m *Monitor) WaitReinductions() { m.wg.Wait() }

@@ -135,6 +135,14 @@ func Open(dir string, opts ...Option) (*Registry, error) {
 // Root returns the registry's backing directory.
 func (r *Registry) Root() string { return r.root }
 
+// StateDir returns the directory reserved under the registry root for
+// sidecar state that should live and die with the catalogue — e.g. the
+// quality monitor's persisted lifecycle state. The leading dot keeps it
+// out of the model namespace: ValidName rejects it, so List and the model
+// directories can never collide with it. The directory is created lazily
+// by its users.
+func (r *Registry) StateDir() string { return filepath.Join(r.root, ".state") }
+
 func (r *Registry) modelDir(name string) string { return filepath.Join(r.root, name) }
 
 func versionFiles(version int) (model, meta string) {
@@ -364,6 +372,22 @@ func (r *Registry) MetaOf(name string) (Meta, error) {
 		return Meta{}, &NotFoundError{Name: name}
 	}
 	return r.readMeta(name, versions[len(versions)-1])
+}
+
+// MetaOfVersion returns the committed metadata of one specific version
+// without loading (or caching) the model itself. Like MetaOf it takes no
+// lock: committed sidecars are immutable. Callers use it to validate that
+// a (version, createdAt) pair they tracked across a process boundary
+// still names a live publish — a deleted or recreated model fails the
+// CreatedAt comparison even when the version number exists again.
+func (r *Registry) MetaOfVersion(name string, version int) (Meta, error) {
+	if !ValidName(name) {
+		return Meta{}, fmt.Errorf("registry: invalid model name %q", name)
+	}
+	if version < 1 {
+		return Meta{}, fmt.Errorf("registry: invalid version %d", version)
+	}
+	return r.readMeta(name, version)
 }
 
 // readMeta reads one version's meta sidecar (no locking needed: the

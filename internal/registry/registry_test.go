@@ -336,3 +336,65 @@ func TestPublishWithQualityRoundTrip(t *testing.T) {
 		t.Fatalf("plain publish meta wrong: v%d quality=%v", meta2.Version, meta2.Quality)
 	}
 }
+
+// TestMetaOfVersionAndStateDir pins the cross-restart plumbing the
+// quality monitor's persistence layer relies on: MetaOfVersion resolves
+// a specific committed version without loading the model (and without
+// caching it), its CreatedAt identifies the incarnation across a
+// delete/recreate, and StateDir stays outside the model namespace.
+func TestMetaOfVersionAndStateDir(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(t)
+	meta1, err := reg.Publish("engines", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta2, err := reg.Publish("engines", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := reg.MetaOfVersion("engines", 1)
+	if err != nil || got.Version != 1 || !got.CreatedAt.Equal(meta1.CreatedAt) {
+		t.Fatalf("MetaOfVersion(1) = %+v, %v", got, err)
+	}
+	if got, err = reg.MetaOfVersion("engines", 2); err != nil || got.Version != 2 {
+		t.Fatalf("MetaOfVersion(2) = %+v, %v", got, err)
+	}
+	if _, err := reg.MetaOfVersion("engines", 3); !IsNotFound(err) {
+		t.Fatalf("missing version must be NotFound, got %v", err)
+	}
+	if _, err := reg.MetaOfVersion("engines", 0); err == nil {
+		t.Fatal("version 0 must be rejected")
+	}
+	if _, err := reg.MetaOfVersion("../escape", 1); err == nil {
+		t.Fatal("invalid name must be rejected")
+	}
+
+	// Delete + recreate: the version number exists again, but CreatedAt
+	// moved — the incarnation check a persisted monitor state must fail.
+	if err := reg.Delete("engines"); err != nil {
+		t.Fatal(err)
+	}
+	meta3, err := reg.Publish("engines", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = reg.MetaOfVersion("engines", meta2.Version-1)
+	if err != nil || got.CreatedAt.Equal(meta1.CreatedAt) || !got.CreatedAt.Equal(meta3.CreatedAt) {
+		t.Fatalf("recreated v1 must carry the new incarnation's CreatedAt: %+v, %v", got, err)
+	}
+
+	// StateDir sits under the root but cannot collide with a model: its
+	// name is not a ValidName, so List and the model routes skip it.
+	sd := reg.StateDir()
+	if filepath.Dir(sd) != reg.Root() {
+		t.Fatalf("StateDir %q not under root %q", sd, reg.Root())
+	}
+	if ValidName(filepath.Base(sd)) {
+		t.Fatalf("StateDir base %q collides with the model namespace", filepath.Base(sd))
+	}
+}

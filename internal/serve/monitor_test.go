@@ -14,15 +14,16 @@ import (
 
 // newMonitoredServer builds a test server with an aggressive monitoring
 // configuration so a single polluted upload can walk the whole lifecycle.
-func newMonitoredServer(t *testing.T, monOpts monitor.Options) *httptest.Server {
+func newMonitoredServer(t *testing.T, monOpts monitor.Options) (*httptest.Server, *Server) {
 	t.Helper()
 	reg, err := registry.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg, WithMonitorOptions(monOpts)).Handler())
+	srv := New(reg, WithMonitorOptions(monOpts))
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, srv
 }
 
 // TestQualityEndpoint covers the read path: baseline present right after
@@ -72,7 +73,7 @@ func TestQualityEndpoint(t *testing.T) {
 // quality route returns baseline, snapshot history and the lifecycle
 // events.
 func TestDriftToReinductionE2E(t *testing.T) {
-	ts := newMonitoredServer(t, monitor.Options{
+	ts, srv := newMonitoredServer(t, monitor.Options{
 		WindowRows:      1000,
 		MinWindows:      1,
 		DriftDelta:      0.10,
@@ -109,6 +110,9 @@ func TestDriftToReinductionE2E(t *testing.T) {
 	if summary.NumSuspicious == 0 {
 		t.Fatal("polluted stream scored clean; drift cannot fire")
 	}
+	// Re-induction runs in a background worker; rendezvous before
+	// asserting the published successor.
+	srv.Monitor().WaitReinductions()
 
 	// The lifecycle must have closed: drift event, re-induction event,
 	// version 2 committed with its own baseline.

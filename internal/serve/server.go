@@ -124,6 +124,13 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	if s.monOpts.Logger == nil {
 		s.monOpts.Logger = s.logger
 	}
+	if s.monOpts.StateDir == "" {
+		// Monitoring state is crash-durable by default when serving: it
+		// persists under the registry root, so quality history, drift
+		// state and the re-induction reservoir survive a daemon restart
+		// against the same -dir. monitor.StateDisabled opts out.
+		s.monOpts.StateDir = reg.StateDir()
+	}
 	s.mon = monitor.New(reg, s.monOpts)
 	// Every buffered route takes the body byte cap; the streaming audit
 	// route alone is registered uncapped — bounded memory regardless of
@@ -142,6 +149,12 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 
 // Monitor exposes the server's quality monitor (tests and embedders).
 func (s *Server) Monitor() *monitor.Monitor { return s.mon }
+
+// Close is the graceful-shutdown hook: it waits for in-flight background
+// re-inductions and persists every model's monitoring state so quality
+// history survives the restart. Call it after the HTTP server has
+// drained (no new audits can arrive).
+func (s *Server) Close() error { return s.mon.Close() }
 
 // limitedBody applies the body byte cap to one route.
 func (s *Server) limitedBody(h http.HandlerFunc) http.HandlerFunc {

@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
 # bench_gate_test.sh — proves the perf gate actually gates.
 #
-# Derives synthetic candidates from the committed baseline and asserts:
+# Derives synthetic candidates from the committed baseline and asserts,
+# on the fallback (non-hermetic) path:
 #   1. an identical candidate passes;
 #   2. a 20% ns/row regression fails (the gate's tolerance is 15%);
-#   3. an allocation on the steady-state path fails.
+#   3. an allocation on the steady-state path fails;
+# and on the hermetic path (pre-measured merge base via $BASE_JSON):
+#   4. an identical candidate passes both halves;
+#   5. a 20% ns/row regression vs the same-machine merge base fails even
+#      when the committed baseline is slow enough to mask it;
+#   6. a steady-state allocation fails against the committed baseline
+#      even when the merge-base measurement carries the same leak (the
+#      allocation contract is anchored to the committed record);
+#   7. a suspicious-count drift vs the committed baseline fails on the
+#      hermetic path.
 #
 # Requires jq. Run from anywhere: ./scripts/bench_gate_test.sh
 set -euo pipefail
@@ -19,21 +29,55 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 fail() { echo "bench_gate_test: FAIL: $*" >&2; exit 1; }
 
+# --- fallback path (HERMETIC=0: every check vs the committed baseline) --
+
 # 1. Identity: the baseline gated against itself must pass.
-CANDIDATE="$baseline" ./scripts/bench_gate.sh >/dev/null 2>&1 \
-  || fail "identical candidate was rejected"
+HERMETIC=0 CANDIDATE="$baseline" ./scripts/bench_gate.sh >/dev/null 2>&1 \
+  || fail "identical candidate was rejected (fallback path)"
 
 # 2. Synthetic 20% ns/row regression must fail.
 jq '.runs |= map(.nsPerRow = .nsPerRow * 1.2)' "$baseline" > "$tmpdir/slow.json"
-if CANDIDATE="$tmpdir/slow.json" ./scripts/bench_gate.sh >/dev/null 2>&1; then
-  fail "a 20% ns/row regression passed the gate"
+if HERMETIC=0 CANDIDATE="$tmpdir/slow.json" ./scripts/bench_gate.sh >/dev/null 2>&1; then
+  fail "a 20% ns/row regression passed the gate (fallback path)"
 fi
 
 # 3. Any allocation on the steady-state path must fail.
 jq '.runs |= map(if .steadyState then .allocsPerRow = 0.01 else . end)' \
   "$baseline" > "$tmpdir/alloc.json"
-if CANDIDATE="$tmpdir/alloc.json" ./scripts/bench_gate.sh >/dev/null 2>&1; then
-  fail "a steady-state allocation passed the gate"
+if HERMETIC=0 CANDIDATE="$tmpdir/alloc.json" ./scripts/bench_gate.sh >/dev/null 2>&1; then
+  fail "a steady-state allocation passed the gate (fallback path)"
 fi
 
-echo "bench_gate_test: PASS (identity accepted; 20% regression and steady-state allocation rejected)"
+# --- hermetic path ($BASE_JSON: ns vs merge base, rest vs committed) ----
+
+# 4. Identity against both references must pass.
+BASE_JSON="$baseline" CANDIDATE="$baseline" ./scripts/bench_gate.sh >/dev/null 2>&1 \
+  || fail "identical candidate was rejected (hermetic path)"
+
+# 5. The ns check must anchor to the same-machine merge base: with a
+# committed baseline 10x slower than the merge base, a 20% regression
+# against the merge base would look like a huge improvement to the
+# committed number — only the hermetic comparison can catch it.
+jq '.runs |= map(.nsPerRow = .nsPerRow * 10)' "$baseline" > "$tmpdir/slow_committed.json"
+jq '.runs |= map(.nsPerRow = .nsPerRow * 1.2)' "$baseline" > "$tmpdir/slow20.json"
+if BASELINE="$tmpdir/slow_committed.json" BASE_JSON="$baseline" \
+   CANDIDATE="$tmpdir/slow20.json" ./scripts/bench_gate.sh >/dev/null 2>&1; then
+  fail "a 20% regression vs the merge base passed because the committed baseline masked it"
+fi
+
+# 6. The allocation contract must anchor to the committed baseline: a
+# merge-base measurement that already carries the leak must not launder
+# it through the hermetic path.
+if BASE_JSON="$tmpdir/alloc.json" CANDIDATE="$tmpdir/alloc.json" \
+   ./scripts/bench_gate.sh >/dev/null 2>&1; then
+  fail "a steady-state allocation passed because the merge base carried it too"
+fi
+
+# 7. Output determinism is still gated on the hermetic path.
+jq '(.runs[0].suspicious) |= . + 1' "$baseline" > "$tmpdir/drift.json"
+if BASE_JSON="$tmpdir/drift.json" CANDIDATE="$tmpdir/drift.json" \
+   ./scripts/bench_gate.sh >/dev/null 2>&1; then
+  fail "a suspicious-count drift passed the hermetic path"
+fi
+
+echo "bench_gate_test: PASS (fallback: identity/regression/allocation; hermetic: identity, merge-base ns anchoring, committed alloc+determinism anchoring)"
