@@ -16,6 +16,10 @@
 //
 //	# write corrections
 //	audit -schema engine.schema -in dirty.csv -corrected fixed.csv
+//
+//	# machine-readable run summary: append the audit's metrics in
+//	# Prometheus text format (same series auditd exports at /metrics)
+//	audit -schema engine.schema -in dirty.csv -stats
 package main
 
 import (
@@ -24,10 +28,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dataaudit/internal/audit"
 	"dataaudit/internal/audittree"
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/obs"
 )
 
 func main() {
@@ -48,6 +54,7 @@ func main() {
 		stream  = flag.Bool("stream", false, "stream the input through a saved -model with bounded memory (no table materialization)")
 		chunk   = flag.Int("chunk", 1024, "rows per scoring chunk in -stream mode")
 		workers = flag.Int("workers", 0, "scoring workers in -stream mode (0 = NumCPU)")
+		stats   = flag.Bool("stats", false, "append a one-shot metric summary of the run in Prometheus text format (the same series auditd exports at /metrics)")
 	)
 	flag.Parse()
 	if *schemaPath == "" || *in == "" {
@@ -81,7 +88,7 @@ func main() {
 		if err != nil {
 			fail("loading model: %v", err)
 		}
-		runStream(model, schema, *in, *top, *chunk, *workers, failOnHeaderMismatch)
+		runStream(model, schema, *in, *top, *chunk, *workers, *stats, failOnHeaderMismatch)
 		return
 	}
 
@@ -170,11 +177,48 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote corrected table to %s\n", *corrected)
 	}
+
+	if *stats {
+		susCount, tallies := model.TallyResult(res)
+		printStats(model, int64(table.NumRows()), susCount, res.CheckTime, tallies)
+	}
+}
+
+// printStats renders one audit run as Prometheus text exposition,
+// through the same metric structs auditd feeds from the monitor — the
+// series names and label shapes match a scraped /metrics exactly, so the
+// same parsing works on a CLI run and a daemon scrape.
+func printStats(model *audit.Model, rows, suspicious int64, checkTime time.Duration, tallies []audit.AttrTally) {
+	reg := obs.NewRegistry()
+	mets := obs.NewAuditMetrics(reg)
+	const label = "cli" // one-shot runs have no registry model name
+	mets.RowsScored.With(label).Add(uint64(rows))
+	mets.RowsSuspicious.With(label).Add(uint64(suspicious))
+	if rows > 0 {
+		mets.WindowSuspiciousRate.With(label).Set(float64(suspicious) / float64(rows))
+	}
+	if checkTime > 0 {
+		// Throughput only exists for a finished one-shot run, so this
+		// gauge is CLI-only; the daemon's equivalent is a rate() over
+		// dataaudit_rows_scored_total.
+		reg.NewGauge("dataaudit_audit_rows_per_second",
+			"Scoring throughput of this one-shot audit run.").
+			Set(float64(rows) / checkTime.Seconds())
+	}
+	for i := range tallies {
+		t := &tallies[i]
+		name := model.Schema.Attr(t.Attr).Name
+		mets.AttrDeviations.With(label, name).Add(uint64(t.Deviations))
+		mets.AttrSuspicious.With(label, name).Add(uint64(t.Suspicious))
+	}
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		fail("%v", err)
+	}
 }
 
 // runStream audits the CSV through the bounded-memory pipeline and prints
 // the ranked top-K plus per-attribute deviation tallies.
-func runStream(model *audit.Model, schema *dataset.Schema, in string, top, chunk, workers int, failOnHeaderMismatch func(error)) {
+func runStream(model *audit.Model, schema *dataset.Schema, in string, top, chunk, workers int, stats bool, failOnHeaderMismatch func(error)) {
 	src, closer, err := dataset.OpenCSVFileSource(in, schema)
 	if err != nil {
 		failOnHeaderMismatch(err)
@@ -208,6 +252,9 @@ func runStream(model *audit.Model, schema *dataset.Schema, in string, top, chunk
 		}
 		fmt.Printf("  %-14s %8d deviations, %6d suspicious, max confidence %.2f%%\n",
 			model.Schema.Attr(tally.Attr).Name, tally.Deviations, tally.Suspicious, tally.MaxErrorConf*100)
+	}
+	if stats {
+		printStats(model, res.RowsChecked, res.NumSuspicious, res.CheckTime, res.Attrs)
 	}
 }
 

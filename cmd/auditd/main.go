@@ -41,6 +41,19 @@
 // atomically under -monitor-state (default <dir>/.state) on every sealed
 // window and on graceful shutdown, and is reloaded at the next boot, so
 // GET /v1/models/{name}/quality history survives restarts.
+//
+// Observability (both on by default):
+//
+//	# Prometheus text exposition: rows scored, suspicious rates,
+//	# per-attribute deviations, drift detectors, re-induction outcomes,
+//	# registry cache and per-route request/latency series
+//	curl localhost:8080/metrics
+//
+//	# embedded quality dashboard: p-chart and I-MR control charts over
+//	# the monitoring windows, drift annotations, lifecycle log
+//	open localhost:8080/dashboard
+//
+// Disable with -metrics=false / -dashboard=false.
 package main
 
 import (
@@ -72,6 +85,9 @@ func main() {
 		chunk    = flag.Int("stream-chunk", 1024, "default scoring-chunk size of the streaming audit endpoint")
 		topK     = flag.Int("stream-top", 1000, "default ranking depth of the streaming audit summary")
 
+		metrics   = flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics and instrument every route with request/latency series")
+		dashboard = flag.Bool("dashboard", true, "serve the embedded quality dashboard (control charts over monitoring windows) at GET /dashboard")
+
 		monWindow  = flag.Int64("monitor-window", 1024, "quality-monitoring window size in audited rows")
 		driftDelta = flag.Float64("drift-delta", 0.10, "drift threshold: window suspicious-rate excess over the model's baseline")
 		phLambda   = flag.Float64("drift-ph-lambda", 0.25, "Page-Hinkley alarm threshold over the window suspicious-rate series")
@@ -95,6 +111,8 @@ func main() {
 		serve.WithMaxBatchRows(*maxRows),
 		serve.WithStreamChunkSize(*chunk),
 		serve.WithStreamTopK(*topK),
+		serve.WithMetrics(*metrics),
+		serve.WithDashboard(*dashboard),
 		serve.WithMonitorOptions(monitor.Options{
 			WindowRows:    *monWindow,
 			DriftDelta:    *driftDelta,

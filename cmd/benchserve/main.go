@@ -1,0 +1,207 @@
+// Command benchserve measures the HTTP serving layer per route and
+// writes BENCH_serve.json, the serving-layer perf trajectory baseline.
+// It boots an in-process auditd server on a loopback listener, publishes
+// a model induced from the deterministic benchcore fixture (QUIS sample
+// + seeded pollution), drives every instrumented route with real HTTP
+// requests, and then reads request counts and p50/p99 latency back from
+// the same obs histograms GET /metrics exports — so the committed
+// numbers are exactly what a Prometheus scrape of a production auditd
+// would show:
+//
+//	go run ./cmd/benchserve -out BENCH_serve.json
+//
+// Latency is wall-clock and machine-sensitive, so BENCH_serve.json is a
+// trajectory record, not a CI gate (the hermetic gate is benchcore's);
+// CI re-measures it on every run and uploads the result as an artifact
+// for side-by-side comparison.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+
+	"dataaudit/internal/benchutil"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/monitor"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/quis"
+	"dataaudit/internal/registry"
+	"dataaudit/internal/serve"
+)
+
+// RouteStat is one route's latency summary, read from the serving
+// histogram after the drive. Quantiles are bucket-interpolated exactly
+// like Prometheus's histogram_quantile over the exported series.
+type RouteStat struct {
+	// Route is the mux pattern's path, the same label value /metrics
+	// exports on dataaudit_http_request_seconds.
+	Route string `json:"route"`
+	// Requests is the number of timed requests the histogram absorbed.
+	Requests uint64 `json:"requests"`
+	// MeanMs, P50Ms and P99Ms summarize the request latency.
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	GeneratedBy string      `json:"generatedBy"`
+	GoVersion   string      `json:"goVersion"`
+	NumCPU      int         `json:"numCPU"`
+	Rows        int         `json:"rows"`
+	Seed        int64       `json:"seed"`
+	Workers     int         `json:"workers"`
+	Routes      []RouteStat `json:"routes"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_serve.json", "output file (- for stdout)")
+		rows    = flag.Int("rows", 30000, "fixture table size (QUIS needs >= 30000)")
+		seed    = flag.Int64("seed", 2003, "fixture generator seed (same as benchcore)")
+		reqs    = flag.Int("reqs", 200, "requests per cheap route (health, list, get, quality, dashboard data)")
+		audits  = flag.Int("audits", 8, "full-table requests per scoring route (batch and stream audit)")
+		workers = flag.Int("workers", 4, "scoring workers per audit request")
+	)
+	flag.Parse()
+
+	schemaText, csvBody := fixture(*rows, *seed)
+
+	dir, err := os.MkdirTemp("", "benchserve-*")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+	reg, err := registry.Open(dir)
+	if err != nil {
+		fail("%v", err)
+	}
+	srv := serve.New(reg,
+		serve.WithLogger(log.New(io.Discard, "", 0)),
+		serve.WithWorkers(*workers),
+		// One window per full-table audit, so the monitoring fold path —
+		// the part of the route the instrumentation must not slow down —
+		// runs its seal-and-snapshot branch under measurement too.
+		serve.WithMonitorOptions(monitor.Options{WindowRows: int64(*rows)}),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fmt.Fprintf(os.Stderr, "benchserve: %d-row fixture (seed %d), %d reqs/route, %d audits/route, %d workers\n",
+		*rows, *seed, *reqs, *audits, *workers)
+
+	// Publish through the induce route itself — its latency lands in the
+	// shared "/v1/models" histogram alongside the list requests, exactly
+	// as it would in production.
+	induceBody := fmt.Sprintf(`{"name":"quis","schema":%q,"csv":%q,"options":{"minConfidence":0.8}}`,
+		schemaText, csvBody)
+	do(http.MethodPost, ts.URL+"/v1/models", "application/json", induceBody, http.StatusCreated)
+
+	for i := 0; i < *reqs; i++ {
+		do(http.MethodGet, ts.URL+"/healthz", "", "", http.StatusOK)
+		do(http.MethodGet, ts.URL+"/v1/models", "", "", http.StatusOK)
+		do(http.MethodGet, ts.URL+"/v1/models/quis", "", "", http.StatusOK)
+		do(http.MethodGet, ts.URL+"/v1/models/quis/quality", "", "", http.StatusOK)
+		do(http.MethodGet, ts.URL+"/dashboard/data", "", "", http.StatusOK)
+	}
+	for i := 0; i < *audits; i++ {
+		do(http.MethodPost, ts.URL+"/v1/models/quis/audit", "text/csv", csvBody, http.StatusOK)
+		do(http.MethodPost, ts.URL+"/v1/models/quis/audit/stream", "text/csv", csvBody, http.StatusOK)
+	}
+
+	rep := Report{
+		GeneratedBy: "cmd/benchserve",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Rows:        *rows,
+		Seed:        *seed,
+		Workers:     *workers,
+	}
+	for _, route := range []string{
+		"/healthz",
+		"/v1/models",
+		"/v1/models/{name}",
+		"/v1/models/{name}/quality",
+		"/v1/models/{name}/audit",
+		"/v1/models/{name}/audit/stream",
+		"/dashboard/data",
+	} {
+		snap := srv.RouteLatency(route)
+		if snap.Count == 0 {
+			fail("route %s was never hit — the drive above is out of sync with the route table", route)
+		}
+		st := RouteStat{
+			Route:    route,
+			Requests: snap.Count,
+			MeanMs:   snap.Sum / float64(snap.Count) * 1000,
+			P50Ms:    snap.Quantile(0.50) * 1000,
+			P99Ms:    snap.Quantile(0.99) * 1000,
+		}
+		rep.Routes = append(rep.Routes, st)
+		fmt.Fprintf(os.Stderr, "benchserve: %-32s %6d reqs  mean %8.2f ms  p50 %8.2f ms  p99 %8.2f ms\n",
+			st.Route, st.Requests, st.MeanMs, st.P50Ms, st.P99Ms)
+	}
+
+	if err := benchutil.WriteJSON(rep, *out); err != nil {
+		fail("%v", err)
+	}
+}
+
+// fixture renders the deterministic benchcore table (QUIS sample with
+// seeded cell pollution) as the schema text and CSV body the HTTP
+// routes consume.
+func fixture(rows int, seed int64) (schemaText, csvBody string) {
+	sample, err := quis.Generate(quis.Params{NumRecords: rows, Seed: seed})
+	if err != nil {
+		fail("%v", err)
+	}
+	plan := pollute.Plan{Cell: []pollute.Configured{
+		{Prob: 0.02, P: &pollute.WrongValuePolluter{}},
+		{Prob: 0.01, P: &pollute.NullValuePolluter{}},
+	}}
+	dirty, _ := pollute.Run(sample.Data, plan, rand.New(rand.NewSource(42)))
+	var schemaBuf, csvBuf bytes.Buffer
+	if err := dataset.WriteSchemaText(&schemaBuf, dirty.Schema()); err != nil {
+		fail("%v", err)
+	}
+	if err := dataset.WriteCSV(&csvBuf, dirty); err != nil {
+		fail("%v", err)
+	}
+	return schemaBuf.String(), csvBuf.String()
+}
+
+// do issues one request and fails loudly on an unexpected status — a
+// mis-driven route would otherwise commit garbage latency numbers.
+func do(method, url, contentType, body string, wantStatus int) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		fail("%v", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fail("%s %s: %v", method, url, err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		fail("%s %s: status %d, want %d\n%s", method, url, resp.StatusCode, wantStatus, b)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchserve: "+format+"\n", args...)
+	os.Exit(1)
+}

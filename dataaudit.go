@@ -56,6 +56,7 @@ import (
 	"dataaudit/internal/dataset"
 	"dataaudit/internal/evalx"
 	"dataaudit/internal/monitor"
+	"dataaudit/internal/obs"
 	"dataaudit/internal/pollute"
 	"dataaudit/internal/quis"
 	"dataaudit/internal/registry"
@@ -322,6 +323,11 @@ var (
 	// ServerMonitorOptions configures the quality monitor the audit routes
 	// feed (window size, drift thresholds, opt-in auto re-induction).
 	ServerMonitorOptions = serve.WithMonitorOptions
+	// ServerMetrics / ServerDashboard toggle the observability routes
+	// (GET /metrics, GET /dashboard) and the per-route instrumentation;
+	// both default on.
+	ServerMetrics   = serve.WithMetrics
+	ServerDashboard = serve.WithDashboard
 )
 
 // ---------------------------------------------------------------------------
@@ -369,6 +375,34 @@ const (
 var (
 	NewQualityMonitor = monitor.New
 	MonitorStateFile  = monitor.StateFile
+)
+
+// ---------------------------------------------------------------------------
+// Observability (internal/obs)
+
+// MetricsRegistry is a dependency-free Prometheus text-exposition
+// registry (counters, gauges, histograms; atomic hot paths, sorted
+// deterministic WritePrometheus output). AuditMetrics is the
+// scoring/lifecycle metric set the quality monitor feeds
+// (MonitorOptions.Metrics); HTTPMetrics wraps http handlers with
+// per-route request/latency series. HistSnapshot is a point-in-time
+// histogram copy with Prometheus-style interpolated quantiles.
+type (
+	MetricsRegistry = obs.Registry
+	AuditMetrics    = obs.AuditMetrics
+	HTTPMetrics     = obs.HTTPMetrics
+	HistSnapshot    = obs.HistSnapshot
+)
+
+var (
+	NewMetricsRegistry = obs.NewRegistry
+	NewAuditMetrics    = obs.NewAuditMetrics
+	NewHTTPMetrics     = obs.NewHTTPMetrics
+	// ValidateExposition checks a Prometheus text exposition for
+	// HELP/TYPE ordering, label escaping, histogram shape and sorted
+	// series — the oracle behind the /metrics format tests and
+	// cmd/promcheck.
+	ValidateExposition = obs.ValidateExposition
 )
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@ import (
 
 	"dataaudit/internal/audit"
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/obs"
 	"dataaudit/internal/registry"
 )
 
@@ -72,6 +73,13 @@ type Options struct {
 	Now func() time.Time
 	// Logger receives lifecycle messages (default log.Default()).
 	Logger *log.Logger
+	// Metrics, when set, receives scoring and lifecycle instrumentation:
+	// rows and per-attribute deviations folded batch-at-a-time, sealed
+	// windows, drift-detector gauges, reservoir fill and re-induction
+	// outcomes/durations. The handles are interned per model state, so
+	// the fold path's per-observation cost is a handful of atomic adds —
+	// never an allocation (see modelMetrics). Nil disables instrumentation.
+	Metrics *obs.AuditMetrics
 
 	// hookReinduceStart, when set, is called by the background
 	// re-induction worker after the reservoir snapshot is taken and
@@ -326,6 +334,70 @@ type modelState struct {
 	lastDelta            float64
 	events               []Event
 	rv                   *reservoir
+
+	// met caches the model's interned metric children (nil when metrics
+	// are disabled, or until the first fold after the state adopted a
+	// model or was reloaded from disk). adoptModel clears it so the
+	// per-attribute handle slices are rebuilt for the new attribute set.
+	met *modelMetrics
+}
+
+// modelMetrics holds one model's interned metric children. Resolving a
+// labelled child costs a map lookup under the vec's lock; interning the
+// children once per (state, attribute set) makes every fold a short run
+// of pure atomic operations — no lookups, no allocation — which is what
+// lets the monitor instrument the scoring path without violating the
+// core's zero-allocation contract.
+type modelMetrics struct {
+	rows, suspicious, sealed *obs.Counter
+	winRate, baseRate        *obs.Gauge
+	delta, ph, active        *obs.Gauge
+	reservoir                *obs.Gauge
+	attrDev, attrSus         []*obs.Counter // Model.Attrs order, aligned with st.classes
+}
+
+// buildMetricsLocked interns the metric children for the current
+// attribute set; st.mu must be held and st.schema set.
+func (st *modelState) buildMetricsLocked(mets *obs.AuditMetrics) {
+	mm := &modelMetrics{
+		rows:       mets.RowsScored.With(st.name),
+		suspicious: mets.RowsSuspicious.With(st.name),
+		sealed:     mets.WindowsSealed.With(st.name),
+		winRate:    mets.WindowSuspiciousRate.With(st.name),
+		baseRate:   mets.BaselineSuspiciousRate.With(st.name),
+		delta:      mets.DriftDelta.With(st.name),
+		ph:         mets.DriftPageHinkley.With(st.name),
+		active:     mets.DriftActive.With(st.name),
+		reservoir:  mets.ReservoirRows.With(st.name),
+		attrDev:    make([]*obs.Counter, len(st.classes)),
+		attrSus:    make([]*obs.Counter, len(st.classes)),
+	}
+	for i, c := range st.classes {
+		attr := st.schema.Attr(c).Name
+		mm.attrDev[i] = mets.AttrDeviations.With(st.name, attr)
+		mm.attrSus[i] = mets.AttrSuspicious.With(st.name, attr)
+	}
+	st.met = mm
+}
+
+// syncDriftGaugesLocked publishes the detector state into the drift
+// gauges; st.mu must be held. Called after every sealed window and after
+// a re-induction swap establishes a fresh baseline.
+func (st *modelState) syncDriftGaugesLocked() {
+	mm := st.met
+	if mm == nil {
+		return
+	}
+	if st.baseline != nil {
+		mm.baseRate.Set(st.baseline.SuspiciousRate)
+	}
+	mm.delta.Set(st.lastDelta)
+	mm.ph.Set(st.ph.PH)
+	if st.drifted {
+		mm.active.Set(1)
+	} else {
+		mm.active.Set(0)
+	}
 }
 
 // tracking reports whether the state is still tracking exactly the given
@@ -449,6 +521,9 @@ func (st *modelState) adoptModel(model *audit.Model) {
 		st.winAttrs[i].Attr = am.Class
 	}
 	st.winRows, st.winSuspicious = 0, 0
+	// Invalidate the interned metric handles: the successor's attribute
+	// set may differ, and the fold path re-interns lazily.
+	st.met = nil
 }
 
 // ObserveBatch folds one buffered audit (the /audit route, or any
@@ -520,8 +595,19 @@ func (o *StreamObserver) Finish(res *audit.StreamResult) {
 // foldLocked accumulates one observation into the open window and seals
 // it when full; st.mu must be held.
 func (m *Monitor) foldLocked(st *modelState, rows, suspicious int64, tallies []audit.AttrTally) {
+	if st.met == nil && m.opts.Metrics != nil && st.schema != nil {
+		// Lazy so state reloaded from disk (which never runs adoptModel)
+		// interns its handles on the first fold after boot.
+		st.buildMetricsLocked(m.opts.Metrics)
+	}
+	mm := st.met
 	st.winRows += rows
 	st.winSuspicious += suspicious
+	if mm != nil {
+		mm.rows.Add(uint64(rows))
+		mm.suspicious.Add(uint64(suspicious))
+		mm.reservoir.Set(float64(len(st.rv.rows)))
+	}
 	for i := range tallies {
 		if i >= len(st.winAttrs) {
 			break
@@ -532,6 +618,10 @@ func (m *Monitor) foldLocked(st *modelState, rows, suspicious int64, tallies []a
 		t.SumErrorConf += u.SumErrorConf
 		if u.MaxErrorConf > t.MaxErrorConf {
 			t.MaxErrorConf = u.MaxErrorConf
+		}
+		if mm != nil && i < len(mm.attrDev) {
+			mm.attrDev[i].Add(uint64(u.Deviations))
+			mm.attrSus[i].Add(uint64(u.Suspicious))
 		}
 	}
 	if st.winRows >= m.opts.WindowRows {
@@ -572,6 +662,13 @@ func (m *Monitor) sealLocked(st *modelState) {
 	st.winRows, st.winSuspicious = 0, 0
 	for i := range st.winAttrs {
 		st.winAttrs[i] = audit.AttrTally{Attr: st.winAttrs[i].Attr}
+	}
+	if mm := st.met; mm != nil {
+		mm.sealed.Inc()
+		mm.winRate.Set(snap.SuspiciousRate)
+		// Deferred so every return path below — baseline adoption, warm-up,
+		// drift — exports whatever detector state it left behind.
+		defer st.syncDriftGaugesLocked()
 	}
 	// Every sealed window is a persistence commit point: whatever happens
 	// below (baseline adoption, drift events, a re-induction trigger)
@@ -671,6 +768,12 @@ func (m *Monitor) Forget(name string) {
 		// in-flight writes; a recreated name gets a later generation and
 		// persists normally.
 		m.disk.remove(name, gen)
+	}
+	if m.opts.Metrics != nil {
+		// Drop every series labelled with the name so a recreated model
+		// starts from zero instead of inheriting the dead incarnation's
+		// counters.
+		m.opts.Metrics.ForgetModel(name)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"dataaudit/internal/audit"
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/obs"
 )
 
 // Asynchronous re-induction. Induction over the reservoir plus the
@@ -39,16 +40,19 @@ func (m *Monitor) triggerReinduceLocked(st *modelState, window int) {
 	if !m.opts.AutoReinduce {
 		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
 			Message: "auto re-induction disabled"})
+		m.reinduceOutcome(st.name, obs.OutcomeSkipped, -1)
 		return
 	}
 	if st.reinducing {
 		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
 			Message: "re-induction already in flight; coalesced"})
+		m.reinduceOutcome(st.name, obs.OutcomeSkipped, -1)
 		return
 	}
 	if len(st.rv.rows) < m.opts.MinReinduceRows {
 		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
 			Message: fmt.Sprintf("reservoir has %d rows, need %d", len(st.rv.rows), m.opts.MinReinduceRows)})
+		m.reinduceOutcome(st.name, obs.OutcomeSkipped, -1)
 		return
 	}
 	job := reinduceJob{
@@ -70,6 +74,8 @@ func (m *Monitor) triggerReinduceLocked(st *modelState, window int) {
 // during the expensive stages.
 func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
 	defer m.wg.Done()
+	start := m.opts.Now()
+	elapsed := func() float64 { return m.opts.Now().Sub(start).Seconds() }
 	if h := m.opts.hookReinduceStart; h != nil {
 		h(job.name, job.version)
 	}
@@ -88,6 +94,7 @@ func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
 	if !st.guardHolds(job) {
 		m.finishSuperseded(st, job, 0)
 		st.mu.Unlock()
+		m.reinduceOutcome(job.name, obs.OutcomeSuperseded, elapsed())
 		return
 	}
 	if indErr != nil {
@@ -96,6 +103,7 @@ func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
 			Message: fmt.Sprintf("induction over %d reservoir rows: %v", job.sample.NumRows(), indErr)})
 		m.saveLocked(st)
 		st.mu.Unlock()
+		m.reinduceOutcome(job.name, obs.OutcomeFailed, elapsed())
 		return
 	}
 	st.mu.Unlock()
@@ -112,6 +120,7 @@ func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
 	defer st.mu.Unlock()
 	if !st.guardHolds(job) {
 		m.finishSuperseded(st, job, meta.Version)
+		m.reinduceOutcome(job.name, obs.OutcomeSuperseded, elapsed())
 		return
 	}
 	st.reinducing = false
@@ -119,6 +128,7 @@ func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
 		m.event(st, Event{Kind: EventReinduceFailed, Window: job.window, Version: job.version,
 			Message: fmt.Sprintf("publish: %v", pubErr)})
 		m.saveLocked(st)
+		m.reinduceOutcome(job.name, obs.OutcomeFailed, elapsed())
 		return
 	}
 
@@ -142,7 +152,28 @@ func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
 	st.drifted = false
 	st.lastDelta = 0
 	st.rv.resetSample()
+	if mets := m.opts.Metrics; mets != nil {
+		// Re-intern immediately (adoptModel invalidated the handles) so
+		// the drift gauges clear now, not at the next fold.
+		st.buildMetricsLocked(mets)
+		st.syncDriftGaugesLocked()
+	}
 	m.saveLocked(st)
+	m.reinduceOutcome(job.name, obs.OutcomeReinduced, elapsed())
+}
+
+// reinduceOutcome records one re-induction outcome; seconds is the
+// worker's end-to-end duration, or negative for trigger-time skips (no
+// worker ran, so there is no duration to observe).
+func (m *Monitor) reinduceOutcome(name, outcome string, seconds float64) {
+	mets := m.opts.Metrics
+	if mets == nil {
+		return
+	}
+	mets.Reinductions.With(name, outcome).Inc()
+	if seconds >= 0 {
+		mets.ReinduceSeconds.Observe(seconds)
+	}
 }
 
 // guardHolds reports whether the worker's snapshot still matches the

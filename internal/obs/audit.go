@@ -1,0 +1,98 @@
+package obs
+
+// The dataaudit metric set. One struct holds every scoring/lifecycle
+// metric handle so the monitor (fold path, drift detectors, re-induction
+// worker), the serving layer and the one-shot CLI all instrument the
+// same series — /metrics on the daemon and `audit -stats` on the command
+// line read from identical structs.
+
+// Reinduction outcome label values (the `outcome` label of
+// dataaudit_reinductions_total), mirroring the monitor's lifecycle
+// events.
+const (
+	OutcomeReinduced  = "reinduced"
+	OutcomeFailed     = "failed"
+	OutcomeSkipped    = "skipped"
+	OutcomeSuperseded = "superseded"
+)
+
+// ReinduceBuckets are the re-induction duration bucket bounds in seconds:
+// re-inductions take milliseconds on toy reservoirs and whole minutes on
+// warehouse-scale ones.
+func ReinduceBuckets() []float64 {
+	return []float64{.01, .05, .25, 1, 5, 15, 60, 300}
+}
+
+// AuditMetrics is the scoring + lifecycle metric set.
+type AuditMetrics struct {
+	// RowsScored / RowsSuspicious count audited rows per model, folded
+	// batch-at-a-time from the monitor's aggregation path (never row-at-
+	// a-time — the scoring hot loop stays allocation- and metric-free).
+	RowsScored     *CounterVec // labels: model
+	RowsSuspicious *CounterVec // labels: model
+	// AttrDeviations / AttrSuspicious count per-attribute findings.
+	AttrDeviations *CounterVec // labels: model, attr
+	AttrSuspicious *CounterVec // labels: model, attr
+	// WindowsSealed counts sealed monitoring windows.
+	WindowsSealed *CounterVec // labels: model
+	// WindowSuspiciousRate is the most recent sealed window's suspicious
+	// rate; BaselineSuspiciousRate the baseline it is compared against.
+	WindowSuspiciousRate   *GaugeVec // labels: model
+	BaselineSuspiciousRate *GaugeVec // labels: model
+	// DriftDelta / DriftPageHinkley expose the live detector statistics;
+	// DriftActive is 1 while the drift latch is set.
+	DriftDelta       *GaugeVec // labels: model
+	DriftPageHinkley *GaugeVec // labels: model
+	DriftActive      *GaugeVec // labels: model
+	// ReservoirRows is the re-induction reservoir fill.
+	ReservoirRows *GaugeVec // labels: model
+	// Reinductions counts re-induction outcomes; ReinduceSeconds times
+	// the background worker end-to-end (induction + profile + publish).
+	Reinductions    *CounterVec // labels: model, outcome
+	ReinduceSeconds *Histogram
+}
+
+// NewAuditMetrics registers the scoring/lifecycle metric set.
+func NewAuditMetrics(r *Registry) *AuditMetrics {
+	return &AuditMetrics{
+		RowsScored: r.NewCounterVec("dataaudit_rows_scored_total",
+			"Rows scored through the audit routes, by model.", "model"),
+		RowsSuspicious: r.NewCounterVec("dataaudit_rows_suspicious_total",
+			"Rows flagged suspicious (error confidence >= the model's minimum), by model.", "model"),
+		AttrDeviations: r.NewCounterVec("dataaudit_attr_deviations_total",
+			"Attribute-level deviations (findings with positive error confidence), by model and attribute.", "model", "attr"),
+		AttrSuspicious: r.NewCounterVec("dataaudit_attr_suspicious_total",
+			"Attribute-level deviations at or above the model's minimum confidence, by model and attribute.", "model", "attr"),
+		WindowsSealed: r.NewCounterVec("dataaudit_monitor_windows_sealed_total",
+			"Sealed quality-monitoring windows, by model.", "model"),
+		WindowSuspiciousRate: r.NewGaugeVec("dataaudit_window_suspicious_rate",
+			"Suspicious rate of the most recently sealed monitoring window, by model.", "model"),
+		BaselineSuspiciousRate: r.NewGaugeVec("dataaudit_baseline_suspicious_rate",
+			"Suspicious rate of the model's quality baseline (induction-time profile or adopted first window).", "model"),
+		DriftDelta: r.NewGaugeVec("dataaudit_drift_delta",
+			"Latest window suspicious rate minus the baseline rate, by model.", "model"),
+		DriftPageHinkley: r.NewGaugeVec("dataaudit_drift_page_hinkley",
+			"Page-Hinkley cumulative statistic over the window suspicious-rate series, by model.", "model"),
+		DriftActive: r.NewGaugeVec("dataaudit_drift_active",
+			"1 while the model's drift latch is set (cleared by re-induction), else 0.", "model"),
+		ReservoirRows: r.NewGaugeVec("dataaudit_reservoir_rows",
+			"Rows currently held in the re-induction reservoir sample, by model.", "model"),
+		Reinductions: r.NewCounterVec("dataaudit_reinductions_total",
+			"Re-induction outcomes by model: reinduced, failed, skipped, superseded.", "model", "outcome"),
+		ReinduceSeconds: r.NewHistogram("dataaudit_reinduction_seconds",
+			"End-to-end background re-induction duration (induction + quality profile + publish).",
+			ReinduceBuckets()),
+	}
+}
+
+// ForgetModel drops every series labelled with the model — called when
+// the model is deleted so a recreated name starts from zero instead of
+// inheriting the dead incarnation's counters.
+func (m *AuditMetrics) ForgetModel(name string) {
+	for _, v := range []*CounterVec{m.RowsScored, m.RowsSuspicious, m.AttrDeviations, m.AttrSuspicious, m.WindowsSealed, m.Reinductions} {
+		v.DeleteByLabel("model", name)
+	}
+	for _, v := range []*GaugeVec{m.WindowSuspiciousRate, m.BaselineSuspiciousRate, m.DriftDelta, m.DriftPageHinkley, m.DriftActive, m.ReservoirRows} {
+		v.DeleteByLabel("model", name)
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP request instrumentation: a per-route request counter (method and
+// status code labelled) and a per-route latency histogram. Routes are
+// static strings chosen at registration time (the mux pattern, e.g.
+// "/v1/models/{name}/audit"), never the raw request path — raw paths
+// would explode series cardinality with every model name.
+
+// HTTPMetrics instruments handlers wrapped by Wrap.
+type HTTPMetrics struct {
+	// Requests counts completed requests by route, method and status code.
+	Requests *CounterVec // labels: route, method, code
+	// LatencySeconds times requests by route.
+	LatencySeconds *HistogramVec // labels: route
+}
+
+// NewHTTPMetrics registers the HTTP metric families.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.NewCounterVec("dataaudit_http_requests_total",
+			"HTTP requests served, by route pattern, method and status code.", "route", "method", "code"),
+		LatencySeconds: r.NewHistogramVec("dataaudit_http_request_seconds",
+			"HTTP request latency in seconds (first byte in to handler return), by route pattern.",
+			DefLatencyBuckets(), "route"),
+	}
+}
+
+// statusRecorder captures the response status code. It exposes the
+// wrapped writer through Unwrap so http.ResponseController (which the
+// NDJSON streaming route uses for Flush and full-duplex) reaches the
+// underlying implementation.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.code == 0 {
+		sr.code = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the real writer.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// Wrap instruments one route. The latency child is interned once here,
+// so the per-request cost is one histogram observe plus one counter
+// lookup for the (method, code) pair.
+func (m *HTTPMetrics) Wrap(route string, next http.HandlerFunc) http.HandlerFunc {
+	latency := m.LatencySeconds.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		next(sr, r)
+		if sr.code == 0 {
+			// Handler returned without writing anything; net/http sends 200.
+			sr.code = http.StatusOK
+		}
+		latency.Observe(time.Since(start).Seconds())
+		m.Requests.With(route, r.Method, strconv.Itoa(sr.code)).Inc()
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPMiddlewareCountsAndTimes(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r)
+	h := m.Wrap("/v1/models/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("boom") != "" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok")) // implicit 200
+	})
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest("GET", "/v1/models/x", nil))
+	}
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/v1/models/x?boom=1", nil))
+
+	if got := m.Requests.With("/v1/models/{name}", "GET", "200").Value(); got != 3 {
+		t.Fatalf("200 count = %d, want 3", got)
+	}
+	if got := m.Requests.With("/v1/models/{name}", "GET", "404").Value(); got != 1 {
+		t.Fatalf("404 count = %d, want 1", got)
+	}
+	snap := m.LatencySeconds.With("/v1/models/{name}").Snapshot()
+	if snap.Count != 4 {
+		t.Fatalf("latency observations = %d, want 4", snap.Count)
+	}
+}
+
+// TestHTTPMiddlewareNoBodyIs200 pins the "handler wrote nothing" case:
+// net/http sends an implicit 200, and the counter must agree.
+func TestHTTPMiddlewareNoBodyIs200(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r)
+	h := m.Wrap("/healthz", func(w http.ResponseWriter, r *http.Request) {})
+	h(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+	if got := m.Requests.With("/healthz", "GET", "200").Value(); got != 1 {
+		t.Fatalf("200 count = %d, want 1", got)
+	}
+}
+
+// TestStatusRecorderUnwrap keeps http.ResponseController working through
+// the middleware — the NDJSON streaming route needs Flush and
+// full-duplex on the unwrapped writer.
+func TestStatusRecorderUnwrap(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sr := &statusRecorder{ResponseWriter: rec}
+	rc := http.NewResponseController(sr)
+	sr.Write([]byte("x"))
+	if err := rc.Flush(); err != nil {
+		t.Fatalf("Flush through statusRecorder: %v", err)
+	}
+	if !rec.Flushed {
+		t.Fatal("flush did not reach the underlying writer")
+	}
+}

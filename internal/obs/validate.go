@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition as this package produces it: every family introduced by a
+// HELP line immediately followed by a TYPE line, every sample line
+// matching the metric/labels/value grammar and belonging to the current
+// family, and families arriving in strictly sorted name order (the
+// determinism contract). Tests — the golden test here and the serving
+// layer's /metrics scrape test — use it as the format oracle.
+func ValidateExposition(r io.Reader) error {
+	var (
+		helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+		typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$`)
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		family     string // current family name ("" before the first)
+		lastFamily string
+		sawType    bool
+		expectType bool
+		lineNo     int
+		samples    int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if expectType {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil || m[1] != family {
+				return fmt.Errorf("line %d: HELP for %q not followed by its TYPE line: %q", lineNo, family, line)
+			}
+			expectType = false
+			sawType = true
+			continue
+		}
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			if lastFamily != "" && m[1] <= lastFamily {
+				return fmt.Errorf("line %d: family %q out of sorted order (after %q)", lineNo, m[1], lastFamily)
+			}
+			family, lastFamily = m[1], m[1]
+			expectType = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: unexpected comment line %q", lineNo, line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
+		}
+		if family == "" || !sawType {
+			return fmt.Errorf("line %d: sample %q before any HELP/TYPE header", lineNo, m[1])
+		}
+		// Histogram samples append _bucket/_sum/_count to the family name.
+		name := m[1]
+		if name != family &&
+			name != family+"_bucket" && name != family+"_sum" && name != family+"_count" {
+			return fmt.Errorf("line %d: sample %q outside family %q", lineNo, name, family)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples found")
+	}
+	return nil
+}

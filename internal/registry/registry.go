@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dataaudit/internal/audit"
@@ -100,6 +101,20 @@ type Registry struct {
 	clock int64                  // logical clock for LRU bookkeeping
 	gen   int64                  // bumped by Delete; stale loads skip the cache
 	max   int
+
+	// Cache statistics, atomic so CacheStats never contends with the
+	// cache lock. The registry stays dependency-free: the serving layer
+	// bridges these into its metric registry with scrape-time functions.
+	hits, misses, evictions atomic.Uint64
+}
+
+// CacheStats reports the model cache's cumulative hit/miss/eviction
+// counts and the number of currently resident models.
+func (r *Registry) CacheStats() (hits, misses, evictions uint64, resident int) {
+	r.mu.Lock()
+	resident = len(r.cache)
+	r.mu.Unlock()
+	return r.hits.Load(), r.misses.Load(), r.evictions.Load(), resident
 }
 
 type cacheEntry struct {
@@ -324,10 +339,12 @@ func (r *Registry) GetVersion(name string, version int) (*audit.Model, Meta, err
 		e.used = r.clock
 		m, meta := e.model, e.meta
 		r.mu.Unlock()
+		r.hits.Add(1)
 		return m, meta, nil
 	}
 	genAtMiss := r.gen
 	r.mu.Unlock()
+	r.misses.Add(1)
 
 	meta, err := r.readMeta(name, version)
 	if err != nil {
@@ -504,5 +521,6 @@ func (r *Registry) cachePutLocked(name string, version int, m *audit.Model, meta
 			}
 		}
 		delete(r.cache, oldestKey)
+		r.evictions.Add(1)
 	}
 }

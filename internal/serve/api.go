@@ -137,6 +137,23 @@ type ListResponse struct {
 	Models []registry.Meta `json:"models"`
 }
 
+// HealthzResponse is the body of GET /healthz. The contract is the bare
+// 200: probes may ignore the body entirely, and every field here is
+// informational.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	// Version is the module version or VCS revision embedded in the
+	// binary ("devel" for plain go-build trees); GoVersion the toolchain
+	// that built it.
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	// UptimeSeconds counts from server construction; Models is the number
+	// of published models; Workers the default scoring pool size.
+	UptimeSeconds int64 `json:"uptimeSeconds"`
+	Models        int   `json:"models"`
+	Workers       int   `json:"workers"`
+}
+
 // ErrorResponse is every non-2xx body.
 type ErrorResponse struct {
 	Error string `json:"error"`

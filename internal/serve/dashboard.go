@@ -1,0 +1,66 @@
+package serve
+
+import (
+	_ "embed"
+	"net/http"
+	"time"
+
+	"dataaudit/internal/monitor"
+	"dataaudit/internal/registry"
+)
+
+// The embedded quality dashboard: one self-contained HTML page (no
+// external assets, scripts or fonts — everything it renders comes from
+// the bytes below plus its own JSON data route) that draws SPC control
+// charts over the monitor's sealed-window history. The charts are the
+// paper's quality-over-time view: a p-chart of the per-window suspicious
+// rate against binomial control limits, and an individuals/moving-range
+// (I-MR) chart of the same series, with drift and lifecycle events
+// annotated on the window axis.
+
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// DashboardModel is one model's slice of GET /dashboard/data: the
+// registry metadata plus the monitor state (nil before the first
+// observed audit).
+type DashboardModel struct {
+	Meta    registry.Meta  `json:"meta"`
+	Quality *monitor.State `json:"quality,omitempty"`
+}
+
+// DashboardData is the body of GET /dashboard/data.
+type DashboardData struct {
+	Now           time.Time        `json:"now"`
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Models        []DashboardModel `json:"models"`
+}
+
+// GET /dashboard — the embedded page.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}
+
+// GET /dashboard/data — the JSON the page renders from: every published
+// model joined with its monitoring state.
+func (s *Server) handleDashboardData(w http.ResponseWriter, r *http.Request) {
+	metas, err := s.reg.List()
+	if err != nil {
+		s.writeError(w, s.errStatus(err), "%v", err)
+		return
+	}
+	data := DashboardData{
+		Now:           time.Now().UTC(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Models:        make([]DashboardModel, 0, len(metas)),
+	}
+	for _, meta := range metas {
+		dm := DashboardModel{Meta: meta}
+		if st, ok := s.mon.Quality(meta.Name); ok {
+			dm.Quality = &st
+		}
+		data.Models = append(data.Models, dm)
+	}
+	s.writeJSON(w, http.StatusOK, data)
+}

@@ -1,0 +1,19 @@
+package serve
+
+import "net/http"
+
+// GET /metrics — Prometheus text exposition of the server's whole metric
+// registry: scoring and lifecycle series fed by the quality monitor,
+// per-route HTTP request counters and latency histograms from the
+// middleware, and the process/registry series registered at startup.
+//
+// The route itself is deliberately not wrapped by the instrumentation
+// middleware: a scrape that counted itself would change the registry it
+// is rendering, so two scrapes of an otherwise idle server could never
+// be byte-identical — and that determinism is what the scrape tests pin.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.obsReg.WritePrometheus(w); err != nil {
+		s.logger.Printf("serve: writing /metrics: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"mime"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"dataaudit/internal/audit"
 	"dataaudit/internal/dataset"
 	"dataaudit/internal/monitor"
+	"dataaudit/internal/obs"
 	"dataaudit/internal/registry"
 )
 
@@ -32,6 +34,16 @@ type Server struct {
 	streamTopK  int
 	monOpts     monitor.Options
 	mon         *monitor.Monitor
+
+	// Observability. obsReg is the Prometheus-exposition registry behind
+	// GET /metrics; metrics the scoring/lifecycle set shared with the
+	// monitor; httpMetrics the per-route request/latency middleware. All
+	// nil when metrics are disabled. dashboardOn gates GET /dashboard.
+	metricsOn   bool
+	dashboardOn bool
+	obsReg      *obs.Registry
+	metrics     *obs.AuditMetrics
+	httpMetrics *obs.HTTPMetrics
 }
 
 // Option customizes New.
@@ -105,6 +117,23 @@ func WithMonitorOptions(opts monitor.Options) Option {
 	return func(s *Server) { s.monOpts = opts }
 }
 
+// WithMetrics enables or disables the Prometheus /metrics endpoint and
+// the per-route request instrumentation (default enabled). Disabling it
+// removes every metric hook: no registry, no middleware, no monitor
+// instrumentation — responses on every other route are byte-identical
+// either way.
+func WithMetrics(enabled bool) Option {
+	return func(s *Server) { s.metricsOn = enabled }
+}
+
+// WithDashboard enables or disables the embedded quality dashboard at
+// GET /dashboard (default enabled). The dashboard is self-contained —
+// one embedded HTML page plus its own JSON data route, no external
+// assets — and read-only.
+func WithDashboard(enabled bool) Option {
+	return func(s *Server) { s.dashboardOn = enabled }
+}
+
 // New builds a Server over a registry.
 func New(reg *registry.Registry, opts ...Option) *Server {
 	s := &Server{
@@ -117,6 +146,8 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 		maxBatch:    1_000_000,
 		streamChunk: 1024,
 		streamTopK:  1000,
+		metricsOn:   true,
+		dashboardOn: true,
 	}
 	for _, o := range opts {
 		o(s)
@@ -131,24 +162,115 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 		// against the same -dir. monitor.StateDisabled opts out.
 		s.monOpts.StateDir = reg.StateDir()
 	}
+	if s.metricsOn {
+		s.obsReg = obs.NewRegistry()
+		s.metrics = obs.NewAuditMetrics(s.obsReg)
+		s.httpMetrics = obs.NewHTTPMetrics(s.obsReg)
+		if s.monOpts.Metrics == nil {
+			s.monOpts.Metrics = s.metrics
+		}
+		s.registerProcessMetrics()
+	}
 	s.mon = monitor.New(reg, s.monOpts)
 	// Every buffered route takes the body byte cap; the streaming audit
 	// route alone is registered uncapped — bounded memory regardless of
 	// upload size is its reason to exist, and its own guards (row limit,
 	// per-record byte cap, chunk/worker buffer bound) replace the cap.
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/models", s.limitedBody(s.handleList))
-	s.mux.HandleFunc("POST /v1/models", s.limitedBody(s.handleInduce))
-	s.mux.HandleFunc("GET /v1/models/{name}", s.limitedBody(s.handleGet))
-	s.mux.HandleFunc("GET /v1/models/{name}/quality", s.limitedBody(s.handleQuality))
-	s.mux.HandleFunc("DELETE /v1/models/{name}", s.limitedBody(s.handleDelete))
-	s.mux.HandleFunc("POST /v1/models/{name}/audit", s.limitedBody(s.handleAudit))
-	s.mux.HandleFunc("POST /v1/models/{name}/audit/stream", s.handleAuditStream)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /v1/models", s.limitedBody(s.handleList))
+	s.route("POST /v1/models", s.limitedBody(s.handleInduce))
+	s.route("GET /v1/models/{name}", s.limitedBody(s.handleGet))
+	s.route("GET /v1/models/{name}/quality", s.limitedBody(s.handleQuality))
+	s.route("DELETE /v1/models/{name}", s.limitedBody(s.handleDelete))
+	s.route("POST /v1/models/{name}/audit", s.limitedBody(s.handleAudit))
+	s.route("POST /v1/models/{name}/audit/stream", s.handleAuditStream)
+	if s.metricsOn {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if s.dashboardOn {
+		s.route("GET /dashboard", s.handleDashboard)
+		s.route("GET /dashboard/data", s.limitedBody(s.handleDashboardData))
+	}
 	return s
+}
+
+// route registers one mux pattern, wrapping the handler with the HTTP
+// instrumentation middleware when metrics are enabled. The metric label
+// is the pattern's path ("/v1/models/{name}/audit"), never the raw
+// request path — raw paths would mint one series per model name.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	if s.httpMetrics != nil {
+		path := pattern
+		if i := strings.IndexByte(pattern, ' '); i >= 0 {
+			path = pattern[i+1:]
+		}
+		h = s.httpMetrics.Wrap(path, h)
+	}
+	s.mux.HandleFunc(pattern, h)
+}
+
+// registerProcessMetrics adds the process- and registry-level series:
+// uptime, build info, and the model cache's hit/miss/eviction counters
+// bridged from the registry's own atomics at scrape time (the registry
+// package stays free of the obs dependency).
+func (s *Server) registerProcessMetrics() {
+	s.obsReg.NewGaugeFunc("dataaudit_uptime_seconds",
+		"Seconds since the serving process constructed this server.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	version, goVersion := buildVersion()
+	s.obsReg.NewGaugeVec("dataaudit_build_info",
+		"Build metadata; the value is always 1.", "version", "goversion").
+		With(version, goVersion).Set(1)
+	s.obsReg.NewCounterFunc("dataaudit_registry_cache_hits_total",
+		"Model cache hits in the registry.",
+		func() uint64 { h, _, _, _ := s.reg.CacheStats(); return h })
+	s.obsReg.NewCounterFunc("dataaudit_registry_cache_misses_total",
+		"Model cache misses (disk loads) in the registry.",
+		func() uint64 { _, m, _, _ := s.reg.CacheStats(); return m })
+	s.obsReg.NewCounterFunc("dataaudit_registry_cache_evictions_total",
+		"Models evicted from the registry's LRU cache.",
+		func() uint64 { _, _, e, _ := s.reg.CacheStats(); return e })
+	s.obsReg.NewGaugeFunc("dataaudit_registry_cache_resident",
+		"Model versions currently resident in the registry cache.",
+		func() float64 { _, _, _, n := s.reg.CacheStats(); return float64(n) })
+}
+
+// buildVersion resolves the module version (or VCS revision) and the Go
+// toolchain version from the binary's embedded build info.
+func buildVersion() (version, goVersion string) {
+	version, goVersion = "devel", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+			version = kv.Value[:12]
+		}
+	}
+	return version, goVersion
 }
 
 // Monitor exposes the server's quality monitor (tests and embedders).
 func (s *Server) Monitor() *monitor.Monitor { return s.mon }
+
+// RouteLatency snapshots one route pattern's request-latency histogram —
+// the same series /metrics exports as dataaudit_http_request_seconds.
+// The route is the mux pattern's path ("/v1/models/{name}/audit"), and
+// the zero snapshot comes back when metrics are disabled. cmd/benchserve
+// reads per-route p50/p99 through this instead of parsing a scrape.
+func (s *Server) RouteLatency(route string) obs.HistSnapshot {
+	if s.httpMetrics == nil {
+		return obs.HistSnapshot{}
+	}
+	return s.httpMetrics.LatencySeconds.With(route).Snapshot()
+}
 
 // Close is the graceful-shutdown hook: it waits for in-flight background
 // re-inductions and persists every model's monitoring state so quality
@@ -250,11 +372,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "registry unavailable: %v", err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"uptimeSeconds": int64(time.Since(s.started).Seconds()),
-		"models":        len(metas),
-		"workers":       s.workers,
+	version, goVersion := buildVersion()
+	s.writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:        "ok",
+		Version:       version,
+		GoVersion:     goVersion,
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+		Models:        len(metas),
+		Workers:       s.workers,
 	})
 }
 
