@@ -1,7 +1,7 @@
 // Command benchcore measures the scoring core end-to-end and gates CI on
 // the result. In measure mode it scores a deterministic generated table
 // (QUIS sample + seeded pollution, the same fixture the audit benchmarks
-// use) through the three scoring surfaces and writes BENCH_core.json:
+// use) through the four scoring surfaces and writes BENCH_core.json:
 //
 //	go run ./cmd/benchcore -out BENCH_core.json
 //
@@ -43,7 +43,9 @@ import (
 // Run is one measured scoring surface.
 type Run struct {
 	// Name identifies the surface: "checkrow" (steady-state per-record
-	// scoring through a ScoreScratch), "batch" (AuditTableParallel) or
+	// scoring through a ScoreScratch), "checkchunk" (columnar
+	// chunk-at-a-time scoring over prebuilt ColumnChunks — the kernel
+	// cost with chunk fill excluded), "batch" (AuditTableParallel) or
 	// "stream" (AuditStream).
 	Name string `json:"name"`
 	// Rows is the number of rows scored per benchmark operation.
@@ -83,6 +85,7 @@ func main() {
 		out          = flag.String("out", "BENCH_core.json", "output file (- for stdout)")
 		rows         = flag.Int("rows", 30000, "generated table size (also the induction sample; QUIS needs >= 30000)")
 		workers      = flag.Int("workers", 4, "scoring workers for the batch and stream surfaces")
+		chunkRows    = flag.Int("chunk", 4096, "rows per ColumnChunk for the checkchunk surface (the batch/stream routes use their built-in block size)")
 		seed         = flag.Int64("seed", 2003, "generator seed (fixture is fully deterministic)")
 		gate         = flag.String("gate", "", "baseline BENCH_core.json: compare -candidate against it instead of measuring")
 		candidate    = flag.String("candidate", "", "candidate BENCH_core.json for -gate mode")
@@ -135,16 +138,16 @@ func main() {
 		return
 	}
 
-	rep := measure(*rows, *workers, *seed)
+	rep := measure(*rows, *workers, *chunkRows, *seed)
 	if err := benchutil.WriteJSON(rep, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcore: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// measure builds the deterministic fixture and benchmarks the three
+// measure builds the deterministic fixture and benchmarks the four
 // scoring surfaces.
-func measure(rows, workers int, seed int64) Report {
+func measure(rows, workers, chunkRows int, seed int64) Report {
 	fmt.Fprintf(os.Stderr, "benchcore: generating %d-row fixture (seed %d) and inducing model\n", rows, seed)
 	dirty, model := fixture(rows, seed)
 
@@ -175,6 +178,44 @@ func measure(rows, workers int, seed int64) Report {
 		}
 		susRow = sus / int64(b.N)
 	}, func() int64 { return susRow }))
+
+	// Columnar chunk-at-a-time scoring over prebuilt chunks: the kernel
+	// the batch and stream routes drive, with the Table→chunk fill
+	// excluded (the end-to-end batch/stream runs below include it). A
+	// warm-up pass grows the scratch and populates the row-signature
+	// memo so the measured loop holds the zero-allocation contract.
+	var susChunk int64
+	rep.Runs = append(rep.Runs, run("checkchunk", n, 1, true, func(b *testing.B) {
+		var chunks []*dataset.ColumnChunk
+		for lo := 0; lo < n; lo += chunkRows {
+			hi := lo + chunkRows
+			if hi > n {
+				hi = n
+			}
+			ck := dataset.NewColumnChunk(dirty.Schema())
+			dirty.ChunkInto(ck, lo, hi)
+			chunks = append(chunks, ck)
+		}
+		scratch := audit.NewChunkScratch(model)
+		scoreAll := func() int64 {
+			sus, row := int64(0), int64(0)
+			for _, ck := range chunks {
+				reps := model.CheckChunk(ck, row, scratch)
+				for j := range reps {
+					if reps[j].Suspicious {
+						sus++
+					}
+				}
+				row += int64(ck.Rows())
+			}
+			return sus
+		}
+		susChunk = scoreAll() // warm-up: grow scratch, fill the memo
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			susChunk = scoreAll()
+		}
+	}, func() int64 { return susChunk }))
 
 	// Whole-table parallel scoring (the auditd batch route).
 	var susBatch int64

@@ -1,0 +1,51 @@
+package audit
+
+import (
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+// BenchmarkCheckChunk measures the columnar scoring core alone on a
+// pre-filled chunk — the steady-state per-row cost with fill and report
+// materialization excluded.
+func BenchmarkCheckChunk(b *testing.B) {
+	model, dirty := streamBenchSetup(b, 50000)
+	n := dirty.NumRows()
+	ck := dataset.NewColumnChunk(dirty.Schema())
+	scratch := NewChunkScratch(model)
+	sus := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sus = 0
+		for lo := 0; lo < n; lo += batchChunkRows {
+			hi := min(lo+batchChunkRows, n)
+			dirty.ChunkInto(ck, lo, hi)
+			reps := model.CheckChunk(ck, int64(lo), scratch)
+			for j := range reps {
+				if reps[j].Suspicious {
+					sus++
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sus), "suspicious")
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkChunkFill isolates the Table→ColumnChunk transposition cost.
+func BenchmarkChunkFill(b *testing.B) {
+	_, dirty := streamBenchSetup(b, 50000)
+	n := dirty.NumRows()
+	ck := dataset.NewColumnChunk(dirty.Schema())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < n; lo += batchChunkRows {
+			hi := min(lo+batchChunkRows, n)
+			dirty.ChunkInto(ck, lo, hi)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

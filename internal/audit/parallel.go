@@ -61,18 +61,17 @@ func (m *Model) AuditTableParallel(tab *dataset.Table, workers int) *Result {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			row := make([]dataset.Value, tab.NumCols())
-			scratch := NewScoreScratch(m)
+			ck := dataset.NewColumnChunk(tab.Schema())
+			scratch := NewChunkScratch(m)
 			for sp := range work {
 				// Each shard writes a disjoint index range of the shared
 				// report slice, so no further merging or locking is needed
 				// and the output order matches the sequential scan.
-				for r := sp.lo; r < sp.hi; r++ {
-					tab.RowInto(r, row)
-					rep := m.CheckRowScratch(row, scratch)
-					rep.Row = r
-					rep.ID = tab.ID(r)
-					res.Reports[r] = rep.Detach()
+				for lo := sp.lo; lo < sp.hi; lo += batchChunkRows {
+					hi := min(lo+batchChunkRows, sp.hi)
+					tab.ChunkInto(ck, lo, hi)
+					reps := m.CheckChunk(ck, int64(lo), scratch)
+					detachReports(reps, res.Reports[lo:hi])
 				}
 			}
 		}()

@@ -1,0 +1,419 @@
+package audit
+
+import (
+	"math/bits"
+	"sort"
+
+	"dataaudit/internal/audittree"
+	"dataaudit/internal/dataset"
+)
+
+// Row-signature memoization. On low-cardinality relations — the common
+// case for the quality-auditing workloads the paper targets — most rows
+// are exact repeats of an earlier row once numeric values are reduced to
+// the comparisons the model actually performs. A rule-set model's entire
+// output for a row (every finding, its confidences, the best pick) is a
+// pure function of:
+//
+//   - each nominal attribute's domain index (tries compare indices, and
+//     the observed class is the index itself), and
+//   - each numeric attribute's *rank* within the finite set of constants
+//     it is ever compared against: the thresholds of every trie node
+//     testing it plus its own discretizer cuts (which determine the
+//     observed class bin). Two values with the same rank are
+//     indistinguishable to every kernel.
+//
+// sigMemo packs those codes into one mixed-radix uint64 per row and
+// caches the complete per-row finding set per distinct signature, so a
+// repeated row costs one encode + one table probe instead of a full
+// descent through every attribute model. Rows with a signature never seen
+// before are scored by the regular kernels (restricted to just those
+// rows) and their result is inserted, so output is byte-identical to the
+// unmemoized path regardless of hit pattern — the differential suite
+// exercises exactly that.
+//
+// The memo is only sound when every attribute model is a compiled
+// rule-set trie: families that consume raw numeric values (naive Bayes
+// densities, kNN distances) are not rank-invariant, and build leaves the
+// memo disabled for them.
+
+// memoMaxEntries bounds the cache (and its finding arena) on
+// high-cardinality data; once full, unseen signatures simply keep taking
+// the kernel path.
+const memoMaxEntries = 1 << 16
+
+// memoEntry is one cached per-row outcome: a segment of the memo's
+// finding arena plus the row-relative index of the best finding (valid
+// when n > 0 — a finding only exists with positive error confidence, so
+// any non-empty row has a best).
+type memoEntry struct {
+	off  int32
+	n    int32
+	best int32
+}
+
+// sigMemo is the per-scratch signature cache. Not safe for concurrent
+// use — like the rest of ChunkScratch it is per-worker state.
+type sigMemo struct {
+	built bool
+	ok    bool
+	model *Model
+
+	radix []uint64    // per attribute: size of its code domain
+	isNom []bool      // per attribute: nominal (domain-index) encoding
+	ranks []rankIndex // per numeric attribute: its rank index
+
+	keys    []uint64 // open-addressed signature table
+	vals    []int32  // entry index per slot, -1 = empty
+	shift   uint     // fibonacci-hash shift for the current table size
+	live    int
+	entries []memoEntry
+	arena   []Finding
+
+	sig  []uint64 // per-chunk row signatures
+	bad  []bool   // per-chunk: row had an out-of-domain code, never memoize
+	hit  []int32  // per-chunk: entry index per row, -1 = miss
+	miss []int32  // per-chunk: rows that need the kernel path
+	rep  []int32  // per-chunk: earlier miss row with the same signature, -1
+
+	// Per-chunk pending table for within-chunk dedup: repeated rows
+	// cluster, so most occurrences of a new signature land in the chunk
+	// that first sees it — all before the end-of-chunk insert. Probe
+	// detects the duplicates and aliases them to the first occurrence, so
+	// the kernels score each new signature once per chunk, not once per
+	// row.
+	pkeys  []uint64
+	pvals  []int32
+	pused  []int32 // occupied slots, for O(distinct) clearing per chunk
+	pshift uint
+}
+
+// build derives the encoding from the model, enabling the memo only when
+// every attribute model is a rule set with a compiled trie (so the rank
+// grids provably cover every comparison) and the combined code space fits
+// a uint64 signature.
+func (mm *sigMemo) build(m *Model) {
+	mm.built, mm.ok, mm.model = true, false, m
+	width := m.Schema.Len()
+	thresholds := make([][]float64, width)
+	for _, am := range m.Attrs {
+		rs, isRS := am.Classifier.(*audittree.RuleSet)
+		if !isRS {
+			return
+		}
+		if !rs.NumericSplits(func(attr int, thresh float64) {
+			thresholds[attr] = append(thresholds[attr], thresh)
+		}) {
+			return
+		}
+	}
+	mm.radix = make([]uint64, width)
+	mm.isNom = make([]bool, width)
+	mm.ranks = make([]rankIndex, width)
+	product := uint64(1)
+	for c := 0; c < width; c++ {
+		if m.Schema.Attr(c).Type == dataset.NominalType {
+			mm.isNom[c] = true
+			// Codes 0 (null) .. domain (last index).
+			mm.radix[c] = uint64(len(m.Schema.Attr(c).Domain)) + 1
+		} else {
+			grid := thresholds[c]
+			if am := m.Attrs[c]; am != nil && am.Disc != nil {
+				grid = append(grid, am.Disc.Cuts...)
+			}
+			sort.Float64s(grid)
+			grid = dedupFloats(grid)
+			mm.ranks[c] = newRankIndex(grid)
+			// Codes 0..len(grid) (ranks), len+1 (NaN), len+2 (null).
+			mm.radix[c] = uint64(len(grid)) + 3
+		}
+		if mm.radix[c] == 0 || product > (1<<62)/mm.radix[c] {
+			return // signature would overflow; leave the memo disabled
+		}
+		product *= mm.radix[c]
+	}
+	mm.grow(1 << 10)
+	mm.entries = mm.entries[:0]
+	mm.arena = mm.arena[:0]
+	mm.live = 0
+	mm.ok = true
+}
+
+// rankBuckets is the uniform-bucket count of a rankIndex. 256 int32
+// starts per numeric attribute stay L1-resident.
+const rankBuckets = 256
+
+// rankIndex computes rank(v) = |{g in grid : g < v}| — the number the
+// signature encodes for a numeric value. A uniform bucket grid over
+// [grid[0], grid[len-1]] narrows the candidate range to (usually) zero or
+// one comparison per lookup; the mapping from value to bucket is monotone,
+// so scanning from start[b] to start[b+1] is exact, not approximate.
+type rankIndex struct {
+	grid  []float64
+	lo    float64
+	scale float64 // 0 disables the buckets (tiny or degenerate grid)
+	start []int32 // rankBuckets+1 first-grid-index-per-bucket offsets
+}
+
+func newRankIndex(grid []float64) rankIndex {
+	ri := rankIndex{grid: grid}
+	if len(grid) < 2 || grid[len(grid)-1] <= grid[0] {
+		return ri
+	}
+	ri.lo = grid[0]
+	ri.scale = float64(rankBuckets-1) / (grid[len(grid)-1] - grid[0])
+	ri.start = make([]int32, rankBuckets+1)
+	i := 0
+	for b := 0; b <= rankBuckets; b++ {
+		for i < len(grid) && ri.bucket(grid[i]) < b {
+			i++
+		}
+		ri.start[b] = int32(i)
+	}
+	return ri
+}
+
+// bucket maps a non-NaN value to its bucket, clamping before the
+// float-to-int conversion (out-of-range conversions are undefined).
+func (ri *rankIndex) bucket(v float64) int {
+	t := (v - ri.lo) * ri.scale
+	if t <= 0 {
+		return 0
+	}
+	if t >= rankBuckets-1 {
+		return rankBuckets - 1
+	}
+	return int(t)
+}
+
+// rank returns |{g in grid : g < v}| for a non-NaN v.
+func (ri *rankIndex) rank(v float64) int {
+	if ri.scale == 0 {
+		r := 0
+		for r < len(ri.grid) && ri.grid[r] < v {
+			r++
+		}
+		return r
+	}
+	b := ri.bucket(v)
+	i := int(ri.start[b])
+	end := int(ri.start[b+1])
+	for i < end && ri.grid[i] < v {
+		i++
+	}
+	return i
+}
+
+// dedupFloats removes adjacent duplicates from a sorted slice in place.
+func dedupFloats(s []float64) []float64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// encode fills the per-row signatures for the chunk, columnar per
+// attribute. A row whose nominal code falls outside the attribute's
+// domain (possible only for chunks built outside the validated decode
+// path) is flagged bad: it still scores through the kernels but is never
+// looked up or inserted, so a malformed code can't alias another row's
+// cached outcome.
+func (mm *sigMemo) encode(ck *dataset.ColumnChunk) {
+	n := ck.Rows()
+	if cap(mm.sig) < n {
+		mm.sig = make([]uint64, n)
+		mm.bad = make([]bool, n)
+	}
+	sig := mm.sig[:n]
+	bad := mm.bad[:n]
+	for r := range sig {
+		sig[r] = 0
+		bad[r] = false
+	}
+	for c, rad := range mm.radix {
+		col := ck.Col(c)
+		if mm.isNom[c] {
+			noms := col.Nom
+			for r := 0; r < n; r++ {
+				// Nulls are stored as -1, so +1 maps the column onto
+				// 0..domain without a bitmap load.
+				code := uint64(noms[r] + 1)
+				if code >= rad {
+					bad[r] = true
+					code = 0
+				}
+				sig[r] = sig[r]*rad + code
+			}
+		} else {
+			ri := &mm.ranks[c]
+			nan := uint64(len(ri.grid)) + 1
+			null := nan + 1
+			nums := col.Num
+			grid, start, lo, scale := ri.grid, ri.start, ri.lo, ri.scale
+			for r := 0; r < n; r++ {
+				var code uint64
+				if col.Null(r) {
+					code = null
+				} else if v := nums[r]; v != v {
+					// A genuine NaN value: distinct from null (the
+					// observed-class bin differs) and from any rank (it
+					// fails both sides of every threshold).
+					code = nan
+				} else if scale != 0 {
+					// rankIndex.rank, inlined for the hot loop.
+					t := (v - lo) * scale
+					b := 0
+					if t >= rankBuckets-1 {
+						b = rankBuckets - 1
+					} else if t > 0 {
+						b = int(t)
+					}
+					i := int(start[b])
+					end := int(start[b+1])
+					for i < end && grid[i] < v {
+						i++
+					}
+					code = uint64(i)
+				} else {
+					code = uint64(ri.rank(v))
+				}
+				sig[r] = sig[r]*rad + code
+			}
+		}
+	}
+}
+
+// probe looks the chunk's signatures up, recording the entry index per
+// row and collecting the rows that need the kernel path. Miss rows whose
+// signature already missed earlier in the same chunk are not returned:
+// they are aliased (rep) to that first occurrence and assembled by
+// copying its freshly scored segment. Bad rows are always returned and
+// never aliased — their signatures are unreliable.
+func (mm *sigMemo) probe(n int) []int32 {
+	if cap(mm.hit) < n {
+		mm.hit = make([]int32, n)
+		mm.rep = make([]int32, n)
+		mm.miss = make([]int32, 0, n)
+	}
+	mm.hit = mm.hit[:n]
+	mm.rep = mm.rep[:n]
+	mm.miss = mm.miss[:0]
+
+	psize := 1
+	for psize < 2*n {
+		psize <<= 1
+	}
+	if len(mm.pvals) < psize {
+		mm.pkeys = make([]uint64, psize)
+		mm.pvals = make([]int32, psize)
+		for i := range mm.pvals {
+			mm.pvals[i] = -1
+		}
+		mm.pshift = 64 - uint(bits.Len64(uint64(psize-1)))
+	}
+	for _, i := range mm.pused {
+		mm.pvals[i] = -1
+	}
+	mm.pused = mm.pused[:0]
+	pmask := uint64(len(mm.pvals) - 1)
+
+	for r := 0; r < n; r++ {
+		mm.rep[r] = -1
+		if mm.bad[r] {
+			mm.hit[r] = -1
+			mm.miss = append(mm.miss, int32(r))
+			continue
+		}
+		sig := mm.sig[r]
+		e := mm.find(sig)
+		mm.hit[r] = e
+		if e >= 0 {
+			continue
+		}
+		i := (sig * 0x9E3779B97F4A7C15) >> mm.pshift
+		for {
+			v := mm.pvals[i]
+			if v < 0 {
+				mm.pkeys[i], mm.pvals[i] = sig, int32(r)
+				mm.pused = append(mm.pused, int32(i))
+				mm.miss = append(mm.miss, int32(r))
+				break
+			}
+			if mm.pkeys[i] == sig {
+				mm.rep[r] = v
+				break
+			}
+			i = (i + 1) & pmask
+		}
+	}
+	return mm.miss
+}
+
+// find returns the entry index for a signature, or -1.
+func (mm *sigMemo) find(sig uint64) int32 {
+	mask := uint64(len(mm.keys) - 1)
+	i := (sig * 0x9E3779B97F4A7C15) >> mm.shift
+	for {
+		v := mm.vals[i]
+		if v < 0 || mm.keys[i] == sig {
+			return v
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// insert adds a signature -> entry mapping (the caller has checked it is
+// absent) unless the cache is full.
+func (mm *sigMemo) insert(sig uint64, entry int32) {
+	if mm.live >= memoMaxEntries {
+		return
+	}
+	if (mm.live+1)*4 > len(mm.keys)*3 {
+		mm.grow(len(mm.keys) * 2)
+	}
+	mask := uint64(len(mm.keys) - 1)
+	i := (sig * 0x9E3779B97F4A7C15) >> mm.shift
+	for mm.vals[i] >= 0 {
+		i = (i + 1) & mask
+	}
+	mm.keys[i], mm.vals[i] = sig, entry
+	mm.live++
+}
+
+// grow rehashes the table into a larger power-of-two size.
+func (mm *sigMemo) grow(size int) {
+	oldKeys, oldVals := mm.keys, mm.vals
+	mm.keys = make([]uint64, size)
+	mm.vals = make([]int32, size)
+	for i := range mm.vals {
+		mm.vals[i] = -1
+	}
+	mm.shift = 64 - uint(bits.Len64(uint64(size-1)))
+	mask := uint64(size - 1)
+	for i, v := range oldVals {
+		if v < 0 {
+			continue
+		}
+		k := oldKeys[i]
+		j := (k * 0x9E3779B97F4A7C15) >> mm.shift
+		for mm.vals[j] >= 0 {
+			j = (j + 1) & mask
+		}
+		mm.keys[j], mm.vals[j] = k, v
+	}
+}
+
+// remember captures a freshly scored row's findings segment as the cached
+// outcome for its signature.
+func (mm *sigMemo) remember(sig uint64, findings []Finding, bestRel int32) {
+	if mm.live >= memoMaxEntries {
+		return
+	}
+	e := memoEntry{off: int32(len(mm.arena)), n: int32(len(findings)), best: bestRel}
+	mm.arena = append(mm.arena, findings...)
+	mm.entries = append(mm.entries, e)
+	mm.insert(sig, int32(len(mm.entries)-1))
+}

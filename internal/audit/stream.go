@@ -123,12 +123,14 @@ type StreamResult struct {
 }
 
 // streamChunk is one scoring unit travelling reader → worker → collector.
+// The rows live in a typed ColumnChunk (the columnar scoring core's
+// native representation); the chunk buffers are recycled through the
+// free list, so a stream reaches a steady state with no per-chunk
+// allocation.
 type streamChunk struct {
 	seq      int
 	firstRow int64
-	vals     []dataset.Value // ChunkSize × width, row-major
-	ids      []int64
-	n        int // rows filled
+	data     *dataset.ColumnChunk
 }
 
 // chunkResult is a scored chunk: only the suspicious reports survive.
@@ -160,10 +162,7 @@ func (m *Model) AuditStream(src dataset.RowSource, opts StreamOptions) (*StreamR
 	results := make(chan chunkResult, workers)
 	free := make(chan *streamChunk, workers+1)
 	for i := 0; i < workers+1; i++ {
-		free <- &streamChunk{
-			vals: make([]dataset.Value, opts.ChunkSize*width),
-			ids:  make([]int64, opts.ChunkSize),
-		}
+		free <- &streamChunk{data: dataset.NewColumnChunk(src.Schema())}
 	}
 
 	// slots maps a schema column to its tally index once, so the per-
@@ -184,9 +183,9 @@ func (m *Model) AuditStream(src dataset.RowSource, opts StreamOptions) (*StreamR
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer done.Done()
-				scratch := NewScoreScratch(m)
+				scratch := NewChunkScratch(m)
 				for ck := range work {
-					results <- m.scoreChunk(ck, width, slots, scratch)
+					results <- m.scoreChunk(ck, slots, scratch)
 					free <- ck
 				}
 			}()
@@ -257,10 +256,24 @@ func (m *Model) AuditStream(src dataset.RowSource, opts StreamOptions) (*StreamR
 	return res, nil
 }
 
-// readChunks pulls rows from src into recycled chunk buffers and queues
-// them for scoring. It returns the first source error (io.EOF is a clean
-// end) and nil on abort (the collector already holds the real error).
+// readChunks pulls rows from src into recycled column chunks and queues
+// them for scoring, using the source's native NextChunk when it has one
+// (CSVSource and TableSource decode straight into the columnar form) and
+// the generic FillChunk adapter otherwise. It returns the first source
+// error (io.EOF is a clean end) and nil on abort (the collector already
+// holds the real error).
+//
+// Semantics match the row-at-a-time reader exactly: OnRow fires for
+// every accepted row in source order before the row's chunk is queued; a
+// row beyond MaxRows aborts with a RowLimitError before its OnRow and
+// without queueing its chunk; rows preceding a malformed row still get
+// their OnRow before the error is returned.
 func (m *Model) readChunks(src dataset.RowSource, opts StreamOptions, width int, work chan<- *streamChunk, free <-chan *streamChunk, abort <-chan struct{}) error {
+	cs, fast := src.(dataset.ChunkSource)
+	var rowBuf []dataset.Value
+	if !fast || opts.OnRow != nil {
+		rowBuf = make([]dataset.Value, width)
+	}
 	var rows int64
 	seq := 0
 	for {
@@ -272,34 +285,50 @@ func (m *Model) readChunks(src dataset.RowSource, opts StreamOptions, width int,
 		}
 		ck.seq = seq
 		ck.firstRow = rows
-		ck.n = 0
-		for ck.n < opts.ChunkSize {
-			buf := ck.vals[ck.n*width : (ck.n+1)*width]
-			id, err := src.Next(buf)
-			if err != nil {
-				if errors.Is(err, io.EOF) {
-					if ck.n > 0 {
-						work <- ck
-					}
-					return nil
-				}
-				return err
+		ck.data.Reset()
+
+		// Pull at most one row past MaxRows, so the limit fires on the
+		// first overflowing row exactly as a row-at-a-time read would.
+		target := opts.ChunkSize
+		if opts.MaxRows > 0 {
+			if rem := opts.MaxRows - rows; rem < int64(target) {
+				target = int(rem) + 1
 			}
-			if opts.MaxRows > 0 && rows >= opts.MaxRows {
-				return &RowLimitError{Limit: opts.MaxRows}
-			}
-			if opts.OnRow != nil {
-				opts.OnRow(buf, id)
-			}
-			ck.ids[ck.n] = id
-			ck.n++
-			rows++
 		}
-		seq++
-		select {
-		case <-abort:
-			return nil
-		case work <- ck:
+		var n int
+		var err error
+		if fast {
+			n, err = cs.NextChunk(ck.data, target)
+		} else {
+			n, err = dataset.FillChunk(src, ck.data, rowBuf, target)
+		}
+		accepted := n
+		overflow := opts.MaxRows > 0 && rows+int64(n) > opts.MaxRows
+		if overflow {
+			accepted = int(opts.MaxRows - rows)
+		}
+		if opts.OnRow != nil {
+			for i := 0; i < accepted; i++ {
+				opts.OnRow(ck.data.RowInto(i, rowBuf), ck.data.ID(i))
+			}
+		}
+		if overflow {
+			return &RowLimitError{Limit: opts.MaxRows}
+		}
+		rows += int64(n)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return err
+		}
+		if n > 0 {
+			seq++
+			select {
+			case <-abort:
+				return nil
+			case work <- ck:
+			}
+		}
+		if err != nil {
+			return nil // clean io.EOF
 		}
 	}
 }
@@ -308,15 +337,14 @@ func (m *Model) readChunks(src dataset.RowSource, opts StreamOptions, width int,
 // scratch. slots maps schema columns to tally indices (findings only ever
 // reference modelled attributes). Non-suspicious rows live and die inside
 // the scratch — only the suspicious minority is detached and retained.
-func (m *Model) scoreChunk(ck *streamChunk, width int, slots []int, scratch *ScoreScratch) chunkResult {
-	cr := chunkResult{seq: ck.seq, rows: ck.n, tallies: make([]AttrTally, len(m.Attrs))}
+func (m *Model) scoreChunk(ck *streamChunk, slots []int, scratch *ChunkScratch) chunkResult {
+	cr := chunkResult{seq: ck.seq, rows: ck.data.Rows(), tallies: make([]AttrTally, len(m.Attrs))}
 	for i, am := range m.Attrs {
 		cr.tallies[i].Attr = am.Class
 	}
-	for i := 0; i < ck.n; i++ {
-		rep := m.CheckRowScratch(ck.vals[i*width:(i+1)*width], scratch)
-		rep.Row = int(ck.firstRow) + i
-		rep.ID = ck.ids[i]
+	reps := m.CheckChunk(ck.data, ck.firstRow, scratch)
+	for i := range reps {
+		rep := &reps[i]
 		tallyReport(rep, slots, cr.tallies, m.Opts.MinConfidence)
 		if rep.Suspicious {
 			cr.suspicious = append(cr.suspicious, rep.Detach())

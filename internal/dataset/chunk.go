@@ -1,0 +1,348 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ColumnChunk is a typed, columnar block of rows: nominal attributes are
+// stored as encoded domain indices ([]int32), numeric and date attributes
+// as their float64 payloads, with a per-column null bitmap. It is the unit
+// the chunked scoring core (audit.CheckChunk) operates on — kernels read
+// whole columns without per-cell interface dispatch or Value unboxing.
+//
+// Chunks are reusable buffers: Reset keeps the column capacity, so a
+// fill/score loop reaches a steady state with zero allocations. A chunk is
+// not safe for concurrent mutation; the streaming engine gives each chunk
+// to exactly one goroutine at a time.
+type ColumnChunk struct {
+	schema *Schema
+	cols   []ChunkCol
+	ids    []int64
+	n      int
+}
+
+// ChunkCol is one typed column of a ColumnChunk. Exactly one of Nom and
+// Num is populated, matching the attribute type: Nom for nominal
+// attributes (domain index, -1 at null rows), Num for numeric and date
+// attributes (NaN at null rows). Nulls are tracked authoritatively in a
+// bitmap queried via Null; the in-band null encodings (-1 / NaN) exist so
+// scan kernels whose tests already reject them — a domain-bounds check, a
+// threshold comparison — can skip the bitmap load entirely.
+type ChunkCol struct {
+	// Nom holds the domain index per row for a nominal column; -1 at
+	// null rows.
+	Nom []int32
+	// Num holds the float64 payload per row for a numeric or date column.
+	Num []float64
+
+	nulls []uint64 // bit r set ⇒ row r is null
+}
+
+// Null reports whether row r of the column is null.
+func (c *ChunkCol) Null(r int) bool {
+	return c.nulls[uint(r)>>6]&(1<<(uint(r)&63)) != 0
+}
+
+// nullWords returns the bitmap length (in words) needed for n rows.
+func nullWords(n int) int { return (n + 63) / 64 }
+
+// NewColumnChunk returns an empty chunk over the schema.
+func NewColumnChunk(s *Schema) *ColumnChunk {
+	return &ColumnChunk{schema: s, cols: make([]ChunkCol, s.Len())}
+}
+
+// Schema returns the schema the chunk's columns conform to.
+func (ck *ColumnChunk) Schema() *Schema { return ck.schema }
+
+// Rows returns the number of rows currently in the chunk.
+func (ck *ColumnChunk) Rows() int { return ck.n }
+
+// ID returns the record identifier of row r.
+func (ck *ColumnChunk) ID(r int) int64 { return ck.ids[r] }
+
+// Col returns column c for direct kernel access. The returned pointer is
+// valid until the next AppendRow or Reset.
+func (ck *ColumnChunk) Col(c int) *ChunkCol { return &ck.cols[c] }
+
+// Reset empties the chunk, keeping all column capacity for reuse.
+func (ck *ColumnChunk) Reset() {
+	ck.n = 0
+	ck.ids = ck.ids[:0]
+	for c := range ck.cols {
+		col := &ck.cols[c]
+		col.Nom = col.Nom[:0]
+		col.Num = col.Num[:0]
+		col.nulls = col.nulls[:0]
+	}
+}
+
+// AppendRow appends one row (in schema order) with the given record ID.
+// It panics on arity mismatch or when a non-null value's kind disagrees
+// with the attribute type, exactly as Table.AppendRow and the Value
+// accessors would.
+func (ck *ColumnChunk) AppendRow(row []Value, id int64) {
+	if len(row) != len(ck.cols) {
+		panic(fmt.Sprintf("dataset: AppendRow arity %d != %d", len(row), len(ck.cols)))
+	}
+	r := ck.n
+	word, bit := uint(r)>>6, uint64(1)<<(uint(r)&63)
+	for c := range ck.cols {
+		col := &ck.cols[c]
+		if int(word) >= len(col.nulls) {
+			col.nulls = append(col.nulls, 0)
+		}
+		v := row[c]
+		if ck.schema.Attr(c).Type == NominalType {
+			if v.IsNull() {
+				col.nulls[word] |= bit
+				col.Nom = append(col.Nom, -1)
+			} else {
+				col.Nom = append(col.Nom, int32(v.NomIdx()))
+			}
+		} else {
+			if v.IsNull() {
+				col.nulls[word] |= bit
+				col.Num = append(col.Num, math.NaN())
+			} else {
+				col.Num = append(col.Num, v.Float())
+			}
+		}
+	}
+	ck.ids = append(ck.ids, id)
+	ck.n++
+}
+
+// Value reconstructs the Value at (row, col).
+func (ck *ColumnChunk) Value(r, c int) Value {
+	col := &ck.cols[c]
+	if col.Null(r) {
+		return Null()
+	}
+	if ck.schema.Attr(c).Type == NominalType {
+		return Nom(int(col.Nom[r]))
+	}
+	return Num(col.Num[r])
+}
+
+// RowInto reconstructs row r into buf (which must have the schema's
+// arity) and returns it. The row-path fallback of the chunked scorer uses
+// this to hand rows to classifiers without a batch kernel.
+func (ck *ColumnChunk) RowInto(r int, buf []Value) []Value {
+	for c := range ck.cols {
+		buf[c] = ck.Value(r, c)
+	}
+	return buf
+}
+
+// appendTableRows appends rows [lo, hi) of the table, preserving the
+// table's record IDs. The copy is column-wise: one type test per column,
+// not per cell kind switch in the inner loop.
+func (ck *ColumnChunk) appendTableRows(t *Table, lo, hi int) {
+	if t.schema != ck.schema && t.schema.Len() != ck.schema.Len() {
+		panic(fmt.Sprintf("dataset: chunk arity %d != table arity %d", ck.schema.Len(), t.schema.Len()))
+	}
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	base := ck.n
+	for c := range ck.cols {
+		col := &ck.cols[c]
+		src := t.cols[c][lo:hi]
+		for need := nullWords(base + n); len(col.nulls) < need; {
+			col.nulls = append(col.nulls, 0)
+		}
+		if ck.schema.Attr(c).Type == NominalType {
+			for i, v := range src {
+				if v.IsNull() {
+					r := uint(base + i)
+					col.nulls[r>>6] |= 1 << (r & 63)
+					col.Nom = append(col.Nom, -1)
+				} else {
+					col.Nom = append(col.Nom, int32(v.NomIdx()))
+				}
+			}
+		} else {
+			for i, v := range src {
+				if v.IsNull() {
+					r := uint(base + i)
+					col.nulls[r>>6] |= 1 << (r & 63)
+					col.Num = append(col.Num, math.NaN())
+				} else {
+					col.Num = append(col.Num, v.Float())
+				}
+			}
+		}
+	}
+	ck.ids = append(ck.ids, t.ids[lo:hi]...)
+	ck.n += n
+}
+
+// ChunkInto replaces ck's contents with rows [lo, hi) of the table,
+// keeping the chunk's buffers. This is the zero-allocation fill path of
+// the batch scorers (audit.AuditTable and friends).
+func (t *Table) ChunkInto(ck *ColumnChunk, lo, hi int) {
+	ck.Reset()
+	ck.appendTableRows(t, lo, hi)
+}
+
+// ChunkSource is a RowSource that can additionally fill typed column
+// chunks directly, skipping the row-of-Values detour. The streaming
+// engine probes for it and falls back to FillChunk otherwise.
+type ChunkSource interface {
+	RowSource
+	// NextChunk appends up to max rows to ck and returns how many were
+	// appended. Like io.Reader, it returns rows > 0 with a nil error as
+	// long as data flows, and (0, io.EOF) once the source is exhausted.
+	// A malformed row surfaces as the same typed error Next would
+	// return, after the preceding clean rows were appended.
+	NextChunk(ck *ColumnChunk, max int) (int, error)
+}
+
+// NextChunk implements ChunkSource with a columnar copy out of the table.
+func (s *TableSource) NextChunk(ck *ColumnChunk, max int) (int, error) {
+	if max <= 0 {
+		return 0, nil
+	}
+	rem := s.tab.NumRows() - s.row
+	if rem <= 0 {
+		return 0, io.EOF
+	}
+	n := min(rem, max)
+	ck.appendTableRows(s.tab, s.row, s.row+n)
+	s.row += n
+	return n, nil
+}
+
+// NextChunk implements ChunkSource: it decodes up to max CSV records into
+// the chunk. Parse and width errors carry the same typed values as Next.
+func (s *CSVSource) NextChunk(ck *ColumnChunk, max int) (int, error) {
+	if cap(s.rowBuf) < s.schema.Len() {
+		s.rowBuf = make([]Value, s.schema.Len())
+	}
+	buf := s.rowBuf[:s.schema.Len()]
+	n := 0
+	for n < max {
+		id, err := s.Next(buf)
+		if err == io.EOF {
+			if n == 0 {
+				return 0, io.EOF
+			}
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		ck.AppendRow(buf, id)
+		n++
+	}
+	return n, nil
+}
+
+// FillChunk appends up to max rows from any RowSource into ck via the
+// row buffer buf (which must have the schema's arity). It is the generic
+// adapter for sources without a native NextChunk; semantics match
+// ChunkSource.NextChunk.
+func FillChunk(src RowSource, ck *ColumnChunk, buf []Value, max int) (int, error) {
+	n := 0
+	for n < max {
+		id, err := src.Next(buf)
+		if err == io.EOF {
+			if n == 0 {
+				return 0, io.EOF
+			}
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		ck.AppendRow(buf, id)
+		n++
+	}
+	return n, nil
+}
+
+// wireChunkCol is the gob wire form of one chunk column.
+type wireChunkCol struct {
+	Nom   []int32
+	Num   []float64
+	Nulls []uint64
+}
+
+// wireChunk is the gob wire form of a ColumnChunk.
+type wireChunk struct {
+	Schema wireSchema
+	IDs    []int64
+	N      int
+	Cols   []wireChunkCol
+}
+
+// EncodeChunk writes the chunk (schema included) in gob wire form.
+func EncodeChunk(w io.Writer, ck *ColumnChunk) error {
+	wc := wireChunk{Schema: toWireSchema(ck.schema), IDs: ck.ids, N: ck.n}
+	wc.Cols = make([]wireChunkCol, len(ck.cols))
+	for c := range ck.cols {
+		wc.Cols[c] = wireChunkCol{Nom: ck.cols[c].Nom, Num: ck.cols[c].Num, Nulls: ck.cols[c].nulls}
+	}
+	return gob.NewEncoder(w).Encode(&wc)
+}
+
+// DecodeChunk reads a chunk written by EncodeChunk, validating column
+// arity, lengths, and nominal domain bounds so a corrupt or adversarial
+// stream cannot materialize a misaligned chunk.
+func DecodeChunk(r io.Reader) (*ColumnChunk, error) {
+	var wc wireChunk
+	if err := gob.NewDecoder(r).Decode(&wc); err != nil {
+		return nil, err
+	}
+	s, err := fromWireSchema(wc.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if wc.N < 0 || len(wc.IDs) != wc.N {
+		return nil, fmt.Errorf("dataset: chunk has %d IDs for %d rows", len(wc.IDs), wc.N)
+	}
+	if len(wc.Cols) != s.Len() {
+		return nil, fmt.Errorf("dataset: chunk has %d columns, schema has %d attributes", len(wc.Cols), s.Len())
+	}
+	ck := &ColumnChunk{schema: s, ids: wc.IDs, n: wc.N}
+	ck.cols = make([]ChunkCol, len(wc.Cols))
+	for c := range wc.Cols {
+		col := ChunkCol{Nom: wc.Cols[c].Nom, Num: wc.Cols[c].Num, nulls: wc.Cols[c].Nulls}
+		if len(col.nulls) < nullWords(wc.N) {
+			return nil, fmt.Errorf("dataset: chunk column %d null bitmap has %d words, need %d", c, len(col.nulls), nullWords(wc.N))
+		}
+		a := s.Attr(c)
+		if a.Type == NominalType {
+			if len(col.Nom) != wc.N || len(col.Num) != 0 {
+				return nil, fmt.Errorf("dataset: chunk column %d (%s) is not a nominal column of %d rows", c, a.Name, wc.N)
+			}
+			k := int32(a.NumValues())
+			for r, idx := range col.Nom {
+				if col.Null(r) {
+					if idx != -1 {
+						return nil, fmt.Errorf("dataset: chunk column %d row %d: null row encodes index %d", c, r, idx)
+					}
+					continue
+				}
+				if idx < 0 || idx >= k {
+					return nil, fmt.Errorf("dataset: chunk column %d row %d: index %d outside domain of %d", c, r, idx, k)
+				}
+			}
+		} else {
+			if len(col.Num) != wc.N || len(col.Nom) != 0 {
+				return nil, fmt.Errorf("dataset: chunk column %d (%s) is not a numeric column of %d rows", c, a.Name, wc.N)
+			}
+			for r := range col.Num {
+				if col.Null(r) {
+					col.Num[r] = math.NaN() // canonicalize the null payload
+				}
+			}
+		}
+		ck.cols[c] = col
+	}
+	return ck, nil
+}

@@ -1,0 +1,321 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// chunkFixtureTable builds a small mixed-type table with nulls in every
+// column and rows straddling a 64-row null-bitmap word boundary.
+func chunkFixtureTable(t testing.TB) *Table {
+	t.Helper()
+	s := fuzzSchema(t)
+	tab := NewTable(s)
+	row := make([]Value, s.Len())
+	for r := 0; r < 150; r++ {
+		row[0] = Nom(r % 3)
+		row[1] = Num(float64(r) * 1.25)
+		row[2] = Num(float64(10957 + r)) // days ~ 2000s dates
+		if r%7 == 0 {
+			row[0] = Null()
+		}
+		if r%11 == 0 {
+			row[1] = Null()
+		}
+		if r%13 == 0 {
+			row[2] = Null()
+		}
+		tab.AppendRow(row)
+	}
+	return tab
+}
+
+// TestChunkIntoRoundTrip checks ChunkInto against the table it copied
+// from: every reconstructed Value, row and record ID must match, for
+// ranges starting at zero and mid-table.
+func TestChunkIntoRoundTrip(t *testing.T) {
+	tab := chunkFixtureTable(t)
+	ck := NewColumnChunk(tab.Schema())
+	for _, span := range [][2]int{{0, 150}, {0, 1}, {37, 103}, {149, 150}} {
+		lo, hi := span[0], span[1]
+		tab.ChunkInto(ck, lo, hi)
+		if ck.Rows() != hi-lo {
+			t.Fatalf("[%d,%d): chunk has %d rows", lo, hi, ck.Rows())
+		}
+		buf := make([]Value, tab.NumCols())
+		want := make([]Value, tab.NumCols())
+		for r := 0; r < ck.Rows(); r++ {
+			if ck.ID(r) != tab.ID(lo+r) {
+				t.Fatalf("[%d,%d) row %d: ID %d, want %d", lo, hi, r, ck.ID(r), tab.ID(lo+r))
+			}
+			ck.RowInto(r, buf)
+			tab.RowInto(lo+r, want)
+			for c := range want {
+				if !reflect.DeepEqual(ck.Value(r, c), want[c]) || !reflect.DeepEqual(buf[c], want[c]) {
+					t.Fatalf("[%d,%d) row %d col %d: %v, want %v", lo, hi, r, c, ck.Value(r, c), want[c])
+				}
+			}
+		}
+	}
+}
+
+// TestChunkResetClearsNulls is the stale-bitmap regression test: a chunk
+// refilled after Reset must not inherit null bits from the rows it held
+// before, and the refill must reuse the grown buffers (no reallocation).
+func TestChunkResetClearsNulls(t *testing.T) {
+	tab := chunkFixtureTable(t)
+	ck := NewColumnChunk(tab.Schema())
+	tab.ChunkInto(ck, 0, 150)
+	nomCap, numCap := cap(ck.Col(0).Nom), cap(ck.Col(1).Num)
+
+	// Row 0 of the fixture is null in column 0 (0%7==0); refill starting
+	// at a row that is not.
+	tab.ChunkInto(ck, 1, 101)
+	if ck.Col(0).Null(0) {
+		t.Fatal("null bit survived Reset: chunk row 0 reads null after refill with a non-null row")
+	}
+	for r := 0; r < ck.Rows(); r++ {
+		for c := 0; c < tab.NumCols(); c++ {
+			if got, want := ck.Value(r, c), tab.Get(1+r, c); !reflect.DeepEqual(got, want) {
+				t.Fatalf("row %d col %d after refill: %v, want %v", r, c, got, want)
+			}
+		}
+	}
+	if cap(ck.Col(0).Nom) != nomCap || cap(ck.Col(1).Num) != numCap {
+		t.Fatal("refill below the high-water mark reallocated column buffers")
+	}
+}
+
+// TestNextChunkAndFillChunkAgree checks the two chunk-filling paths — a
+// source's native NextChunk and the generic FillChunk adapter — produce
+// identical chunks and the same EOF behavior.
+func TestNextChunkAndFillChunkAgree(t *testing.T) {
+	tab := chunkFixtureTable(t)
+
+	fast := NewTableSource(tab)
+	a := NewColumnChunk(tab.Schema())
+	var fastCounts []int
+	for {
+		n, err := fast.NextChunk(a, 64)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastCounts = append(fastCounts, n)
+	}
+
+	slow := NewTableSource(tab)
+	b := NewColumnChunk(tab.Schema())
+	buf := make([]Value, tab.NumCols())
+	var slowCounts []int
+	for {
+		n, err := FillChunk(slow, b, buf, 64)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowCounts = append(slowCounts, n)
+	}
+
+	if !reflect.DeepEqual(fastCounts, slowCounts) {
+		t.Fatalf("chunk counts differ: NextChunk %v, FillChunk %v", fastCounts, slowCounts)
+	}
+	if a.Rows() != tab.NumRows() || b.Rows() != tab.NumRows() {
+		t.Fatalf("accumulated %d and %d rows, want %d", a.Rows(), b.Rows(), tab.NumRows())
+	}
+	for r := 0; r < a.Rows(); r++ {
+		for c := 0; c < tab.NumCols(); c++ {
+			if !reflect.DeepEqual(a.Value(r, c), b.Value(r, c)) {
+				t.Fatalf("row %d col %d: NextChunk %v, FillChunk %v", r, c, a.Value(r, c), b.Value(r, c))
+			}
+		}
+	}
+}
+
+// corruptWire gob-encodes a wireChunk after the mutation — the way an
+// adversarial or bit-rotted stream would present it to DecodeChunk.
+func corruptWire(t *testing.T, tab *Table, mutate func(*wireChunk)) io.Reader {
+	t.Helper()
+	ck := NewColumnChunk(tab.Schema())
+	tab.ChunkInto(ck, 0, 10)
+	var buf bytes.Buffer
+	if err := EncodeChunk(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	var wc wireChunk
+	if err := gob.NewDecoder(&buf).Decode(&wc); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&wc)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&wc); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestDecodeChunkRejectsCorruptStreams walks every validation DecodeChunk
+// performs: each class of misalignment must fail instead of materializing
+// a chunk the kernels would index out of bounds.
+func TestDecodeChunkRejectsCorruptStreams(t *testing.T) {
+	tab := chunkFixtureTable(t)
+	cases := []struct {
+		name   string
+		mutate func(*wireChunk)
+	}{
+		{"id count mismatch", func(wc *wireChunk) { wc.IDs = wc.IDs[:len(wc.IDs)-1] }},
+		{"negative row count", func(wc *wireChunk) { wc.N = -1 }},
+		{"column count mismatch", func(wc *wireChunk) { wc.Cols = wc.Cols[:len(wc.Cols)-1] }},
+		{"nominal index outside domain", func(wc *wireChunk) { wc.Cols[0].Nom[2] = 99 }},
+		{"negative nominal index", func(wc *wireChunk) { wc.Cols[0].Nom[2] = -2 }},
+		{"null row with live index", func(wc *wireChunk) { wc.Cols[0].Nom[0] = 1 }}, // row 0 is null in col 0
+		{"short null bitmap", func(wc *wireChunk) { wc.Cols[1].Nulls = nil }},
+		{"nominal data in numeric column", func(wc *wireChunk) { wc.Cols[1].Nom = []int32{1}; wc.Cols[1].Num = nil }},
+		{"short numeric column", func(wc *wireChunk) { wc.Cols[1].Num = wc.Cols[1].Num[:3] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeChunk(corruptWire(t, tab, tc.mutate)); err == nil {
+				t.Fatal("DecodeChunk accepted a corrupt stream")
+			}
+		})
+	}
+
+	t.Run("truncated stream", func(t *testing.T) {
+		ck := NewColumnChunk(tab.Schema())
+		tab.ChunkInto(ck, 0, 10)
+		var buf bytes.Buffer
+		if err := EncodeChunk(&buf, ck); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeChunk(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+			t.Fatal("DecodeChunk accepted a truncated stream")
+		}
+	})
+
+	t.Run("null payload canonicalized", func(t *testing.T) {
+		// A numeric null whose in-band payload is not NaN decodes with the
+		// payload rewritten to NaN, so in-band and bitmap views agree.
+		ck, err := DecodeChunk(corruptWire(t, tab, func(wc *wireChunk) { wc.Cols[1].Num[0] = 42 })) // row 0 is null in col 1
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(ck.Col(1).Num[0]) {
+			t.Fatalf("null payload decoded as %v, want NaN", ck.Col(1).Num[0])
+		}
+	})
+}
+
+// TestValueAndSchemaGobRoundTrip covers the GobEncoder/GobDecoder pair on
+// Value and Schema (the hooks model persistence relies on), including the
+// short-buffer decode error paths.
+func TestValueAndSchemaGobRoundTrip(t *testing.T) {
+	type carrier struct {
+		V []Value
+		S *Schema
+	}
+	in := carrier{V: []Value{Null(), Nom(2), Num(-3.75)}, S: fuzzSchema(t)}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out carrier
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.V, out.V) {
+		t.Fatalf("values changed: %v -> %v", in.V, out.V)
+	}
+	if !reflect.DeepEqual(in.S.Names(), out.S.Names()) {
+		t.Fatalf("schema names changed: %v -> %v", in.S.Names(), out.S.Names())
+	}
+
+	var v Value
+	if err := v.GobDecode([]byte{1}); err == nil {
+		t.Fatal("Value.GobDecode accepted a short buffer")
+	}
+	var s Schema
+	if err := s.GobDecode([]byte{0xFF}); err == nil {
+		t.Fatal("Schema.GobDecode accepted garbage")
+	}
+}
+
+// TestTableFileRoundTrip covers the file-level persistence helpers for
+// both wire formats, plus their open-error paths.
+func TestTableFileRoundTrip(t *testing.T) {
+	tab := chunkFixtureTable(t)
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "t.bin")
+	if err := WriteTableFile(bin, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTableFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tab.NumRows() || !reflect.DeepEqual(got.Row(17), tab.Row(17)) {
+		t.Fatal("binary table round trip changed the data")
+	}
+	if _, err := ReadTableFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("ReadTableFile succeeded on a missing file")
+	}
+
+	csvPath := filepath.Join(dir, "t.csv")
+	if err := WriteCSVFile(csvPath, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadCSVFile(csvPath, tab.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tab.NumRows() || !reflect.DeepEqual(got.Row(17), tab.Row(17)) {
+		t.Fatal("CSV table round trip changed the data")
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv"), tab.Schema()); err == nil {
+		t.Fatal("ReadCSVFile succeeded on a missing file")
+	}
+}
+
+// TestReadAllPropagatesSourceErrors covers ReadAll's two exits: a clean
+// EOF materializes the full table, a mid-stream decode failure surfaces
+// the source's typed error with no table.
+func TestReadAllPropagatesSourceErrors(t *testing.T) {
+	s := fuzzSchema(t)
+	good := "color,x,d\nred,1,2020-01-02\nblue,2,2020-01-03\n"
+	src, err := NewCSVSource(strings.NewReader(good), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 || tab.Get(1, 0).NomIdx() != 2 {
+		t.Fatalf("ReadAll materialized %d rows", tab.NumRows())
+	}
+
+	bad := "color,x,d\nred,1,2020-01-02\nred,1\n"
+	src, err = NewCSVSource(strings.NewReader(bad), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(src); !errors.Is(err, ErrRowWidth) {
+		t.Fatalf("ReadAll returned %v, want a width error", err)
+	}
+
+	if _, err := ParseSchemaFile(filepath.Join(t.TempDir(), "missing.schema")); err == nil {
+		t.Fatal("ParseSchemaFile succeeded on a missing file")
+	}
+}

@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// Native fuzz targets for the two untrusted entry points of the columnar
+// path: CSV decoding into chunks (malformed input must surface as the
+// typed errors — ErrRowWidth, ErrHeader/HeaderMismatchError, a parse
+// error — and never as a panic or a misaligned chunk) and the chunk wire
+// format (a round trip preserves every value, null and ID bit-for-bit;
+// an adversarial byte stream either fails to decode or yields an
+// internally consistent chunk). CI runs each target for a short smoke
+// window on top of the committed seed corpus.
+
+// fuzzSchema is the fixed relation the fuzz targets decode against: one
+// attribute of each type.
+func fuzzSchema(t testing.TB) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		NewNominal("color", "red", "green", "blue"),
+		NewNumeric("x", -1e9, 1e9),
+		NewDate("d", MustParseDate("1990-01-01"), MustParseDate("2030-01-01")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// requireChunkAligned fails the test unless every column of the chunk has
+// exactly rows entries of the type the schema dictates, with nulls
+// encoded in-band (-1 nominal, NaN numeric) and nominal indices inside
+// the attribute domain.
+func requireChunkAligned(t *testing.T, ck *ColumnChunk) {
+	t.Helper()
+	s := ck.Schema()
+	rows := ck.Rows()
+	for c := 0; c < s.Len(); c++ {
+		col := ck.Col(c)
+		a := s.Attr(c)
+		if a.Type == NominalType {
+			if len(col.Nom) != rows {
+				t.Fatalf("column %d (%s): %d nominal entries for %d rows", c, a.Name, len(col.Nom), rows)
+			}
+			for r := 0; r < rows; r++ {
+				idx := col.Nom[r]
+				if col.Null(r) {
+					if idx != -1 {
+						t.Fatalf("column %d row %d: null encodes index %d, want -1", c, r, idx)
+					}
+				} else if idx < 0 || int(idx) >= a.NumValues() {
+					t.Fatalf("column %d row %d: index %d outside domain of %d", c, r, idx, a.NumValues())
+				}
+			}
+		} else {
+			if len(col.Num) != rows {
+				t.Fatalf("column %d (%s): %d numeric entries for %d rows", c, a.Name, len(col.Num), rows)
+			}
+			for r := 0; r < rows; r++ {
+				if col.Null(r) && !math.IsNaN(col.Num[r]) {
+					t.Fatalf("column %d row %d: null encodes %v, want NaN", c, r, col.Num[r])
+				}
+			}
+		}
+	}
+}
+
+// FuzzCSVSource feeds arbitrary bytes through NewCSVSource + NextChunk.
+// The contract under fuzz: no panic, every error is a typed header/width
+// error or a parse/CSV error, and the chunk stays column-aligned after
+// every call no matter where in the input the decoder gave up.
+func FuzzCSVSource(f *testing.F) {
+	f.Add([]byte("color,x,d\nred,1.5,2020-01-02\n?,,?\nblue,-3e4,1999-12-31\n"))
+	f.Add([]byte("colour,x,d\nred,1,2020-01-02\n"))           // wrong header name
+	f.Add([]byte("color,x\nred,1\n"))                         // wrong header arity
+	f.Add([]byte("color,x,d\nred,1.5\n"))                     // short row mid-stream
+	f.Add([]byte("color,x,d\nred,1.5,2020-01-02,extra\n"))    // long row mid-stream
+	f.Add([]byte("color,x,d\nmauve,1.5,2020-01-02\n"))        // out-of-domain nominal
+	f.Add([]byte("color,x,d\nred,not-a-number,2020-01-02\n")) // numeric parse error
+	f.Add([]byte("color,x,d\nred,1.5,20th of May\n"))         // date parse error
+	f.Add([]byte("color,x,d\n\"red\n\",1,2020-01-02"))        // quoted newline
+	f.Add([]byte("\"color,x,d"))                              // unterminated quote in header
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		schema := fuzzSchema(t)
+		for _, bound := range []int64{0, 1 << 10} {
+			var src *CSVSource
+			var err error
+			if bound > 0 {
+				src, err = NewBoundedCSVSource(bytes.NewReader(data), schema, bound)
+			} else {
+				src, err = NewCSVSource(bytes.NewReader(data), schema)
+			}
+			if err != nil {
+				// A rejected header must be one of the typed contracts or a
+				// CSV-level read error; all of them are errors, none panic.
+				continue
+			}
+			ck := NewColumnChunk(schema)
+			rows := 0
+			for {
+				n, err := src.NextChunk(ck, 7)
+				rows += n
+				if ck.Rows() != rows {
+					t.Fatalf("chunk holds %d rows after %d accepted", ck.Rows(), rows)
+				}
+				requireChunkAligned(t, ck)
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					// Mid-stream failures keep the previously decoded rows
+					// and carry a typed width error or a parse error.
+					var widthErr *RowWidthError
+					if errors.As(err, &widthErr) && !errors.Is(err, ErrRowWidth) {
+						t.Fatalf("RowWidthError does not wrap ErrRowWidth: %v", err)
+					}
+					break
+				}
+				if n == 0 {
+					t.Fatal("NextChunk returned 0 rows with nil error")
+				}
+			}
+		}
+	})
+}
+
+// FuzzColumnChunkRoundTrip drives the chunk wire format from both sides:
+// a chunk built from the fuzz input must survive EncodeChunk/DecodeChunk
+// with every ID, null bit and value bit pattern (NaN payloads included)
+// intact, and the raw fuzz bytes fed straight into DecodeChunk must
+// either fail or produce an aligned chunk.
+func FuzzColumnChunkRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 1, 0, 0, 0, 0, 0, 0xF0, 0x3F, 7})                    // one plain row
+	f.Add([]byte{0x07, 2, 1, 2, 3, 4, 5, 0xF8, 0x7F, 9})                    // all-null row
+	f.Add([]byte{0x02, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xF8, 0x7F, 1})     // NaN payload
+	f.Add(bytes.Repeat([]byte{0x01, 2, 8, 6, 7, 5, 3, 0x09, 0x40, 4}, 130)) // spans null words
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		schema := fuzzSchema(t)
+
+		// Build a chunk from the input: 10 bytes per row — a null mask, a
+		// nominal index, a raw float64 pattern shared by the numeric and
+		// date columns, and an ID byte.
+		const rec = 10
+		ck := NewColumnChunk(schema)
+		row := make([]Value, schema.Len())
+		var ids []int64
+		for off := 0; off+rec <= len(data) && ck.Rows() < 1024; off += rec {
+			b := data[off : off+rec]
+			bits := uint64(0)
+			for i := 0; i < 8; i++ {
+				bits |= uint64(b[2+i]) << (8 * i)
+			}
+			num := math.Float64frombits(bits)
+			row[0], row[1], row[2] = Nom(int(b[1])%3), Num(num), Num(num)
+			if b[0]&1 != 0 {
+				row[0] = Null()
+			}
+			if b[0]&2 != 0 {
+				row[1] = Null()
+			}
+			if b[0]&4 != 0 {
+				row[2] = Null()
+			}
+			id := int64(b[0]) + int64(off)
+			ck.AppendRow(row, id)
+			ids = append(ids, id)
+		}
+
+		var buf bytes.Buffer
+		if err := EncodeChunk(&buf, ck); err != nil {
+			t.Fatalf("EncodeChunk: %v", err)
+		}
+		got, err := DecodeChunk(&buf)
+		if err != nil {
+			t.Fatalf("DecodeChunk of a freshly encoded chunk: %v", err)
+		}
+		if got.Rows() != ck.Rows() {
+			t.Fatalf("round trip changed row count: %d -> %d", ck.Rows(), got.Rows())
+		}
+		for i, name := range schema.Names() {
+			if got.Schema().Attr(i).Name != name || got.Schema().Attr(i).Type != schema.Attr(i).Type {
+				t.Fatalf("round trip changed attribute %d", i)
+			}
+		}
+		for r := 0; r < ck.Rows(); r++ {
+			if got.ID(r) != ids[r] {
+				t.Fatalf("row %d: ID %d -> %d", r, ids[r], got.ID(r))
+			}
+			for c := 0; c < schema.Len(); c++ {
+				w, g := ck.Col(c), got.Col(c)
+				if w.Null(r) != g.Null(r) {
+					t.Fatalf("row %d col %d: null bit flipped", r, c)
+				}
+				if schema.Attr(c).Type == NominalType {
+					if w.Nom[r] != g.Nom[r] {
+						t.Fatalf("row %d col %d: nominal %d -> %d", r, c, w.Nom[r], g.Nom[r])
+					}
+				} else if !w.Null(r) && math.Float64bits(w.Num[r]) != math.Float64bits(g.Num[r]) {
+					t.Fatalf("row %d col %d: value bits %x -> %x", r, c,
+						math.Float64bits(w.Num[r]), math.Float64bits(g.Num[r]))
+				}
+			}
+		}
+		requireChunkAligned(t, got)
+
+		// Adversarial decode: the raw input as a wire stream must error or
+		// yield a chunk whose invariants hold.
+		if adv, err := DecodeChunk(bytes.NewReader(data)); err == nil {
+			requireChunkAligned(t, adv)
+		}
+	})
+}

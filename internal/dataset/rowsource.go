@@ -117,6 +117,7 @@ type CSVSource struct {
 	max    int64
 	line   int // 1-based line of the next record (header was line 1)
 	nextID int64
+	rowBuf []Value // reusable row buffer for NextChunk
 }
 
 // NewCSVSource wraps a CSV stream. The header row is read and validated

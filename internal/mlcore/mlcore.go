@@ -209,6 +209,22 @@ type Classifier interface {
 	PredictInto(row []dataset.Value, d *Distribution)
 }
 
+// BlockClassifier is implemented by classifier families with a columnar
+// batch kernel: one call scores a whole ColumnChunk, hoisting per-row
+// dispatch, table lookups, and transcendental-function setup out of the
+// inner loop. The chunked scorer (audit.CheckChunk) probes for it and
+// falls back to per-row PredictInto otherwise.
+type BlockClassifier interface {
+	Classifier
+	// PredictBlockInto writes the class distribution of chunk row r into
+	// dists[r] for every r in [0, len(dists)); len(dists) must not exceed
+	// ck.Rows(). Each dists[r] must end up exactly as PredictInto would
+	// leave it for the same row — the differential suite holds the two
+	// paths byte-identical. Like PredictInto, the call performs no heap
+	// allocation once every dists[r] has grown to the class count.
+	PredictBlockInto(ck *dataset.ColumnChunk, dists []Distribution)
+}
+
 // Trainer induces a Classifier from instances.
 type Trainer interface {
 	// Name identifies the algorithm in experiment reports.

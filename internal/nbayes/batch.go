@@ -1,0 +1,123 @@
+package nbayes
+
+import (
+	"math"
+	"sync"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/mlcore"
+	"dataaudit/internal/stats"
+)
+
+// The columnar kernel. PredictInto pays a math.Log call per (nominal
+// attribute × class) on every row even though the conditional tables are
+// fixed at training time. The block kernel hoists those logs into tables
+// built once per model (lazily, so gob-decoded models work unchanged) and
+// then sweeps each attribute column over the whole chunk. The arithmetic
+// per row — which terms are added, in which order, and the final
+// normalization — is kept op-for-op identical to PredictInto, so the two
+// paths produce bit-identical distributions.
+
+// batchTables are the precomputed log tables; unexported, so gob ignores
+// them and decoded models rebuild lazily.
+type batchTables struct {
+	logPriors []float64
+	// logCond[i][c][v] = log(Nominals[i].Cond[c][v]).
+	logCond [][][]float64
+}
+
+// batchState carries the sync.Once guarding table construction.
+type batchState struct {
+	once sync.Once
+	tab  batchTables
+}
+
+var _ mlcore.BlockClassifier = (*Model)(nil)
+
+// tables returns the model's log tables, building them on first use.
+func (m *Model) tables() *batchTables {
+	m.batch.once.Do(func() {
+		t := &m.batch.tab
+		t.logPriors = make([]float64, m.K)
+		for c, p := range m.Priors {
+			t.logPriors[c] = math.Log(p)
+		}
+		t.logCond = make([][][]float64, len(m.Nominals))
+		for i, nm := range m.Nominals {
+			t.logCond[i] = make([][]float64, len(nm.Cond))
+			for c, cond := range nm.Cond {
+				lc := make([]float64, len(cond))
+				for v, p := range cond {
+					lc[v] = math.Log(p)
+				}
+				t.logCond[i][c] = lc
+			}
+		}
+	})
+	return &m.batch.tab
+}
+
+// PredictBlockInto implements mlcore.BlockClassifier. Each dists[r] ends
+// up exactly as PredictInto(row r) would leave it.
+func (m *Model) PredictBlockInto(ck *dataset.ColumnChunk, dists []mlcore.Distribution) {
+	t := m.tables()
+	for r := range dists {
+		d := &dists[r]
+		d.Reset(m.K)
+		copy(d.Counts, t.logPriors)
+	}
+	for i, nm := range m.Nominals {
+		col := ck.Col(nm.Attr)
+		lc := t.logCond[i]
+		for r := range dists {
+			if col.Null(r) {
+				continue
+			}
+			idx := int(col.Nom[r])
+			logp := dists[r].Counts
+			for c := range logp {
+				if idx < len(nm.Cond[c]) {
+					logp[c] += lc[c][idx]
+				}
+			}
+		}
+	}
+	for _, gm := range m.Gauss {
+		col := ck.Col(gm.Attr)
+		for r := range dists {
+			if col.Null(r) {
+				continue
+			}
+			x := col.Num[r]
+			logp := dists[r].Counts
+			for c := range logp {
+				if gm.SeenByClass[c] {
+					logp[c] += math.Log(stats.GaussianPDF(x, gm.Mu[c], gm.Sigma[c]) + 1e-300)
+				}
+			}
+		}
+	}
+	// Normalize in log space, per row — identical to PredictInto.
+	for r := range dists {
+		d := &dists[r]
+		logp := d.Counts
+		maxLog := math.Inf(-1)
+		for _, lp := range logp {
+			if lp > maxLog {
+				maxLog = lp
+			}
+		}
+		total := 0.0
+		for c, lp := range logp {
+			p := math.Exp(lp - maxLog)
+			d.Counts[c] = p
+			total += p
+		}
+		if total > 0 {
+			for c := range d.Counts {
+				d.Counts[c] = d.Counts[c] / total * m.TotalW
+			}
+		}
+		d.Total = m.TotalW
+	}
+}

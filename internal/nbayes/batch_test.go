@@ -1,0 +1,66 @@
+package nbayes
+
+import (
+	"math"
+	"testing"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/mlcore"
+)
+
+// TestPredictBlockIntoMatchesRowPath holds the columnar kernel to its
+// contract: every distribution in the block comes out bit-identical to
+// the per-row PredictInto — including rows with nulls and an all-null
+// row, across chunk boundaries that straddle the null-bitmap word size.
+func TestPredictBlockIntoMatchesRowPath(t *testing.T) {
+	tab := mixedTable(t, 2000, 47)
+	// Sprinkle nulls the generator does not produce.
+	for r := 0; r < tab.NumRows(); r += 17 {
+		tab.Set(r, 0, dataset.Null())
+	}
+	for r := 0; r < tab.NumRows(); r += 23 {
+		tab.Set(r, 1, dataset.Null())
+	}
+	for r := 0; r < tab.NumRows(); r += 311 {
+		tab.Set(r, 0, dataset.Null())
+		tab.Set(r, 1, dataset.Null())
+	}
+	clf, err := (&Trainer{}).Train(nbInstances(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clf.(*Model)
+
+	ck := dataset.NewColumnChunk(tab.Schema())
+	row := make([]dataset.Value, tab.NumCols())
+	var want mlcore.Distribution
+	for _, chunkRows := range []int{2000, 64, 7} {
+		var dists []mlcore.Distribution
+		for lo := 0; lo < tab.NumRows(); lo += chunkRows {
+			hi := min(lo+chunkRows, tab.NumRows())
+			tab.ChunkInto(ck, lo, hi)
+			n := ck.Rows()
+			for len(dists) < n {
+				dists = append(dists, mlcore.Distribution{})
+			}
+			m.PredictBlockInto(ck, dists[:n])
+			for r := 0; r < n; r++ {
+				tab.RowInto(lo+r, row)
+				m.PredictInto(row, &want)
+				got := &dists[r]
+				if math.Float64bits(want.Total) != math.Float64bits(got.Total) {
+					t.Fatalf("chunk=%d row %d: support %v vs %v", chunkRows, lo+r, want.Total, got.Total)
+				}
+				if len(want.Counts) != len(got.Counts) {
+					t.Fatalf("chunk=%d row %d: arity %d vs %d", chunkRows, lo+r, len(want.Counts), len(got.Counts))
+				}
+				for c := range want.Counts {
+					if math.Float64bits(want.Counts[c]) != math.Float64bits(got.Counts[c]) {
+						t.Fatalf("chunk=%d row %d class %d: %v (row path) vs %v (block)",
+							chunkRows, lo+r, c, want.Counts[c], got.Counts[c])
+					}
+				}
+			}
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Model struct {
 	TotalW   float64
 	Nominals []nominalModel
 	Gauss    []gaussModel
+
+	// batch holds the lazily built columnar log tables (see batch.go);
+	// unexported, so gob-encoded models round-trip without it and rebuild
+	// on first block prediction.
+	batch batchState
 }
 
 var _ mlcore.Classifier = (*Model)(nil)
