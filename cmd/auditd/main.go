@@ -68,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"dataaudit/internal/audit"
 	"dataaudit/internal/monitor"
 	"dataaudit/internal/registry"
 	"dataaudit/internal/serve"
@@ -93,11 +94,19 @@ func main() {
 		phLambda   = flag.Float64("drift-ph-lambda", 0.25, "Page-Hinkley alarm threshold over the window suspicious-rate series")
 		reinduce   = flag.Bool("auto-reinduce", false, "on drift, re-induce the model from a reservoir of recently audited rows and publish the next version (runs in a background worker; audits are never blocked)")
 		reservoir  = flag.Int("reservoir-rows", 4096, "row capacity of the re-induction reservoir sample")
+		partialRe  = flag.Bool("partial-reinduce", true, "when the per-attribute detectors attribute a drift to specific attributes, rebuild only those and share the rest with the predecessor model; false forces every re-induction to run from scratch")
+		reMode     = flag.String("reinduce-mode", "incremental", "how a partial re-induction rebuilds a drifted attribute: incremental (update the previous classifier over frozen discretization) or full (re-derive that attribute from scratch)")
 		monState   = flag.String("monitor-state", "", "directory for crash-durable monitoring state (snapshots, events, drift state, reservoir); empty = <dir>/.state under the registry, \"disabled\" = keep monitoring state in memory only")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "auditd ", log.LstdFlags)
+
+	switch audit.ReinduceMode(*reMode) {
+	case audit.ReinduceIncremental, audit.ReinduceFull:
+	default:
+		logger.Fatalf("-reinduce-mode %q: want incremental or full", *reMode)
+	}
 
 	reg, err := registry.Open(*dir, registry.WithCacheSize(*cache))
 	if err != nil {
@@ -114,13 +123,15 @@ func main() {
 		serve.WithMetrics(*metrics),
 		serve.WithDashboard(*dashboard),
 		serve.WithMonitorOptions(monitor.Options{
-			WindowRows:    *monWindow,
-			DriftDelta:    *driftDelta,
-			PHLambda:      *phLambda,
-			AutoReinduce:  *reinduce,
-			ReservoirRows: *reservoir,
-			StateDir:      *monState,
-			Logger:        logger,
+			WindowRows:             *monWindow,
+			DriftDelta:             *driftDelta,
+			PHLambda:               *phLambda,
+			AutoReinduce:           *reinduce,
+			ReservoirRows:          *reservoir,
+			DisablePartialReinduce: !*partialRe,
+			ReinduceMode:           *reMode,
+			StateDir:               *monState,
+			Logger:                 logger,
 		}),
 	)
 	if *workers > 0 {

@@ -23,7 +23,7 @@ func baseReport() Report {
 
 func TestGatePassesOnIdenticalReport(t *testing.T) {
 	base := baseReport()
-	if v := gateReports(base, base, 15, allChecks()); len(v) != 0 {
+	if v := gateReports(base, base, 15, 3, allChecks()); len(v) != 0 {
 		t.Fatalf("identical reports must pass, got violations: %v", v)
 	}
 }
@@ -34,7 +34,7 @@ func TestGatePassesWithinTolerance(t *testing.T) {
 	for i := range cand.Runs {
 		cand.Runs[i].NsPerRow *= 1.10 // 10% slower: inside the 15% budget
 	}
-	if v := gateReports(base, cand, 15, allChecks()); len(v) != 0 {
+	if v := gateReports(base, cand, 15, 3, allChecks()); len(v) != 0 {
 		t.Fatalf("10%% regression must pass a 15%% gate, got: %v", v)
 	}
 }
@@ -47,7 +47,7 @@ func TestGateFailsOnSyntheticNsRegression(t *testing.T) {
 	for i := range cand.Runs {
 		cand.Runs[i].NsPerRow *= 1.20
 	}
-	v := gateReports(base, cand, 15, allChecks())
+	v := gateReports(base, cand, 15, 3, allChecks())
 	if len(v) != len(cand.Runs) {
 		t.Fatalf("20%% regression must fail every run, got %d violations: %v", len(v), v)
 	}
@@ -62,7 +62,7 @@ func TestGateFailsOnSteadyStateAllocation(t *testing.T) {
 	base := baseReport()
 	cand := baseReport()
 	cand.Runs[0].AllocsPerRow = 0.001 // any allocation on the 0-alloc path
-	v := gateReports(base, cand, 15, allChecks())
+	v := gateReports(base, cand, 15, 3, allChecks())
 	if len(v) == 0 {
 		t.Fatal("steady-state allocation must fail the gate")
 	}
@@ -75,7 +75,7 @@ func TestGateFailsOnAllocIncrease(t *testing.T) {
 	base := baseReport()
 	cand := baseReport()
 	cand.Runs[1].AllocsPerRow = 0.2 // batch path allocates more per row
-	v := gateReports(base, cand, 15, allChecks())
+	v := gateReports(base, cand, 15, 3, allChecks())
 	if len(v) != 1 || !strings.Contains(v[0], "allocs/row increased") {
 		t.Fatalf("alloc increase must fail the gate, got: %v", v)
 	}
@@ -85,7 +85,7 @@ func TestGateFailsOnSuspiciousDrift(t *testing.T) {
 	base := baseReport()
 	cand := baseReport()
 	cand.Runs[2].Suspicious = 1400
-	v := gateReports(base, cand, 15, allChecks())
+	v := gateReports(base, cand, 15, 3, allChecks())
 	if len(v) != 1 || !strings.Contains(v[0], "suspicious count changed") {
 		t.Fatalf("output drift must fail the gate, got: %v", v)
 	}
@@ -124,7 +124,7 @@ func TestGateChecksAreSelectable(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			v := gateReports(base, tc.cand, 15, tc.checks)
+			v := gateReports(base, tc.cand, 15, 3, tc.checks)
 			if tc.fails && len(v) == 0 {
 				t.Fatalf("checks %s must fail this candidate", tc.checks)
 			}
@@ -135,15 +135,58 @@ func TestGateChecksAreSelectable(t *testing.T) {
 	}
 }
 
+// maintReport is a baseline that also carries the model-maintenance
+// surfaces, with incremental re-induction comfortably above the 3x floor.
+func maintReport() Report {
+	rep := baseReport()
+	rep.Runs = append(rep.Runs,
+		Run{Name: "induce", Rows: 30000, Workers: 1, NsPerRow: 75000, AllocsPerRow: 6},
+		Run{Name: "reinduce", Rows: 30000, Workers: 1, NsPerRow: 3300, AllocsPerRow: 12},
+	)
+	return rep
+}
+
+// TestGateReinduceSpeedup pins the incremental-induction contract: the
+// candidate's own induce/reinduce ratio must stay above the floor — a
+// within-candidate check, so it needs no comparable baseline hardware —
+// and a report measured before the maintenance surfaces existed is not
+// retroactively failed.
+func TestGateReinduceSpeedup(t *testing.T) {
+	base := baseReport()
+	good := maintReport()
+	if v := gateReports(base, good, 15, 3, allChecks()); len(v) != 0 {
+		t.Fatalf("22x speedup must pass a 3x floor, got: %v", v)
+	}
+
+	slow := maintReport()
+	slow.Runs[len(slow.Runs)-1].NsPerRow = 30000 // only 2.5x faster than induce
+	v := gateReports(base, slow, 15, 3, allChecks())
+	if len(v) != 1 || !strings.Contains(v[0], "incremental re-induction only") {
+		t.Fatalf("eroded speedup must fail the reinduce check, got: %v", v)
+	}
+	if v2 := gateReports(base, slow, 15, 3, gateChecks{alloc: true, suspicious: true}); len(v2) != 0 {
+		t.Fatalf("reinduce check must be selectable, got: %v", v2)
+	}
+	if v3 := gateReports(base, slow, 15, 2, allChecks()); len(v3) != 0 {
+		t.Fatalf("2.5x must pass a lowered 2x floor, got: %v", v3)
+	}
+
+	// Old candidate without maintenance surfaces: check disengages.
+	if v := gateReports(maintReport(), baseReport(), 15, 3, allChecks()); len(v) != 0 {
+		t.Fatalf("pre-maintenance candidate must not trip the reinduce check, got: %v", v)
+	}
+}
+
 func TestParseChecks(t *testing.T) {
 	cases := []struct {
 		in      string
 		want    string
 		wantErr bool
 	}{
-		{"all", "ns,alloc,suspicious", false},
+		{"all", "ns,alloc,suspicious,reinduce", false},
 		{"ns", "ns", false},
 		{"alloc,suspicious", "alloc,suspicious", false},
+		{"reinduce", "reinduce", false},
 		{" ns , alloc ", "ns,alloc", false},
 		{"bogus", "", true},
 		{"", "", true},

@@ -1,0 +1,232 @@
+// Partial re-induction: rebuild the structure model for a subset of the
+// audited attributes instead of the whole relation. This is the audit-layer
+// half of the incremental-induction stack — the per-family delta updates
+// live behind mlcore.IncrementalClassifier; ReinduceAttrs routes each
+// requested attribute to the cheapest sound path and shares the untouched
+// AttrModels with the predecessor.
+
+package audit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/mlcore"
+)
+
+// ReinduceMode selects how a re-induced attribute's classifier is rebuilt.
+type ReinduceMode string
+
+const (
+	// ReinduceIncremental freezes the attribute's discretizer bins and
+	// routes through the family's IncrementalClassifier.Update (warm start
+	// for trees and rule sets, tally refresh for the count families),
+	// falling back to a frozen-bin retrain when the family has no
+	// incremental path. The default.
+	ReinduceIncremental ReinduceMode = "incremental"
+	// ReinduceFull re-induces the attribute from scratch, re-deriving the
+	// discretizer from the new table — identical to what Induce would
+	// produce for that attribute.
+	ReinduceFull ReinduceMode = "full"
+)
+
+// ReinduceOptions configure a partial re-induction.
+type ReinduceOptions struct {
+	// Mode defaults to ReinduceIncremental.
+	Mode ReinduceMode
+	// Prev, when non-nil, is the previous training table. Incremental mode
+	// then hands the families a row-level delta (multiset difference of the
+	// two tables) so count-maintained classifiers apply only the changed
+	// rows. When nil — e.g. consecutive reservoir samples that share no
+	// rows — the delta degenerates to a full replacement and the families
+	// rebuild from the new table, still reusing their frozen state.
+	Prev *dataset.Table
+}
+
+// ReinduceAttrs returns a successor model in which the classifiers for the
+// given class attributes (column indices) are re-induced from tab while
+// every other AttrModel is shared, pointer-for-pointer, with the receiver.
+// The receiver is never mutated — live scorers may keep serving it.
+//
+// The successor's quality baseline is NOT recomputed here: scoring is cheap
+// (the columnar kernels run at ~tens of ns/row) and callers that maintain a
+// QualityProfile re-derive it from the successor over their sample; the
+// partiality lives in induction, where the cost is.
+func (m *Model) ReinduceAttrs(tab *dataset.Table, attrs []int, ropts ReinduceOptions) (*Model, error) {
+	opts := m.Opts.WithDefaults()
+	if err := compatibleSchema(m.Schema, tab.Schema()); err != nil {
+		return nil, fmt.Errorf("audit: reinduce: %w", err)
+	}
+	mode := ropts.Mode
+	if mode == "" {
+		mode = ReinduceIncremental
+	}
+	if mode != ReinduceIncremental && mode != ReinduceFull {
+		return nil, fmt.Errorf("audit: reinduce: unknown mode %q", mode)
+	}
+
+	start := time.Now()
+	n := &Model{
+		Schema:    m.Schema,
+		Attrs:     append([]*AttrModel(nil), m.Attrs...),
+		Opts:      m.Opts,
+		TrainRows: tab.NumRows(),
+	}
+
+	// The row-level delta is shared by every re-induced attribute, so
+	// compute it once up front.
+	var addedTab, removedTab *dataset.Table
+	if mode == ReinduceIncremental && ropts.Prev != nil {
+		addedTab, removedTab = tableDiff(ropts.Prev, tab)
+	}
+
+	var scratch []float64
+	for _, class := range attrs {
+		pos := -1
+		for i, am := range n.Attrs {
+			if am.Class == class {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("audit: reinduce: attribute %s is not modelled", m.Schema.Attr(class).Name)
+		}
+
+		if mode == ReinduceFull {
+			am, err := induceAttr(tab, class, opts, &scratch)
+			if err != nil {
+				return nil, fmt.Errorf("audit: reinduce attribute %s: %w", m.Schema.Attr(class).Name, err)
+			}
+			if am == nil {
+				return nil, fmt.Errorf("audit: reinduce attribute %s: no training signal in the new table", m.Schema.Attr(class).Name)
+			}
+			n.Attrs[pos] = am
+			continue
+		}
+
+		am, err := reinduceIncremental(n.Attrs[pos], tab, addedTab, removedTab, opts)
+		if err != nil {
+			return nil, fmt.Errorf("audit: reinduce attribute %s: %w", m.Schema.Attr(class).Name, err)
+		}
+		n.Attrs[pos] = am
+	}
+	n.InduceTime = time.Since(start)
+	return n, nil
+}
+
+// reinduceIncremental rebuilds one attribute's classifier with frozen
+// discretizer bins, class count and labels, preferring the family's
+// incremental Update and falling back to a frozen-bin retrain.
+func reinduceIncremental(prev *AttrModel, tab, addedTab, removedTab *dataset.Table, opts Options) (*AttrModel, error) {
+	am := &AttrModel{
+		Class:  prev.Class,
+		Base:   prev.Base,
+		K:      prev.K,
+		Disc:   prev.Disc,
+		Labels: prev.Labels,
+	}
+	insOver := func(t *dataset.Table) *mlcore.Instances {
+		return mlcore.NewInstances(t, am.Base, am.K, func(r int) int {
+			return am.ClassIndex(t.Get(r, am.Class))
+		})
+	}
+	full := insOver(tab)
+	d := mlcore.UpdateDelta{Full: full}
+	if addedTab != nil {
+		d.Added = insOver(addedTab)
+		d.Removed = insOver(removedTab)
+	}
+
+	trainer, err := trainerFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	if ic, ok := prev.Classifier.(mlcore.IncrementalClassifier); ok {
+		if clf, err := ic.Update(trainer, d); err == nil {
+			am.Classifier = clf
+			return am, nil
+		}
+		// An unsound incremental path (e.g. a gob-decoded model predating
+		// its raw tallies) falls through to a frozen-bin retrain.
+	}
+	clf, err := trainer.Train(full)
+	if err != nil {
+		return nil, err
+	}
+	am.Classifier = clf
+	return am, nil
+}
+
+// compatibleSchema checks that the new training table still describes the
+// relation the model was induced on.
+func compatibleSchema(want, got *dataset.Schema) error {
+	if want.Len() != got.Len() {
+		return fmt.Errorf("schema width changed: model has %d attributes, table has %d", want.Len(), got.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		w, g := want.Attr(i), got.Attr(i)
+		if w.Name != g.Name || w.Type != g.Type {
+			return fmt.Errorf("attribute %d changed: model has %s (%v), table has %s (%v)", i, w.Name, w.Type, g.Name, g.Type)
+		}
+	}
+	return nil
+}
+
+// tableDiff computes the multiset row difference between two tables over
+// the same schema: added holds rows of cur not matched in prev, removed the
+// rows of prev not matched in cur. Matching is by value (record IDs are
+// ignored — reservoir samples renumber rows), with null, nominal and
+// numeric values keyed distinctly so e.g. Nom(1) never collides with
+// Num(1).
+func tableDiff(prev, cur *dataset.Table) (added, removed *dataset.Table) {
+	counts := make(map[string]int, prev.NumRows())
+	prevKeys := make([]string, prev.NumRows())
+	row := make([]dataset.Value, prev.NumCols())
+	for r := 0; r < prev.NumRows(); r++ {
+		k := rowKey(prev.RowInto(r, row))
+		prevKeys[r] = k
+		counts[k]++
+	}
+	added = dataset.NewTable(cur.Schema())
+	for r := 0; r < cur.NumRows(); r++ {
+		cur.RowInto(r, row)
+		if k := rowKey(row); counts[k] > 0 {
+			counts[k]--
+		} else {
+			added.AppendRow(row)
+		}
+	}
+	removed = dataset.NewTable(prev.Schema())
+	for r := 0; r < prev.NumRows(); r++ {
+		if counts[prevKeys[r]] > 0 {
+			counts[prevKeys[r]]--
+			removed.AppendRow(prev.RowInto(r, row))
+		}
+	}
+	return added, removed
+}
+
+// rowKey renders a row as a typed string key for the multiset diff.
+func rowKey(row []dataset.Value) string {
+	var b strings.Builder
+	for i, v := range row {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		switch {
+		case v.IsNull():
+			b.WriteByte('_')
+		case v.IsNominal():
+			b.WriteByte('n')
+			b.WriteString(strconv.Itoa(v.NomIdx()))
+		default:
+			b.WriteByte('f')
+			b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package audit_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/evalx"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/quis"
+)
+
+// The warm-started families (C4.5, ID3, PRISM, the adjusted audit trees)
+// re-search structure from a previous skeleton, so their incremental
+// successors are not byte-identical to a cold retrain — the contract is
+// quality equivalence: on the polluted QUIS fixture, auditing with the
+// warm successor must detect errors with sensitivity and specificity no
+// worse (within tolerance) than auditing with a from-scratch model. The
+// check is one-sided: a warm tree landing in a *better* local optimum
+// than the unpruned cold search (ID3 does, on this fixture) is fine.
+
+func TestReinduceQualityEquivalenceWarmFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality-equivalence fixture is expensive")
+	}
+	sample, err := quis.Generate(quis.Params{NumRecords: 30000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := dataset.NewTable(sample.Data.Schema())
+	for r := 0; r < 3000; r++ {
+		clean.AppendRow(sample.Data.Row(r))
+	}
+	plan := pollute.Plan{Cell: []pollute.Configured{
+		{Prob: 0.02, P: &pollute.WrongValuePolluter{}},
+		{Prob: 0.01, P: &pollute.NullValuePolluter{}},
+	}}
+	prev, _ := pollute.Run(clean, plan, rand.New(rand.NewSource(42)))
+	cur, log := pollute.Run(clean, plan, rand.New(rand.NewSource(43)))
+
+	for _, kind := range []audit.InducerKind{
+		audit.InducerC45Audit, audit.InducerC45, audit.InducerID3, audit.InducerPrism,
+	} {
+		t.Run(string(kind), func(t *testing.T) {
+			opts := audit.Options{MinConfidence: 0.8, Inducer: kind}
+			m, err := audit.Induce(prev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			attrs := make([]int, len(m.Attrs))
+			for i, am := range m.Attrs {
+				attrs[i] = am.Class
+			}
+			warm, err := m.ReinduceAttrs(cur, attrs, audit.ReinduceOptions{Prev: prev})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := audit.Induce(cur, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			warmConf := evalx.Evaluate(cur, log, warm.AuditTable(cur))
+			coldConf := evalx.Evaluate(cur, log, cold.AuditTable(cur))
+			t.Logf("warm sens=%.4f spec=%.4f, cold sens=%.4f spec=%.4f",
+				warmConf.Sensitivity(), warmConf.Specificity(),
+				coldConf.Sensitivity(), coldConf.Specificity())
+			if d := coldConf.Sensitivity() - warmConf.Sensitivity(); d > 0.10 {
+				t.Errorf("warm sensitivity %.4f is %.4f below the cold retrain's %.4f",
+					warmConf.Sensitivity(), d, coldConf.Sensitivity())
+			}
+			if d := coldConf.Specificity() - warmConf.Specificity(); d > 0.05 {
+				t.Errorf("warm specificity %.4f is %.4f below the cold retrain's %.4f",
+					warmConf.Specificity(), d, coldConf.Specificity())
+			}
+		})
+	}
+}

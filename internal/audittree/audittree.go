@@ -86,11 +86,11 @@ func (t *Trainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
 	return rs, nil
 }
 
-// TrainTree induces the audit-adjusted decision tree.
-func (t *Trainer) TrainTree(ins *mlcore.Instances) (*c45.Tree, error) {
+// inner builds the §5.4-adjusted C4.5 trainer.
+func (t *Trainer) inner() *c45.Trainer {
 	opts := t.Opts.WithDefaults()
 	minInst := stats.MinInstForConfidence(opts.MinConfidence, opts.ConfLevel)
-	inner := &c45.Trainer{Opts: c45.Options{
+	return &c45.Trainer{Opts: c45.Options{
 		UseGainRatio:    true,
 		MinLeaf:         opts.MinLeaf,
 		MinInst:         float64(minInst),
@@ -98,17 +98,30 @@ func (t *Trainer) TrainTree(ins *mlcore.Instances) (*c45.Tree, error) {
 		MinErrConf:      opts.MinConfidence,
 		ConfLevel:       opts.ConfLevel,
 	}}
-	return inner.TrainTree(ins)
+}
+
+// TrainTree induces the audit-adjusted decision tree.
+func (t *Trainer) TrainTree(ins *mlcore.Instances) (*c45.Tree, error) {
+	return t.inner().TrainTree(ins)
 }
 
 // TrainRuleSet induces the tree and extracts the filtered rule set.
 func (t *Trainer) TrainRuleSet(ins *mlcore.Instances) (*RuleSet, error) {
-	tree, err := t.TrainTree(ins)
+	return t.TrainRuleSetWarm(ins, nil)
+}
+
+// TrainRuleSetWarm induces the tree warm-started from a previous tree's
+// skeleton (nil is a cold TrainRuleSet) and extracts the filtered rule
+// set. The induced tree's own skeleton is stored on the rule set so the
+// next re-induction can warm-start in turn.
+func (t *Trainer) TrainRuleSetWarm(ins *mlcore.Instances, prev *c45.Skeleton) (*RuleSet, error) {
+	tree, err := t.inner().TrainTreeWarm(ins, prev)
 	if err != nil {
 		return nil, err
 	}
-	opts := t.Opts.WithDefaults()
-	return ExtractRules(tree, opts), nil
+	rs := ExtractRules(tree, t.Opts.WithDefaults())
+	rs.Hint = tree.Skeleton()
+	return rs, nil
 }
 
 // Cond is one test on a root-to-leaf path.
@@ -205,6 +218,11 @@ type RuleSet struct {
 	K int
 	// Dropped counts the rules deleted by filtering (for reports).
 	Dropped int
+	// Hint is the skeleton of the tree the rules were extracted from; it
+	// seeds the next warm re-induction and gob-serializes with the model.
+	// Rule sets decoded from before the field existed carry nil (Update
+	// then falls back to a cold retrain).
+	Hint *c45.Skeleton
 
 	// compileOnce builds the trie matcher lazily on first prediction (and
 	// so also after a gob load, which bypasses ExtractRules). Both fields
@@ -214,6 +232,24 @@ type RuleSet struct {
 }
 
 var _ mlcore.Classifier = (*RuleSet)(nil)
+var _ mlcore.IncrementalClassifier = (*RuleSet)(nil)
+
+// Update implements mlcore.IncrementalClassifier by warm re-induction:
+// the tree is regrown over the full post-delta set seeded with the
+// stored skeleton (only subtrees whose split became inadmissible
+// re-search), then rules are re-extracted and re-filtered. The trainer
+// must be the *audittree.Trainer carrying the filter options; the
+// successor is quality-equivalent to a cold retrain.
+func (rs *RuleSet) Update(trainer mlcore.Trainer, d mlcore.UpdateDelta) (mlcore.Classifier, error) {
+	if d.Full == nil {
+		return nil, fmt.Errorf("audittree: update requires the full post-delta instance set")
+	}
+	tr, ok := trainer.(*Trainer)
+	if !ok {
+		return nil, fmt.Errorf("audittree: update requires a *audittree.Trainer, got %T", trainer)
+	}
+	return tr.TrainRuleSetWarm(d.Full, rs.Hint)
+}
 
 // match returns the first rule matching the row, or nil. Rules extracted
 // from a tree are disjoint prefix paths, so the compiled trie descends to

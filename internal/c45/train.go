@@ -88,6 +88,12 @@ func (t *Trainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
 
 // TrainTree induces the tree with its concrete type.
 func (t *Trainer) TrainTree(ins *mlcore.Instances) (*Tree, error) {
+	return t.trainTree(ins, nil)
+}
+
+// trainTree grows a tree, optionally seeded with a previous tree's
+// skeleton (see warm.go).
+func (t *Trainer) trainTree(ins *mlcore.Instances, prev *Skeleton) (*Tree, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
 	}
@@ -105,7 +111,7 @@ func (t *Trainer) TrainTree(ins *mlcore.Instances) (*Tree, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("c45: no instances with a known class value")
 	}
-	root := g.grow(rows, weights, len(ins.Base))
+	root := g.grow(rows, weights, len(ins.Base), prev)
 	tree := &Tree{Root: root, K: ins.K, Base: ins.Base}
 	if opts.Prune {
 		prunePessimistic(root, opts)
@@ -130,8 +136,12 @@ func (g *grower) distOf(rows []int, weights []float64) mlcore.Distribution {
 }
 
 // grow recursively builds (and, with ExpErrConfPrune, integrally prunes)
-// the subtree for the given weighted instance set.
-func (g *grower) grow(rows []int, weights []float64, attrsLeft int) *Node {
+// the subtree for the given weighted instance set. hint, when non-nil,
+// is the previous tree's structure at this position (see warm.go): a
+// hinted split is re-evaluated alone, and only if it has become
+// inadmissible does the full search run — with no hints below, since the
+// old structure no longer describes this subtree.
+func (g *grower) grow(rows []int, weights []float64, attrsLeft int, hint *Skeleton) *Node {
 	dist := g.distOf(rows, weights)
 	leaf := &Node{Attr: -1, Dist: dist}
 
@@ -139,25 +149,43 @@ func (g *grower) grow(rows []int, weights []float64, attrsLeft int) *Node {
 	if attrsLeft == 0 || dist.N() < 2*g.opts.MinLeaf || isPure(dist) {
 		return leaf
 	}
-
-	best := g.bestSplit(rows, weights)
-	if best == nil {
+	// A leaf hint means the previous tree stopped here: keep the leaf
+	// without searching for a split (the stop conditions above and the
+	// integrated pruning below still apply on the recursion path).
+	if hint != nil && hint.Attr < 0 {
 		return leaf
 	}
 
-	// §5.4 pre-pruning: reject the split when no partition would contain at
-	// least minInst instances of one class ("This number can be used in a
-	// pre-pruning strategy to prevent a training instance set from being
-	// further partitioned when there is not at least one subset with
-	// minInst instances of one class").
-	if g.opts.MinInst > 0 && !best.hasClassWithAtLeast(g.opts.MinInst) {
-		return leaf
+	var best *split
+	var childHints []*Skeleton
+	if hint != nil {
+		if best = g.evalHint(hint, rows, weights); best != nil {
+			childHints = hint.Children
+		}
+	}
+	if best == nil {
+		best = g.bestSplit(rows, weights)
+		if best == nil {
+			return leaf
+		}
+		// §5.4 pre-pruning: reject the split when no partition would contain at
+		// least minInst instances of one class ("This number can be used in a
+		// pre-pruning strategy to prevent a training instance set from being
+		// further partitioned when there is not at least one subset with
+		// minInst instances of one class").
+		if g.opts.MinInst > 0 && !best.hasClassWithAtLeast(g.opts.MinInst) {
+			return leaf
+		}
 	}
 
 	node := &Node{Attr: best.attr, IsNumeric: best.isNumeric, Thresh: best.thresh, Dist: dist}
 	childSets := best.partition(g, rows, weights)
 	node.Children = make([]*Node, len(childSets))
 	for i, cs := range childSets {
+		var ch *Skeleton
+		if i < len(childHints) {
+			ch = childHints[i]
+		}
 		if len(cs.rows) == 0 {
 			// Empty branch: C4.5 predicts the parent's majority here; we
 			// keep the parent's distribution so that unseen branch values
@@ -165,7 +193,7 @@ func (g *grower) grow(rows []int, weights []float64, attrsLeft int) *Node {
 			node.Children[i] = &Node{Attr: -1, Dist: dist.Clone()}
 			continue
 		}
-		node.Children[i] = g.grow(cs.rows, cs.weights, attrsLeft-1)
+		node.Children[i] = g.grow(cs.rows, cs.weights, attrsLeft-1, ch)
 	}
 
 	// §5.4 integrated pruning: replace the freshly grown subtree by a leaf

@@ -1,0 +1,16 @@
+package knn_test
+
+import (
+	"testing"
+
+	"dataaudit/internal/knn"
+	"dataaudit/internal/mlcore/conform"
+)
+
+// TestIncrementalConformance holds the kNN Update (a reservoir swap —
+// re-memorization of the full post-delta set) to the
+// IncrementalClassifier contract with byte-exact successor equivalence.
+func TestIncrementalConformance(t *testing.T) {
+	base, delta := conform.Fixture(t, 400, 60, 40, 2)
+	conform.Run(t, conform.Config{Trainer: &knn.Trainer{}, Exact: true}, base, delta)
+}

@@ -36,3 +36,16 @@ func (p *pageHinkley) observe(x float64) bool {
 func (p *pageHinkley) reset() {
 	p.N, p.Mean, p.Cum, p.Min, p.PH = 0, 0, 0, 0, 0
 }
+
+// attrDetector is one attribute's drift detector: the same threshold +
+// Page-Hinkley pair the model-level detector runs, but over the
+// attribute's own suspicious-rate series, so a drift can be attributed to
+// the attributes that caused it — and re-induction can rebuild only
+// those. The slice of these is aligned with modelState.classes.
+type attrDetector struct {
+	PH        pageHinkley `json:"ph"`
+	LastDelta float64     `json:"lastDelta"`
+	// Drifted latches on first fire and clears when re-induction
+	// establishes a new baseline (adoptModel rebuilds the slice).
+	Drifted bool `json:"drifted"`
+}

@@ -53,6 +53,16 @@ type Options struct {
 	// monitoring lock, so concurrent audits of a drifting model never
 	// stall behind it (see worker.go).
 	AutoReinduce bool
+	// ReinduceMode selects how a partial re-induction rebuilds the drifted
+	// attributes: "incremental" (default — frozen discretizer bins, warm
+	// starts, tally refreshes) or "full" (each drifted attribute re-induced
+	// from scratch). Matches audit.ReinduceMode.
+	ReinduceMode string
+	// DisablePartialReinduce forces every drift-triggered re-induction to
+	// rebuild the whole model with audit.Induce even when the per-attribute
+	// detectors attributed the drift — the pre-incremental behaviour. The
+	// zero value keeps partial re-induction on.
+	DisablePartialReinduce bool
 	// StateDir, when non-empty, makes monitoring state crash-durable:
 	// snapshots, events, drift-detector state and the re-induction
 	// reservoir are serialized atomically (temp file + rename, versioned
@@ -120,6 +130,9 @@ func (o Options) WithDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.ReinduceMode == "" {
+		o.ReinduceMode = string(audit.ReinduceIncremental)
+	}
 	if o.Now == nil {
 		o.Now = time.Now
 	}
@@ -168,8 +181,13 @@ type Event struct {
 	Detector string `json:"detector,omitempty"`
 	// Delta is the window suspicious rate minus the baseline rate; PH the
 	// Page-Hinkley statistic, both at the time of the event.
-	Delta   float64   `json:"delta,omitempty"`
-	PH      float64   `json:"ph,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	PH    float64 `json:"ph,omitempty"`
+	// Attrs names the attributes the per-attribute detectors had latched
+	// when an EventDrift fired — the offending columns the re-induction
+	// partial path rebuilds. Empty when only the model-level detector saw
+	// the drift.
+	Attrs   []string  `json:"attrs,omitempty"`
 	Message string    `json:"message,omitempty"`
 	At      time.Time `json:"at"`
 }
@@ -219,6 +237,10 @@ type DriftState struct {
 	// WindowsSinceBaseline counts sealed windows since the current
 	// baseline was established.
 	WindowsSinceBaseline int `json:"windowsSinceBaseline"`
+	// Attrs names the attributes whose per-attribute detectors are
+	// currently latched — the drift's attribution. Sorted by schema
+	// column, empty while nothing attribute-level has fired.
+	Attrs []string `json:"attrs,omitempty"`
 }
 
 // State is a point-in-time copy of one model's monitoring state.
@@ -332,8 +354,11 @@ type modelState struct {
 	ph                   pageHinkley
 	drifted              bool
 	lastDelta            float64
-	events               []Event
-	rv                   *reservoir
+	// attrDrift runs the per-attribute detectors, aligned with classes;
+	// rebuilt (zeroed) whenever adoptModel runs.
+	attrDrift []attrDetector
+	events    []Event
+	rv        *reservoir
 
 	// met caches the model's interned metric children (nil when metrics
 	// are disabled, or until the first fold after the state adopted a
@@ -349,11 +374,11 @@ type modelState struct {
 // lets the monitor instrument the scoring path without violating the
 // core's zero-allocation contract.
 type modelMetrics struct {
-	rows, suspicious, sealed *obs.Counter
-	winRate, baseRate        *obs.Gauge
-	delta, ph, active        *obs.Gauge
-	reservoir                *obs.Gauge
-	attrDev, attrSus         []*obs.Counter // Model.Attrs order, aligned with st.classes
+	rows, suspicious, sealed    *obs.Counter
+	winRate, baseRate           *obs.Gauge
+	delta, ph, active           *obs.Gauge
+	reservoir                   *obs.Gauge
+	attrDev, attrSus, attrDrift []*obs.Counter // Model.Attrs order, aligned with st.classes
 }
 
 // buildMetricsLocked interns the metric children for the current
@@ -371,11 +396,13 @@ func (st *modelState) buildMetricsLocked(mets *obs.AuditMetrics) {
 		reservoir:  mets.ReservoirRows.With(st.name),
 		attrDev:    make([]*obs.Counter, len(st.classes)),
 		attrSus:    make([]*obs.Counter, len(st.classes)),
+		attrDrift:  make([]*obs.Counter, len(st.classes)),
 	}
 	for i, c := range st.classes {
 		attr := st.schema.Attr(c).Name
 		mm.attrDev[i] = mets.AttrDeviations.With(st.name, attr)
 		mm.attrSus[i] = mets.AttrSuspicious.With(st.name, attr)
+		mm.attrDrift[i] = mets.AttrDrift.With(st.name, attr)
 	}
 	st.met = mm
 }
@@ -516,6 +543,7 @@ func (st *modelState) adoptModel(model *audit.Model) {
 	st.opts = model.Opts
 	st.classes = make([]int, len(model.Attrs))
 	st.winAttrs = make([]audit.AttrTally, len(model.Attrs))
+	st.attrDrift = make([]attrDetector, len(model.Attrs))
 	for i, am := range model.Attrs {
 		st.classes[i] = am.Class
 		st.winAttrs[i].Attr = am.Class
@@ -688,6 +716,7 @@ func (m *Monitor) sealLocked(st *modelState) {
 
 	st.lastDelta = snap.SuspiciousRate - st.baseline.SuspiciousRate
 	phTrip := st.ph.observe(snap.SuspiciousRate)
+	m.observeAttrsLocked(st, &snap)
 	if st.drifted || st.windowsSinceBaseline < m.opts.MinWindows {
 		return
 	}
@@ -701,10 +730,63 @@ func (m *Monitor) sealLocked(st *modelState) {
 		return
 	}
 	st.drifted = true
+	attrClasses, attrNames := st.driftedAttrsLocked()
 	m.event(st, Event{Kind: EventDrift, Window: snap.Window, Version: st.version,
-		Detector: detector, Delta: st.lastDelta, PH: st.ph.PH,
+		Detector: detector, Delta: st.lastDelta, PH: st.ph.PH, Attrs: attrNames,
 		Message: fmt.Sprintf("window %d suspicious rate %.4f vs baseline %.4f", snap.Window, snap.SuspiciousRate, st.baseline.SuspiciousRate)})
-	m.triggerReinduceLocked(st, snap.Window)
+	m.triggerReinduceLocked(st, snap.Window, attrClasses)
+}
+
+// observeAttrsLocked folds the sealed window into the per-attribute drift
+// detectors; st.mu must be held and st.baseline set. Each attribute runs
+// the same threshold + Page-Hinkley pair as the model-level detector,
+// against its own baseline suspicious rate (resolved by name — the
+// baseline's attribute set can differ from the tally order). The
+// detectors observe every window, including during warm-up and while
+// already latched, so their statistics stay comparable to the model's.
+func (m *Monitor) observeAttrsLocked(st *modelState, snap *Snapshot) {
+	if len(st.attrDrift) != len(snap.Attrs) {
+		return // a reloaded state mid-adoption; the next adoptModel realigns
+	}
+	baseRate := make(map[string]float64, len(st.baseline.Attrs))
+	for _, aq := range st.baseline.Attrs {
+		baseRate[aq.Name] = aq.SuspiciousRate
+	}
+	warm := st.windowsSinceBaseline >= m.opts.MinWindows
+	for i := range snap.Attrs {
+		aw := &snap.Attrs[i]
+		det := &st.attrDrift[i]
+		// The PH parameters are injected here rather than persisted, so a
+		// restart under new options picks them up immediately.
+		det.PH.Delta, det.PH.Lambda = m.opts.PHDelta, m.opts.PHLambda
+		rate := 0.0
+		if snap.Rows > 0 {
+			rate = float64(aw.Suspicious) / float64(snap.Rows)
+		}
+		det.LastDelta = rate - baseRate[aw.Attr]
+		phTrip := det.PH.observe(rate)
+		if det.Drifted || !warm {
+			continue
+		}
+		if det.LastDelta > m.opts.DriftDelta || phTrip {
+			det.Drifted = true
+			if mm := st.met; mm != nil && i < len(mm.attrDrift) {
+				mm.attrDrift[i].Inc()
+			}
+		}
+	}
+}
+
+// driftedAttrsLocked lists the currently latched attributes as schema
+// columns and names, in tally (schema-column) order; st.mu must be held.
+func (st *modelState) driftedAttrsLocked() (classes []int, names []string) {
+	for i := range st.attrDrift {
+		if st.attrDrift[i].Drifted && i < len(st.classes) {
+			classes = append(classes, st.classes[i])
+			names = append(names, st.schema.Attr(st.classes[i]).Name)
+		}
+	}
+	return classes, names
 }
 
 // baselineFromSnapshot lifts a sealed window into a QualityProfile so the
@@ -795,6 +877,7 @@ func (m *Monitor) Quality(name string) (State, bool) {
 		// is no state to report (and st.rv may still be nil).
 		return State{}, false
 	}
+	_, driftedNames := st.driftedAttrsLocked()
 	out := State{
 		Name:            st.name,
 		Version:         st.version,
@@ -812,6 +895,7 @@ func (m *Monitor) Quality(name string) (State, bool) {
 			PH:                   st.ph.PH,
 			PHMean:               st.ph.Mean,
 			WindowsSinceBaseline: st.windowsSinceBaseline,
+			Attrs:                driftedNames,
 		},
 		ReservoirRows: len(st.rv.rows),
 		ReservoirSeen: st.rv.seen,

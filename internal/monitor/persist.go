@@ -73,7 +73,11 @@ type stateEnvelope struct {
 	PH                   pageHinkley `json:"ph"`
 	Drifted              bool        `json:"drifted"`
 	LastDelta            float64     `json:"lastDelta"`
-	Events               []Event     `json:"events"`
+	// AttrDrift is the per-attribute detector state, aligned with Classes.
+	// Absent in envelopes written before attribution existed; those load
+	// with fresh (zeroed) detectors.
+	AttrDrift []attrDetector `json:"attrDrift,omitempty"`
+	Events    []Event        `json:"events"`
 
 	// ReservoirTable is the sampled rows plus their schema in the dataset
 	// package's native binary encoding (base64 inside the JSON envelope);
@@ -231,6 +235,7 @@ func (st *modelState) envelopeLocked(now time.Time) *stateEnvelope {
 		PH:                   st.ph,
 		Drifted:              st.drifted,
 		LastDelta:            st.lastDelta,
+		AttrDrift:            append([]attrDetector(nil), st.attrDrift...),
 		Events:               append([]Event(nil), st.events...),
 		ReservoirSeen:        st.rv.seen,
 	}
@@ -365,6 +370,11 @@ func (m *Monitor) loadState(name string) *modelState {
 			name, len(env.WinAttrs), len(env.Classes))
 		return nil
 	}
+	if len(env.AttrDrift) != 0 && len(env.AttrDrift) != len(env.Classes) {
+		m.opts.Logger.Printf("monitor: discarding state for %s: %d attribute detectors for %d classes",
+			name, len(env.AttrDrift), len(env.Classes))
+		return nil
+	}
 
 	if m.reg != nil {
 		meta, err := m.reg.MetaOfVersion(name, env.Version)
@@ -383,6 +393,12 @@ func (m *Monitor) loadState(name string) *modelState {
 	rv.restore(rvTab, env.ReservoirSeen)
 	ph := env.PH
 	ph.Delta, ph.Lambda = m.opts.PHDelta, m.opts.PHLambda
+	attrDrift := env.AttrDrift
+	if attrDrift == nil {
+		// Pre-attribution envelope: start fresh detectors (their PH
+		// parameters are injected at seal time).
+		attrDrift = make([]attrDetector, len(env.Classes))
+	}
 	return &modelState{
 		name:                 name,
 		version:              env.Version,
@@ -401,6 +417,7 @@ func (m *Monitor) loadState(name string) *modelState {
 		ph:                   ph,
 		drifted:              env.Drifted,
 		lastDelta:            env.LastDelta,
+		attrDrift:            attrDrift,
 		events:               env.Events,
 		rv:                   rv,
 	}

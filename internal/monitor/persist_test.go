@@ -173,6 +173,78 @@ func TestPersistCorruptStateDegradesToFresh(t *testing.T) {
 	}
 }
 
+// TestPersistAttrDriftRoundTrip pins the per-attribute detector state
+// across restart: the detectors' Page-Hinkley accumulators and drift
+// latches reload byte-equivalently, and an envelope whose detector
+// matrix disagrees with its class list — state from a different schema
+// era — is discarded wholesale, never partially adopted.
+func TestPersistAttrDriftRoundTrip(t *testing.T) {
+	_, stateDir, model, clean, dirty, meta, newMon := persistFixture(t, 2500)
+	mon := newMon()
+	mon.ObserveBatch(meta, model, clean, model.AuditTable(clean))
+	mon.ObserveBatch(meta, model, dirty, model.AuditTable(dirty))
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := StateFile(stateDir, "engines")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env1 stateEnvelope
+	if err := json.Unmarshal(good, &env1); err != nil {
+		t.Fatal(err)
+	}
+	if len(env1.AttrDrift) != len(env1.Classes) {
+		t.Fatalf("persisted %d attribute detectors for %d classes", len(env1.AttrDrift), len(env1.Classes))
+	}
+	var observed, latched bool
+	for _, det := range env1.AttrDrift {
+		observed = observed || det.PH.N > 0
+		latched = latched || det.Drifted
+	}
+	if !observed || !latched {
+		t.Fatalf("detectors idle (observed=%v latched=%v); round-trip would be vacuous: %+v",
+			observed, latched, env1.AttrDrift)
+	}
+
+	// Restart: the reloaded detectors must re-persist byte-equivalently.
+	mon2 := newMon()
+	if _, ok := mon2.Quality("engines"); !ok {
+		t.Fatal("no state after restart")
+	}
+	if err := mon2.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env2 stateEnvelope
+	if err := json.Unmarshal(again, &env2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(env1.AttrDrift)
+	b2, _ := json.Marshal(env2.AttrDrift)
+	if string(b1) != string(b2) {
+		t.Fatalf("attribute detector state changed across restart:\n%s\n--- vs ---\n%s", b1, b2)
+	}
+
+	// Ghost matrix: one detector too many for the class list.
+	env1.AttrDrift = append(env1.AttrDrift, attrDetector{})
+	bad, err := json.Marshal(&env1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mon3 := newMon()
+	if st, ok := mon3.Quality("engines"); ok {
+		t.Fatalf("misaligned detector matrix served as history: %+v", st)
+	}
+}
+
 // TestPersistGhostStateFileDiscarded pins the at-rest incarnation guard:
 // a state file persisted for a model that was deleted (and recreated)
 // while the process was down names a (version, createdAt) that no longer

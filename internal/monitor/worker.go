@@ -31,12 +31,18 @@ type reinduceJob struct {
 	window    int
 	opts      audit.Options
 	sample    *dataset.Table
+	// attrs are the schema columns the per-attribute detectors attributed
+	// the drift to; non-empty routes the worker through the partial
+	// re-induction path (only these attributes rebuilt, the rest shared
+	// with the predecessor). Empty falls back to a full induction.
+	attrs []int
 }
 
 // triggerReinduceLocked starts the asynchronous re-induction path after a
 // drift, or logs why it did not; st.mu must be held. Duplicate triggers
-// while a worker is in flight coalesce into the running one.
-func (m *Monitor) triggerReinduceLocked(st *modelState, window int) {
+// while a worker is in flight coalesce into the running one. attrs is the
+// drifted-attribute set for the partial path (may be empty).
+func (m *Monitor) triggerReinduceLocked(st *modelState, window int, attrs []int) {
 	if !m.opts.AutoReinduce {
 		m.event(st, Event{Kind: EventReinduceSkipped, Window: window, Version: st.version,
 			Message: "auto re-induction disabled"})
@@ -62,6 +68,7 @@ func (m *Monitor) triggerReinduceLocked(st *modelState, window int) {
 		window:    window,
 		opts:      st.opts,
 		sample:    st.rv.table(),
+		attrs:     attrs,
 	}
 	st.reinducing = true
 	m.wg.Add(1)
@@ -80,7 +87,7 @@ func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
 		h(job.name, job.version)
 	}
 
-	next, indErr := audit.Induce(job.sample, job.opts)
+	next, partial, indErr := m.induceCandidate(job)
 	var profile *audit.QualityProfile
 	if indErr == nil {
 		profile = next.QualityProfile(job.sample, 0)
@@ -132,10 +139,14 @@ func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
 		return
 	}
 
-	m.opts.Logger.Printf("monitor: %s drifted at window %d; re-induced v%d from %d reservoir rows",
-		job.name, job.window, meta.Version, job.sample.NumRows())
+	how := "full induction"
+	if partial > 0 {
+		how = fmt.Sprintf("partial re-induction of %d attributes", partial)
+	}
+	m.opts.Logger.Printf("monitor: %s drifted at window %d; re-induced v%d from %d reservoir rows (%s)",
+		job.name, job.window, meta.Version, job.sample.NumRows(), how)
 	m.event(st, Event{Kind: EventReinduced, Window: job.window, Version: job.version, NewVersion: meta.Version,
-		Message: fmt.Sprintf("re-induced from %d reservoir rows", job.sample.NumRows())})
+		Message: fmt.Sprintf("re-induced from %d reservoir rows (%s)", job.sample.NumRows(), how)})
 
 	// The successor becomes the tracked version with a fresh baseline;
 	// history (snapshots, events) carries across. adoptModel rebuilds the
@@ -160,6 +171,33 @@ func (m *Monitor) reinduce(st *modelState, job reinduceJob) {
 	}
 	m.saveLocked(st)
 	m.reinduceOutcome(job.name, obs.OutcomeReinduced, elapsed())
+}
+
+// induceCandidate builds the successor model for a re-induction job. When
+// the drift was attributed to specific attributes, the predecessor model
+// is fetched back from the registry (guarded by the same (version,
+// createdAt) incarnation check as the swap) and only the drifted
+// attributes are re-induced — with no Prev delta, because consecutive
+// reservoir samples share no row identity, so the families take their
+// full-replacement path over frozen state. Any failure along the partial
+// path falls back to a full induction from scratch; partial reports how
+// many attributes the partial path rebuilt (0 for a full induction).
+func (m *Monitor) induceCandidate(job reinduceJob) (next *audit.Model, partial int, err error) {
+	if len(job.attrs) > 0 && !m.opts.DisablePartialReinduce && m.reg != nil {
+		prev, meta, getErr := m.reg.GetVersion(job.name, job.version)
+		if getErr == nil && meta.CreatedAt.Equal(job.createdAt) {
+			next, reErr := prev.ReinduceAttrs(job.sample, job.attrs, audit.ReinduceOptions{
+				Mode: audit.ReinduceMode(m.opts.ReinduceMode),
+			})
+			if reErr == nil {
+				return next, len(job.attrs), nil
+			}
+			m.opts.Logger.Printf("monitor: %s: partial re-induction of %d attributes failed (%v); falling back to full induction",
+				job.name, len(job.attrs), reErr)
+		}
+	}
+	next, err = audit.Induce(job.sample, job.opts)
+	return next, 0, err
 }
 
 // reinduceOutcome records one re-induction outcome; seconds is the

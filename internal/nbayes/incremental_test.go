@@ -1,0 +1,17 @@
+package nbayes_test
+
+import (
+	"testing"
+
+	"dataaudit/internal/mlcore/conform"
+	"dataaudit/internal/nbayes"
+)
+
+// TestIncrementalConformance holds the naive-Bayes Update to the
+// IncrementalClassifier contract: copy-on-write, and a successor
+// gob-byte-identical to a full retrain (count tallies are exact under
+// add/subtract; Gaussian moments are re-accumulated in training order).
+func TestIncrementalConformance(t *testing.T) {
+	base, delta := conform.Fixture(t, 400, 60, 40, 1)
+	conform.Run(t, conform.Config{Trainer: &nbayes.Trainer{}, Exact: true}, base, delta)
+}

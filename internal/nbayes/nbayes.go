@@ -34,8 +34,12 @@ func (t *Trainer) Name() string { return "naive-bayes" }
 // nominalModel holds P(value | class) estimates for one attribute.
 type nominalModel struct {
 	Attr int
-	// Cond[class][value] is the smoothed conditional probability.
+	// Cond[class][value] is the smoothed conditional probability, derived
+	// from Counts by refit.
 	Cond [][]float64
+	// Counts[class][value] is the raw weighted value tally — the
+	// sufficient statistic the incremental update maintains.
+	Counts [][]float64
 }
 
 // gaussModel holds per-class Gaussians for one numeric attribute.
@@ -43,6 +47,11 @@ type gaussModel struct {
 	Attr        int
 	Mu, Sigma   []float64
 	SeenByClass []bool
+	// Sum, SumSq and W are the per-class raw moments Mu/Sigma derive
+	// from. Update re-accumulates them from the full post-delta set (a
+	// float-sum is not exact under subtraction), in Train's row order so
+	// the result stays bit-identical to a retrain.
+	Sum, SumSq, W []float64
 }
 
 // Model is the trained classifier.
@@ -52,6 +61,13 @@ type Model struct {
 	TotalW   float64
 	Nominals []nominalModel
 	Gauss    []gaussModel
+	// Laplace and ClassW freeze the training parameters and raw class
+	// tallies so Update can rebuild the derived estimates without the
+	// trainer. Models gob-decoded from before these fields existed carry
+	// zero values; Update detects that and reports that a full retrain is
+	// required.
+	Laplace float64
+	ClassW  []float64
 
 	// batch holds the lazily built columnar log tables (see batch.go);
 	// unexported, so gob-encoded models round-trip without it and rebuild
@@ -60,40 +76,41 @@ type Model struct {
 }
 
 var _ mlcore.Classifier = (*Model)(nil)
+var _ mlcore.IncrementalClassifier = (*Model)(nil)
 
 // Train implements mlcore.Trainer.
 func (t *Trainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
-	if err := ins.Validate(); err != nil {
-		return nil, err
-	}
 	laplace := t.Opts.Laplace
 	if laplace == 0 {
 		laplace = 1
 	}
-	schema := ins.Table.Schema()
-	m := &Model{K: ins.K, Priors: make([]float64, ins.K)}
+	return train(ins, laplace)
+}
 
-	classW := make([]float64, ins.K)
+// train builds the model with a resolved smoothing constant.
+func train(ins *mlcore.Instances, laplace float64) (mlcore.Classifier, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	schema := ins.Table.Schema()
+	m := &Model{K: ins.K, Laplace: laplace, ClassW: make([]float64, ins.K)}
+
 	for i, r := range ins.Rows {
 		if c := ins.Class[r]; c >= 0 {
-			classW[c] += ins.Weights[i]
+			m.ClassW[c] += ins.Weights[i]
 			m.TotalW += ins.Weights[i]
 		}
 	}
 	if m.TotalW <= 0 {
 		return nil, fmt.Errorf("nbayes: no instances with a known class value")
 	}
-	for c := range m.Priors {
-		m.Priors[c] = (classW[c] + laplace) / (m.TotalW + laplace*float64(ins.K))
-	}
 
 	for _, attr := range ins.Base {
 		a := schema.Attr(attr)
 		if a.Type == dataset.NominalType {
-			nm := nominalModel{Attr: attr, Cond: make([][]float64, ins.K)}
-			counts := make([][]float64, ins.K)
-			for c := range counts {
-				counts[c] = make([]float64, a.NumValues())
+			nm := nominalModel{Attr: attr, Counts: make([][]float64, ins.K)}
+			for c := range nm.Counts {
+				nm.Counts[c] = make([]float64, a.NumValues())
 			}
 			for i, r := range ins.Rows {
 				c := ins.Class[r]
@@ -104,54 +121,160 @@ func (t *Trainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
 				if v.IsNull() {
 					continue
 				}
-				counts[c][v.NomIdx()] += ins.Weights[i]
-			}
-			for c := range counts {
-				total := 0.0
-				for _, w := range counts[c] {
-					total += w
-				}
-				nm.Cond[c] = make([]float64, a.NumValues())
-				for vIdx, w := range counts[c] {
-					nm.Cond[c][vIdx] = (w + laplace) / (total + laplace*float64(a.NumValues()))
-				}
+				nm.Counts[c][v.NomIdx()] += ins.Weights[i]
 			}
 			m.Nominals = append(m.Nominals, nm)
 			continue
 		}
-		gm := gaussModel{Attr: attr, Mu: make([]float64, ins.K), Sigma: make([]float64, ins.K), SeenByClass: make([]bool, ins.K)}
-		sum := make([]float64, ins.K)
-		sumSq := make([]float64, ins.K)
-		w := make([]float64, ins.K)
-		for i, r := range ins.Rows {
-			c := ins.Class[r]
-			if c < 0 {
-				continue
-			}
-			v := ins.Table.Get(r, attr)
-			if v.IsNull() {
-				continue
-			}
-			x := v.Float()
-			sum[c] += x * ins.Weights[i]
-			sumSq[c] += x * x * ins.Weights[i]
-			w[c] += ins.Weights[i]
+		gm := gaussModel{Attr: attr, Sum: make([]float64, ins.K), SumSq: make([]float64, ins.K), W: make([]float64, ins.K)}
+		accumGauss(&gm, ins)
+		m.Gauss = append(m.Gauss, gm)
+	}
+	m.refit()
+	return m, nil
+}
+
+// accumGauss adds the instance set's raw moments for gm's attribute into
+// gm.Sum/SumSq/W, iterating rows in order — Update re-accumulates with
+// the same loop so its sums are bit-identical to a retrain's.
+func accumGauss(gm *gaussModel, ins *mlcore.Instances) {
+	for i, r := range ins.Rows {
+		c := ins.Class[r]
+		if c < 0 {
+			continue
 		}
-		for c := 0; c < ins.K; c++ {
-			if w[c] <= 0 {
+		v := ins.Table.Get(r, gm.Attr)
+		if v.IsNull() {
+			continue
+		}
+		x := v.Float()
+		gm.Sum[c] += x * ins.Weights[i]
+		gm.SumSq[c] += x * x * ins.Weights[i]
+		gm.W[c] += ins.Weights[i]
+	}
+}
+
+// refit recomputes every derived estimate (Priors, Cond, Mu/Sigma) from
+// the raw tallies, with formulas identical to the original single-pass
+// training code so a refit of untouched tallies is bit-identical.
+func (m *Model) refit() {
+	m.Priors = make([]float64, m.K)
+	for c := range m.Priors {
+		m.Priors[c] = (m.ClassW[c] + m.Laplace) / (m.TotalW + m.Laplace*float64(m.K))
+	}
+	for i := range m.Nominals {
+		nm := &m.Nominals[i]
+		nm.Cond = make([][]float64, m.K)
+		for c := range nm.Counts {
+			total := 0.0
+			for _, w := range nm.Counts[c] {
+				total += w
+			}
+			numVals := float64(len(nm.Counts[c]))
+			nm.Cond[c] = make([]float64, len(nm.Counts[c]))
+			for vIdx, w := range nm.Counts[c] {
+				nm.Cond[c][vIdx] = (w + m.Laplace) / (total + m.Laplace*numVals)
+			}
+		}
+	}
+	for i := range m.Gauss {
+		gm := &m.Gauss[i]
+		gm.Mu = make([]float64, m.K)
+		gm.Sigma = make([]float64, m.K)
+		gm.SeenByClass = make([]bool, m.K)
+		for c := 0; c < m.K; c++ {
+			if gm.W[c] <= 0 {
 				continue
 			}
 			gm.SeenByClass[c] = true
-			gm.Mu[c] = sum[c] / w[c]
-			variance := sumSq[c]/w[c] - gm.Mu[c]*gm.Mu[c]
+			gm.Mu[c] = gm.Sum[c] / gm.W[c]
+			variance := gm.SumSq[c]/gm.W[c] - gm.Mu[c]*gm.Mu[c]
 			if variance < 1e-9 {
 				variance = 1e-9
 			}
 			gm.Sigma[c] = math.Sqrt(variance)
 		}
-		m.Gauss = append(m.Gauss, gm)
 	}
-	return m, nil
+}
+
+// Update implements mlcore.IncrementalClassifier: nominal value tallies
+// and class weights are weight-1-exact under add/subtract, so the delta
+// is applied directly; Gaussian moments are re-accumulated from the full
+// post-delta set in Train's row order. The successor is therefore
+// gob-byte-identical to a full retrain (for integer instance weights).
+// The trainer argument is unused — the smoothing constant is frozen in
+// the model.
+func (m *Model) Update(_ mlcore.Trainer, d mlcore.UpdateDelta) (mlcore.Classifier, error) {
+	if m.ClassW == nil || m.Laplace == 0 {
+		return nil, fmt.Errorf("nbayes: model predates raw tallies (old gob); full retrain required")
+	}
+	if d.Full == nil {
+		return nil, fmt.Errorf("nbayes: update requires the full post-delta instance set")
+	}
+	if d.Added == nil && d.Removed == nil {
+		// Full replacement: rebuild every tally from Full with the frozen
+		// smoothing constant — the same code path as a retrain, so the
+		// successor is bit-identical to one.
+		return train(d.Full, m.Laplace)
+	}
+	n := &Model{
+		K:       m.K,
+		Laplace: m.Laplace,
+		TotalW:  m.TotalW,
+		ClassW:  append([]float64(nil), m.ClassW...),
+	}
+	n.Nominals = make([]nominalModel, len(m.Nominals))
+	for i, nm := range m.Nominals {
+		counts := make([][]float64, len(nm.Counts))
+		for c := range nm.Counts {
+			counts[c] = append([]float64(nil), nm.Counts[c]...)
+		}
+		n.Nominals[i] = nominalModel{Attr: nm.Attr, Counts: counts}
+	}
+	n.Gauss = make([]gaussModel, len(m.Gauss))
+	for i, gm := range m.Gauss {
+		n.Gauss[i] = gaussModel{
+			Attr:  gm.Attr,
+			Sum:   make([]float64, m.K),
+			SumSq: make([]float64, m.K),
+			W:     make([]float64, m.K),
+		}
+	}
+
+	apply := func(ins *mlcore.Instances, sign float64) {
+		if ins == nil {
+			return
+		}
+		for i, r := range ins.Rows {
+			c := ins.Class[r]
+			if c < 0 {
+				continue
+			}
+			w := sign * ins.Weights[i]
+			n.ClassW[c] += w
+			n.TotalW += w
+			for j := range n.Nominals {
+				nm := &n.Nominals[j]
+				v := ins.Table.Get(r, nm.Attr)
+				if v.IsNull() {
+					continue
+				}
+				if idx := v.NomIdx(); idx < len(nm.Counts[c]) {
+					nm.Counts[c][idx] += w
+				}
+			}
+		}
+	}
+	apply(d.Removed, -1)
+	apply(d.Added, +1)
+	if n.TotalW <= 0 {
+		return nil, fmt.Errorf("nbayes: no instances with a known class value after update")
+	}
+	for i := range n.Gauss {
+		accumGauss(&n.Gauss[i], d.Full)
+	}
+	n.refit()
+	return n, nil
 }
 
 // Predict implements mlcore.Classifier. The returned distribution's support

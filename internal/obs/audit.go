@@ -44,6 +44,10 @@ type AuditMetrics struct {
 	DriftDelta       *GaugeVec // labels: model
 	DriftPageHinkley *GaugeVec // labels: model
 	DriftActive      *GaugeVec // labels: model
+	// AttrDrift counts per-attribute drift detector latches — one
+	// increment each time an attribute's detector fires against the
+	// current baseline.
+	AttrDrift *CounterVec // labels: model, attr
 	// ReservoirRows is the re-induction reservoir fill.
 	ReservoirRows *GaugeVec // labels: model
 	// Reinductions counts re-induction outcomes; ReinduceSeconds times
@@ -75,6 +79,8 @@ func NewAuditMetrics(r *Registry) *AuditMetrics {
 			"Page-Hinkley cumulative statistic over the window suspicious-rate series, by model.", "model"),
 		DriftActive: r.NewGaugeVec("dataaudit_drift_active",
 			"1 while the model's drift latch is set (cleared by re-induction), else 0.", "model"),
+		AttrDrift: r.NewCounterVec("dataaudit_attr_drift_total",
+			"Per-attribute drift detector latches against the current baseline, by model and attribute.", "model", "attr"),
 		ReservoirRows: r.NewGaugeVec("dataaudit_reservoir_rows",
 			"Rows currently held in the re-induction reservoir sample, by model.", "model"),
 		Reinductions: r.NewCounterVec("dataaudit_reinductions_total",
@@ -89,7 +95,7 @@ func NewAuditMetrics(r *Registry) *AuditMetrics {
 // the model is deleted so a recreated name starts from zero instead of
 // inheriting the dead incarnation's counters.
 func (m *AuditMetrics) ForgetModel(name string) {
-	for _, v := range []*CounterVec{m.RowsScored, m.RowsSuspicious, m.AttrDeviations, m.AttrSuspicious, m.WindowsSealed, m.Reinductions} {
+	for _, v := range []*CounterVec{m.RowsScored, m.RowsSuspicious, m.AttrDeviations, m.AttrSuspicious, m.AttrDrift, m.WindowsSealed, m.Reinductions} {
 		v.DeleteByLabel("model", name)
 	}
 	for _, v := range []*GaugeVec{m.WindowSuspiciousRate, m.BaselineSuspiciousRate, m.DriftDelta, m.DriftPageHinkley, m.DriftActive, m.ReservoirRows} {

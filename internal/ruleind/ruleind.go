@@ -34,6 +34,7 @@ func newFeatureView(ins *mlcore.Instances, bins int) (*FeatureView, error) {
 		Disc:   make([]stats.Discretizer, len(ins.Base)),
 		Widths: make([]int, len(ins.Base)),
 	}
+	var vals []float64 // shared across attributes; NewEqualFrequency copies
 	for i, attr := range ins.Base {
 		a := schema.Attr(attr)
 		if a.Type == dataset.NominalType {
@@ -41,7 +42,7 @@ func newFeatureView(ins *mlcore.Instances, bins int) (*FeatureView, error) {
 			continue
 		}
 		fv.IsNum[i] = true
-		var vals []float64
+		vals = vals[:0]
 		for _, r := range ins.Rows {
 			if v := ins.Table.Get(r, attr); !v.IsNull() {
 				vals = append(vals, v.Float())
@@ -82,6 +83,12 @@ func (fv *FeatureView) feature(row []dataset.Value, i int) int {
 type OneRTrainer struct {
 	// Bins is the numeric discretization width (default 6).
 	Bins int
+	// FV, when non-nil, is reused as the (frozen) feature view instead of
+	// deriving discretization bins from the training data. This is the
+	// warm re-induction path: against a drifted sample the bins stay
+	// frozen, so the incremental tally refresh and a frozen-view retrain
+	// are byte-identical.
+	FV *FeatureView
 }
 
 var _ mlcore.Trainer = (*OneRTrainer)(nil)
@@ -98,9 +105,16 @@ type OneRModel struct {
 	// NullDist covers rows whose chosen attribute is null.
 	NullDist mlcore.Distribution
 	K        int
+	// AllDists[pos][bucket] and AllNull[pos] keep every attribute's
+	// tallies (not just the winner's) so Update can refresh the counts
+	// and re-pick the best attribute without rescanning the training
+	// set. BucketDist/NullDist alias AllDists[AttrPos]/AllNull[AttrPos].
+	AllDists [][]mlcore.Distribution
+	AllNull  []mlcore.Distribution
 }
 
 var _ mlcore.Classifier = (*OneRModel)(nil)
+var _ mlcore.IncrementalClassifier = (*OneRModel)(nil)
 
 // Train implements mlcore.Trainer.
 func (t *OneRTrainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
@@ -111,20 +125,24 @@ func (t *OneRTrainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
 	if bins == 0 {
 		bins = 6
 	}
-	fv, err := newFeatureView(ins, bins)
-	if err != nil {
-		return nil, err
+	fv := t.FV
+	if fv == nil {
+		var err error
+		if fv, err = newFeatureView(ins, bins); err != nil {
+			return nil, err
+		}
+	} else if len(fv.Base) != len(ins.Base) {
+		return nil, fmt.Errorf("ruleind: frozen feature view covers %d attributes, instances have %d", len(fv.Base), len(ins.Base))
 	}
-	bestPos, bestErr := -1, -1.0
-	var bestDists []mlcore.Distribution
-	var bestNull mlcore.Distribution
+	allDists := make([][]mlcore.Distribution, len(fv.Base))
+	allNull := make([]mlcore.Distribution, len(fv.Base))
+	row := make([]dataset.Value, ins.Table.NumCols())
 	for pos := range fv.Base {
 		dists := make([]mlcore.Distribution, fv.Widths[pos])
 		for b := range dists {
 			dists[b] = mlcore.NewDistribution(ins.K)
 		}
 		nullDist := mlcore.NewDistribution(ins.K)
-		row := make([]dataset.Value, ins.Table.NumCols())
 		for i, r := range ins.Rows {
 			c := ins.Class[r]
 			if c < 0 {
@@ -138,6 +156,23 @@ func (t *OneRTrainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
 				dists[b].Add(c, ins.Weights[i])
 			}
 		}
+		allDists[pos] = dists
+		allNull[pos] = nullDist
+	}
+	m := &OneRModel{FV: fv, K: ins.K, AllDists: allDists, AllNull: allNull}
+	if !m.pickBest() {
+		return nil, fmt.Errorf("ruleind: no usable attribute for 1R")
+	}
+	return m, nil
+}
+
+// pickBest recomputes each attribute's training error from the tallies
+// and selects the winner (lowest error, ties to the lowest position —
+// the same deterministic order Train has always used). It reports false
+// when no attribute has any training weight.
+func (m *OneRModel) pickBest() bool {
+	bestPos, bestErr := -1, -1.0
+	for pos := range m.AllDists {
 		// Training error of the value -> majority mapping.
 		errW, totW := 0.0, 0.0
 		acc := func(d mlcore.Distribution) {
@@ -148,23 +183,89 @@ func (t *OneRTrainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
 			errW += (1 - pMaj) * d.N()
 			totW += d.N()
 		}
-		for _, d := range dists {
+		for _, d := range m.AllDists[pos] {
 			acc(d)
 		}
-		acc(nullDist)
+		acc(m.AllNull[pos])
 		if totW <= 0 {
 			continue
 		}
 		rate := errW / totW
 		if bestPos < 0 || rate < bestErr {
 			bestPos, bestErr = pos, rate
-			bestDists, bestNull = dists, nullDist
 		}
 	}
 	if bestPos < 0 {
-		return nil, fmt.Errorf("ruleind: no usable attribute for 1R")
+		return false
 	}
-	return &OneRModel{FV: fv, AttrPos: bestPos, BucketDist: bestDists, NullDist: bestNull, K: ins.K}, nil
+	m.AttrPos = bestPos
+	m.BucketDist = m.AllDists[bestPos]
+	m.NullDist = m.AllNull[bestPos]
+	return true
+}
+
+// Update implements mlcore.IncrementalClassifier: the per-bucket class
+// tallies are weight-1-exact under add/subtract, so the delta is applied
+// directly and the winning attribute re-picked from the refreshed
+// counts. The feature view stays frozen, so the successor is
+// gob-byte-identical to a frozen-view retrain on the full set. The
+// trainer argument is unused.
+func (m *OneRModel) Update(_ mlcore.Trainer, d mlcore.UpdateDelta) (mlcore.Classifier, error) {
+	if m.AllDists == nil {
+		return nil, fmt.Errorf("ruleind: 1R model predates per-attribute tallies (old gob); full retrain required")
+	}
+	if d.Added == nil && d.Removed == nil {
+		// Full replacement: re-tally from Full against the frozen feature
+		// view — the same code path as a frozen-view retrain, so the
+		// successor is bit-identical to one.
+		if d.Full == nil {
+			return nil, fmt.Errorf("ruleind: 1R update requires the full post-delta instance set")
+		}
+		return (&OneRTrainer{FV: m.FV}).Train(d.Full)
+	}
+	n := &OneRModel{FV: m.FV, K: m.K}
+	n.AllDists = make([][]mlcore.Distribution, len(m.AllDists))
+	for pos := range m.AllDists {
+		dists := make([]mlcore.Distribution, len(m.AllDists[pos]))
+		for b := range dists {
+			dists[b] = m.AllDists[pos][b].Clone()
+		}
+		n.AllDists[pos] = dists
+	}
+	n.AllNull = make([]mlcore.Distribution, len(m.AllNull))
+	for pos := range m.AllNull {
+		n.AllNull[pos] = m.AllNull[pos].Clone()
+	}
+
+	apply := func(ins *mlcore.Instances, sign float64) {
+		if ins == nil {
+			return
+		}
+		row := make([]dataset.Value, ins.Table.NumCols())
+		for i, r := range ins.Rows {
+			c := ins.Class[r]
+			if c < 0 {
+				continue
+			}
+			ins.Table.RowInto(r, row)
+			w := sign * ins.Weights[i]
+			for pos := range n.AllDists {
+				b := n.FV.feature(row, pos)
+				switch {
+				case b < 0:
+					n.AllNull[pos].Add(c, w)
+				case b < len(n.AllDists[pos]):
+					n.AllDists[pos][b].Add(c, w)
+				}
+			}
+		}
+	}
+	apply(d.Removed, -1)
+	apply(d.Added, +1)
+	if !n.pickBest() {
+		return nil, fmt.Errorf("ruleind: no usable attribute for 1R after update")
+	}
+	return n, nil
 }
 
 // Predict implements mlcore.Classifier.
@@ -190,6 +291,10 @@ type PrismTrainer struct {
 	Bins int
 	// MaxRulesPerClass caps rule induction (default 64).
 	MaxRulesPerClass int
+	// FV, when non-nil, is reused as the (frozen) feature view instead of
+	// deriving discretization bins from the training data — the warm
+	// re-induction path (see OneRTrainer.FV).
+	FV *FeatureView
 }
 
 var _ mlcore.Trainer = (*PrismTrainer)(nil)
@@ -218,6 +323,26 @@ type PrismModel struct {
 }
 
 var _ mlcore.Classifier = (*PrismModel)(nil)
+var _ mlcore.IncrementalClassifier = (*PrismModel)(nil)
+
+// Update implements mlcore.IncrementalClassifier via warm re-induction:
+// the covering search reruns over the full post-delta set, but with the
+// model's feature view frozen, so no discretization pass happens and the
+// successor stays byte-identical to a frozen-view retrain (and
+// quality-equivalent to a cold one). The trainer, when it is a
+// *PrismTrainer, supplies the rule-count cap; otherwise the defaults
+// apply.
+func (m *PrismModel) Update(trainer mlcore.Trainer, d mlcore.UpdateDelta) (mlcore.Classifier, error) {
+	if d.Full == nil {
+		return nil, fmt.Errorf("ruleind: prism update requires the full post-delta instance set")
+	}
+	warm := &PrismTrainer{FV: m.FV}
+	if pt, ok := trainer.(*PrismTrainer); ok && pt != nil {
+		warm.Bins = pt.Bins
+		warm.MaxRulesPerClass = pt.MaxRulesPerClass
+	}
+	return warm.Train(d.Full)
+}
 
 // Train implements mlcore.Trainer.
 func (t *PrismTrainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
@@ -232,9 +357,14 @@ func (t *PrismTrainer) Train(ins *mlcore.Instances) (mlcore.Classifier, error) {
 	if maxRules == 0 {
 		maxRules = 64
 	}
-	fv, err := newFeatureView(ins, bins)
-	if err != nil {
-		return nil, err
+	fv := t.FV
+	if fv == nil {
+		var err error
+		if fv, err = newFeatureView(ins, bins); err != nil {
+			return nil, err
+		}
+	} else if len(fv.Base) != len(ins.Base) {
+		return nil, fmt.Errorf("ruleind: frozen feature view covers %d attributes, instances have %d", len(fv.Base), len(ins.Base))
 	}
 
 	// Materialize feature buckets per instance.

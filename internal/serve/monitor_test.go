@@ -131,6 +131,15 @@ func TestDriftToReinductionE2E(t *testing.T) {
 		switch e.Kind {
 		case monitor.EventDrift:
 			drifted = true
+			// The per-attribute detectors attribute the drift: GBM is the
+			// broken column, and the names ride the event over HTTP.
+			var hasGBM bool
+			for _, a := range e.Attrs {
+				hasGBM = hasGBM || a == "GBM"
+			}
+			if !hasGBM {
+				t.Fatalf("drift event did not attribute the broken attribute: %+v", e)
+			}
 		case monitor.EventReinduced:
 			reinduced = true
 			if e.NewVersion != 2 {

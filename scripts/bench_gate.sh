@@ -11,7 +11,10 @@
 #      happens, so the check cannot flake on a different runner class.
 #   2. allocs/row, steady-state zero-alloc, suspicious-count determinism
 #      (machine-exact) — against the committed baseline BENCH_core.json,
-#      which remains the durable record of the allocation contract.
+#      which remains the durable record of the allocation contract — plus
+#      the reinduce speedup check (incremental re-induction must stay at
+#      least 3x faster than a full induction), which compares the
+#      candidate against itself and so is machine-free.
 #
 # When no merge base can be measured (shallow clone, no git, HEAD == base,
 # or HERMETIC=0), the gate falls back to the committed baseline for every
@@ -83,9 +86,9 @@ if [ -n "$base_json" ]; then
   echo "bench_gate: ns/row gate vs same-machine merge base ($base_json)" >&2
   go run ./cmd/benchcore -gate "$base_json" -candidate "$candidate" \
     -checks ns -max-ns-regress "$max_ns_regress"
-  echo "bench_gate: alloc/determinism gate vs committed $baseline" >&2
+  echo "bench_gate: alloc/determinism/reinduce gate vs committed $baseline" >&2
   go run ./cmd/benchcore -gate "$baseline" -candidate "$candidate" \
-    -checks alloc,suspicious
+    -checks alloc,suspicious,reinduce
 else
   echo "bench_gate: no merge-base measurement available; gating every check vs committed $baseline" >&2
   go run ./cmd/benchcore -gate "$baseline" -candidate "$candidate" \

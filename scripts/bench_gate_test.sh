@@ -14,7 +14,10 @@
 #      even when the merge-base measurement carries the same leak (the
 #      allocation contract is anchored to the committed record);
 #   7. a suspicious-count drift vs the committed baseline fails on the
-#      hermetic path.
+#      hermetic path;
+#   8. an eroded incremental re-induction speedup (reinduce ns/row pushed
+#      within 2x of induce) fails on both paths — the check is
+#      within-candidate, so no reference can mask it.
 #
 # Requires jq. Run from anywhere: ./scripts/bench_gate_test.sh
 set -euo pipefail
@@ -80,4 +83,23 @@ if BASE_JSON="$tmpdir/drift.json" CANDIDATE="$tmpdir/drift.json" \
   fail "a suspicious-count drift passed the hermetic path"
 fi
 
-echo "bench_gate_test: PASS (fallback: identity/regression/allocation; hermetic: identity, merge-base ns anchoring, committed alloc+determinism anchoring)"
+# 8. The incremental-induction contract: a candidate whose reinduce
+# surface has slowed to within 2x of a full induction must fail, no
+# matter which reference the other checks anchor to.
+induce_ns=$(jq '[.runs[] | select(.name == "induce") | .nsPerRow] | first // empty' "$baseline")
+if [ -n "$induce_ns" ]; then
+  jq --argjson ns "$induce_ns" \
+     '.runs |= map(if .name == "reinduce" then .nsPerRow = ($ns / 2) else . end)' \
+     "$baseline" > "$tmpdir/slow_reinduce.json"
+  if HERMETIC=0 CANDIDATE="$tmpdir/slow_reinduce.json" ./scripts/bench_gate.sh >/dev/null 2>&1; then
+    fail "an eroded reinduce speedup passed the gate (fallback path)"
+  fi
+  if BASE_JSON="$tmpdir/slow_reinduce.json" CANDIDATE="$tmpdir/slow_reinduce.json" \
+     ./scripts/bench_gate.sh >/dev/null 2>&1; then
+    fail "an eroded reinduce speedup passed the gate (hermetic path)"
+  fi
+else
+  fail "baseline $baseline has no induce run — refresh it with: go run ./cmd/benchcore -out $baseline"
+fi
+
+echo "bench_gate_test: PASS (fallback: identity/regression/allocation; hermetic: identity, merge-base ns anchoring, committed alloc+determinism anchoring; reinduce speedup on both paths)"
