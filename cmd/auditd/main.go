@@ -36,6 +36,26 @@
 //	# model version automatically
 //	auditd -dir ./auditd-data -auto-reinduce -monitor-window 2048
 //
+// Scale-out: every auditd is a capable shard worker (it always serves the
+// shard-scoring and model-replication routes). An auditd becomes a
+// coordinator when handed a worker list — buffered audits are then split
+// into shards, scored across the worker processes and merged, with model
+// versions replicated to workers on demand:
+//
+//	# two plain workers + one coordinator
+//	auditd -addr :8081 -dir ./w1 &
+//	auditd -addr :8082 -dir ./w2 &
+//	auditd -addr :8080 -dir ./auditd-data \
+//	       -coordinator http://localhost:8081,http://localhost:8082
+//
+//	# batches now fan out; ?local=1 forces in-process scoring
+//	curl -H 'Content-Type: text/csv' --data-binary @tonight.csv \
+//	     localhost:8080/v1/models/engines/audit
+//
+// Tune the fan-out with -shards, -shard-strategy (range or hash),
+// -shard-chunk and -shard-retries; GET /v1/shard/workers reports the
+// active configuration.
+//
 // Monitoring state — quality snapshots, lifecycle events, drift-detector
 // state and the re-induction reservoir — is crash-durable: it persists
 // atomically under -monitor-state (default <dir>/.state) on every sealed
@@ -65,6 +85,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +93,7 @@ import (
 	"dataaudit/internal/monitor"
 	"dataaudit/internal/registry"
 	"dataaudit/internal/serve"
+	"dataaudit/internal/shard"
 )
 
 func main() {
@@ -85,6 +107,12 @@ func main() {
 		drainFor = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 		chunk    = flag.Int("stream-chunk", 1024, "default scoring-chunk size of the streaming audit endpoint")
 		topK     = flag.Int("stream-top", 1000, "default ranking depth of the streaming audit summary")
+
+		coordinator   = flag.String("coordinator", "", "comma-separated worker base URLs; non-empty enables coordinator mode (buffered audits are sharded across these auditd processes)")
+		shards        = flag.Int("shards", 0, "shards per audit in coordinator mode (0 = one per worker)")
+		shardStrategy = flag.String("shard-strategy", "range", "row-to-shard assignment: range (contiguous) or hash (by row signature)")
+		shardChunk    = flag.Int("shard-chunk", 0, "rows per wire chunk when shipping shards (0 = default)")
+		shardRetries  = flag.Int("shard-retries", 2, "re-dispatch attempts per shard after the first failure")
 
 		metrics   = flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics and instrument every route with request/latency series")
 		dashboard = flag.Bool("dashboard", true, "serve the embedded quality dashboard (control charts over monitoring windows) at GET /dashboard")
@@ -136,6 +164,25 @@ func main() {
 	)
 	if *workers > 0 {
 		opts = append(opts, serve.WithWorkers(*workers))
+	}
+	if *coordinator != "" {
+		strategy, err := shard.ParseStrategy(*shardStrategy)
+		if err != nil {
+			logger.Fatalf("-shard-strategy: %v", err)
+		}
+		shardOpts := shard.Options{
+			Workers:   strings.Split(*coordinator, ","),
+			Shards:    *shards,
+			Strategy:  strategy,
+			ChunkRows: *shardChunk,
+			Retries:   *shardRetries,
+		}
+		// Validate up front: serve.New has no error path, so a bad worker
+		// set should kill the boot here, not silently disable coordination.
+		if _, err := shard.New(shardOpts); err != nil {
+			logger.Fatalf("-coordinator: %v", err)
+		}
+		opts = append(opts, serve.WithCoordinator(shardOpts))
 	}
 	srv := serve.New(reg, opts...)
 

@@ -1,0 +1,377 @@
+// Command benchshard measures coordinator/worker scale-out and gates CI
+// on the result. In measure mode it boots N worker auditd processes
+// (re-executing itself with -worker), scores a deterministic polluted
+// QUIS batch through a kNN model — expensive enough per row that scoring,
+// not wire transfer, dominates — once single-node and once sharded across
+// the workers, and writes BENCH_shard.json:
+//
+//	go run ./cmd/benchshard -out BENCH_shard.json
+//
+// The committed BENCH_shard.json at the repo root records the scale
+// factor (sharded rows/sec over single-node rows/sec) together with the
+// core count of the measuring machine. In gate mode benchshard checks a
+// candidate measurement against the near-linear scaling floor:
+//
+//	go run ./cmd/benchshard -gate -candidate BENCH_shard.json \
+//	    -checks shardscale -min-scale 2.2
+//
+// The shardscale check is within-candidate (no baseline file): with 3
+// workers the sharded run must be at least -min-scale times faster. The
+// comparison only makes sense when every worker can own a core, so the
+// gate enforces the floor when the candidate was measured on at least
+// workers+1 cores and downgrades to a warning otherwise (a 1-core
+// container cannot scale out; CI runners can and do enforce).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/benchutil"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/quis"
+	"dataaudit/internal/registry"
+	"dataaudit/internal/serve"
+	"dataaudit/internal/shard"
+)
+
+// Run is one measured scoring pass.
+type Run struct {
+	// Name is "single" (in-process AuditTable) or "sharded".
+	Name string `json:"name"`
+	// Rows is the batch size; Workers the worker-process count (1 for
+	// single) and Shards the split width (0 for single).
+	Rows    int `json:"rows"`
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+	// RowsPerSec is the end-to-end scoring throughput; Millis the wall
+	// time of the measured pass.
+	RowsPerSec float64 `json:"rowsPerSec"`
+	Millis     int64   `json:"millis"`
+	// Suspicious is the suspicious-record count — identical across the
+	// two passes by the differential contract.
+	Suspicious int `json:"suspicious"`
+}
+
+// Report is the BENCH_shard.json document.
+type Report struct {
+	GeneratedBy string `json:"generatedBy"`
+	GoVersion   string `json:"goVersion"`
+	// Cores is the measuring machine's CPU count. The scaling gate only
+	// enforces when Cores >= Workers+1 — scale-out cannot show on a
+	// machine with fewer cores than processes.
+	Cores     int    `json:"cores"`
+	Rows      int    `json:"rows"`
+	TrainRows int    `json:"trainRows"`
+	Seed      int64  `json:"seed"`
+	Strategy  string `json:"strategy"`
+	Runs      []Run  `json:"runs"`
+	// Scale is sharded rows/sec over single-node rows/sec.
+	Scale float64 `json:"scale"`
+}
+
+func main() {
+	var (
+		worker    = flag.Bool("worker", false, "internal: run as a worker auditd on a loopback port and print LISTEN <url>")
+		dir       = flag.String("dir", "", "worker mode: registry directory")
+		out       = flag.String("out", "BENCH_shard.json", "output file (- for stdout)")
+		rows      = flag.Int("rows", 30000, "scored batch size (QUIS generator floor)")
+		trainRows = flag.Int("train-rows", 1500, "kNN training sample size (scoring cost per row grows with it)")
+		workers   = flag.Int("workers", 3, "worker process count")
+		seed      = flag.Int64("seed", 2003, "generator seed (fixture is fully deterministic)")
+		strategy  = flag.String("strategy", "range", "shard strategy: range or hash")
+		gate      = flag.Bool("gate", false, "gate mode: check -candidate instead of measuring")
+		candidate = flag.String("candidate", "", "candidate BENCH_shard.json for -gate mode")
+		checks    = flag.String("checks", "shardscale", "comma list of gate checks: shardscale")
+		minScale  = flag.Float64("min-scale", 2.2, "scaling floor the sharded run must hold over single-node")
+	)
+	flag.Parse()
+
+	if *worker {
+		runWorker(*dir)
+		return
+	}
+	if *gate {
+		os.Exit(runGate(*candidate, *checks, *minScale))
+	}
+
+	rep, err := measure(*rows, *trainRows, *workers, *seed, *strategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchshard: %v\n", err)
+		os.Exit(1)
+	}
+	if err := benchutil.WriteJSON(rep, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchshard: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runWorker is the re-exec target: a plain auditd over an empty registry
+// on an ephemeral loopback port. The parent scrapes the LISTEN line.
+func runWorker(dir string) {
+	logger := log.New(os.Stderr, "benchshard-worker ", log.LstdFlags)
+	if dir == "" {
+		logger.Fatal("-worker requires -dir")
+	}
+	reg, err := registry.Open(dir)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("LISTEN http://%s\n", ln.Addr())
+	os.Stdout.Close() // parent reads to EOF; nothing else is coming
+	srv := serve.New(reg, serve.WithMetrics(false), serve.WithDashboard(false), serve.WithLogger(logger))
+	logger.Fatal(http.Serve(ln, srv.Handler()))
+}
+
+// startWorkers boots n worker processes and returns their base URLs plus
+// a stop function that kills them.
+func startWorkers(n int, baseDir string) ([]string, func(), error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		urls  []string
+		procs []*exec.Cmd
+	)
+	stop := func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+			}
+			p.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(self, "-worker", "-dir", filepath.Join(baseDir, fmt.Sprintf("w%d", i)))
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		procs = append(procs, cmd)
+		sc := bufio.NewScanner(stdout)
+		url := ""
+		for sc.Scan() {
+			if after, ok := strings.CutPrefix(sc.Text(), "LISTEN "); ok {
+				url = after
+				break
+			}
+		}
+		if url == "" {
+			stop()
+			return nil, nil, fmt.Errorf("worker %d never announced its address", i)
+		}
+		urls = append(urls, url)
+	}
+	return urls, stop, nil
+}
+
+// measure builds the fixture, runs the single-node and sharded passes and
+// assembles the report.
+func measure(rows, trainRows, workers int, seed int64, strategy string) (Report, error) {
+	strat, err := shard.ParseStrategy(strategy)
+	if err != nil {
+		return Report{}, err
+	}
+	fmt.Fprintf(os.Stderr, "benchshard: generating %d-row fixture (seed %d), inducing kNN model on %d rows\n", rows, seed, trainRows)
+	sample, err := quis.Generate(quis.Params{NumRecords: rows, Seed: seed})
+	if err != nil {
+		return Report{}, err
+	}
+	plan := pollute.Plan{Cell: []pollute.Configured{
+		{Prob: 0.02, P: &pollute.WrongValuePolluter{}},
+		{Prob: 0.01, P: &pollute.NullValuePolluter{}},
+	}}
+	dirty, _ := pollute.Run(sample.Data, plan, rand.New(rand.NewSource(42)))
+
+	// Train on a clean prefix slice: kNN per-row scoring cost is
+	// proportional to the training size, which keeps scoring (not gob/HTTP
+	// transfer) the dominant term of a shard dispatch, and a clean sample
+	// gives the pollution below something to deviate from.
+	train := dataset.NewTable(dirty.Schema())
+	row := make([]dataset.Value, dirty.NumCols())
+	for r := 0; r < trainRows && r < sample.Data.NumRows(); r++ {
+		train.AppendRow(sample.Data.RowInto(r, row))
+	}
+	// The suspicious counts below are a determinism cross-check between
+	// the two passes, not an audit-quality statement — a small kNN sample
+	// yields low error confidences across the board.
+	model, err := audit.Induce(train, audit.Options{
+		MinConfidence: 0.8,
+		Inducer:       audit.InducerKNN,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	rep := Report{
+		GeneratedBy: "cmd/benchshard",
+		GoVersion:   runtime.Version(),
+		Cores:       runtime.NumCPU(),
+		Rows:        dirty.NumRows(),
+		TrainRows:   model.TrainRows,
+		Seed:        seed,
+		Strategy:    string(strat),
+	}
+
+	// Single-node pass: the sequential scorer, no pool — the per-core
+	// baseline the scale factor is defined against.
+	start := time.Now()
+	res := model.AuditTable(dirty)
+	single := runFrom("single", dirty.NumRows(), 1, 0, time.Since(start), res.NumSuspicious())
+	rep.Runs = append(rep.Runs, single)
+
+	// Sharded pass across worker processes.
+	tmp, err := os.MkdirTemp("", "benchshard-*")
+	if err != nil {
+		return Report{}, err
+	}
+	defer os.RemoveAll(tmp)
+	urls, stopWorkers, err := startWorkers(workers, tmp)
+	if err != nil {
+		return Report{}, err
+	}
+	defer stopWorkers()
+
+	reg, err := registry.Open(filepath.Join(tmp, "coordinator"))
+	if err != nil {
+		return Report{}, err
+	}
+	meta, err := reg.Publish("bench", model)
+	if err != nil {
+		return Report{}, err
+	}
+	coord, err := shard.New(shard.Options{Workers: urls, Strategy: strat})
+	if err != nil {
+		return Report{}, err
+	}
+	ctx := context.Background()
+
+	// Warm-up: replicate the model and open connections on a small prefix
+	// so the measured pass is steady-state scoring.
+	warm := dataset.NewTable(dirty.Schema())
+	for r := 0; r < 64; r++ {
+		warm.AppendRow(dirty.RowInto(r, row))
+	}
+	if _, err := coord.AuditTable(ctx, model, meta, warm); err != nil {
+		return Report{}, fmt.Errorf("warm-up: %w", err)
+	}
+
+	start = time.Now()
+	shardedRes, err := coord.AuditTable(ctx, model, meta, dirty)
+	if err != nil {
+		return Report{}, err
+	}
+	sharded := runFrom("sharded", dirty.NumRows(), workers, coord.Shards(), time.Since(start), shardedRes.NumSuspicious())
+	rep.Runs = append(rep.Runs, sharded)
+
+	if sharded.Suspicious != single.Suspicious {
+		return Report{}, fmt.Errorf("differential violation: sharded found %d suspicious, single-node %d",
+			sharded.Suspicious, single.Suspicious)
+	}
+	rep.Scale = sharded.RowsPerSec / single.RowsPerSec
+	fmt.Fprintf(os.Stderr, "benchshard: scale %.2fx on %d cores (%d workers)\n", rep.Scale, rep.Cores, workers)
+	return rep, nil
+}
+
+func runFrom(name string, rows, workers, shards int, elapsed time.Duration, suspicious int) Run {
+	r := Run{
+		Name:       name,
+		Rows:       rows,
+		Workers:    workers,
+		Shards:     shards,
+		RowsPerSec: float64(rows) / elapsed.Seconds(),
+		Millis:     elapsed.Milliseconds(),
+		Suspicious: suspicious,
+	}
+	fmt.Fprintf(os.Stderr, "benchshard: %-8s rows=%-7d workers=%d  %12.0f rows/s  %6dms  suspicious=%d\n",
+		name, rows, workers, r.RowsPerSec, r.Millis, r.Suspicious)
+	return r
+}
+
+// runGate checks a candidate report and returns the process exit code.
+func runGate(candidate, checks string, minScale float64) int {
+	if candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchshard: -gate requires -candidate")
+		return 2
+	}
+	wantScale := false
+	for _, c := range strings.Split(checks, ",") {
+		switch strings.TrimSpace(c) {
+		case "shardscale", "all":
+			wantScale = true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "benchshard: unknown check %q (want shardscale)\n", c)
+			return 2
+		}
+	}
+	data, err := os.ReadFile(candidate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchshard: %v\n", err)
+		return 2
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchshard: %s: %v\n", candidate, err)
+		return 2
+	}
+	var sharded *Run
+	for i := range rep.Runs {
+		if rep.Runs[i].Name == "sharded" {
+			sharded = &rep.Runs[i]
+		}
+	}
+	if sharded == nil || rep.Scale <= 0 {
+		fmt.Fprintf(os.Stderr, "benchshard: %s holds no sharded run — not a benchshard report\n", candidate)
+		return 2
+	}
+	if !wantScale {
+		fmt.Fprintln(os.Stderr, "benchshard: no checks selected")
+		return 2
+	}
+	// A machine with fewer cores than processes cannot exhibit scale-out:
+	// the workers time-slice one another. Warn instead of failing so the
+	// measurement stays honest on small containers while CI (which has the
+	// cores) enforces.
+	if rep.Cores < sharded.Workers+1 {
+		fmt.Fprintf(os.Stderr,
+			"benchshard: WARNING: shardscale skipped — measured on %d cores with %d workers (+1 coordinator); the floor needs at least %d cores to be meaningful\n",
+			rep.Cores, sharded.Workers, sharded.Workers+1)
+		return 0
+	}
+	if rep.Scale < minScale {
+		fmt.Fprintf(os.Stderr,
+			"benchshard: GATE FAIL: shardscale %.2fx below the %.1fx floor (%d workers on %d cores) — scale-out regressed\n",
+			rep.Scale, minScale, sharded.Workers, rep.Cores)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchshard: gate passed (scale %.2fx >= %.1fx with %d workers on %d cores)\n",
+		rep.Scale, minScale, sharded.Workers, rep.Cores)
+	return 0
+}

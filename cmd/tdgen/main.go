@@ -10,6 +10,13 @@
 //	BRV  nominal 404,501,600
 //	KM   numeric 0 200000
 //	PROD date    1995-01-01 2002-12-31
+//
+// -quis switches to the paper's §6 QUIS vehicle-quality sample instead of
+// rule-drawn data: a deterministic replica of the quality-information
+// system relation (the fixture the benchmarks and e2e suites audit),
+// scaled to -records rows (minimum 30000):
+//
+//	tdgen -quis -records 55000 -seed 2003 -out quis.csv -schemaout quis.schema
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/quis"
 	"dataaudit/internal/tdg"
 )
 
@@ -32,8 +40,34 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		out        = flag.String("out", "clean.csv", "output CSV file")
 		rulesOut   = flag.String("rulesout", "", "optional file for the generated rules (human readable)")
+		useQuis    = flag.Bool("quis", false, "emit the paper's QUIS vehicle-quality sample instead of rule-drawn data (-schema/-rules ignored)")
+		schemaOut  = flag.String("schemaout", "", "with -quis: also write the QUIS schema definition here")
 	)
 	flag.Parse()
+	if *useQuis {
+		sample, err := quis.Generate(quis.Params{NumRecords: *records, Seed: *seed})
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := dataset.WriteCSVFile(*out, sample.Data); err != nil {
+			fail("writing %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d QUIS records to %s\n", sample.Data.NumRows(), *out)
+		if *schemaOut != "" {
+			f, err := os.Create(*schemaOut)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := dataset.WriteSchemaText(f, sample.Data.Schema()); err != nil {
+				fail("writing %s: %v", *schemaOut, err)
+			}
+			if err := f.Close(); err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote QUIS schema to %s\n", *schemaOut)
+		}
+		return
+	}
 	if *schemaPath == "" {
 		fail("missing -schema")
 	}

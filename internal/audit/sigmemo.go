@@ -6,6 +6,7 @@ import (
 
 	"dataaudit/internal/audittree"
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/stats"
 )
 
 // Row-signature memoization. On low-cardinality relations — the common
@@ -96,7 +97,11 @@ func (mm *sigMemo) build(m *Model) {
 	mm.built, mm.ok, mm.model = true, false, m
 	width := m.Schema.Len()
 	thresholds := make([][]float64, width)
+	// m.Attrs is position-indexed (a model may audit fewer attributes than
+	// the schema holds); key the per-column discretizers by Class.
+	discByClass := make([]*stats.Discretizer, width)
 	for _, am := range m.Attrs {
+		discByClass[am.Class] = am.Disc
 		rs, isRS := am.Classifier.(*audittree.RuleSet)
 		if !isRS {
 			return
@@ -118,8 +123,8 @@ func (mm *sigMemo) build(m *Model) {
 			mm.radix[c] = uint64(len(m.Schema.Attr(c).Domain)) + 1
 		} else {
 			grid := thresholds[c]
-			if am := m.Attrs[c]; am != nil && am.Disc != nil {
-				grid = append(grid, am.Disc.Cuts...)
+			if disc := discByClass[c]; disc != nil {
+				grid = append(grid, disc.Cuts...)
 			}
 			sort.Float64s(grid)
 			grid = dedupFloats(grid)

@@ -1,0 +1,26 @@
+package audit
+
+import "testing"
+
+// TestAuditWithSkippedClasses is a regression test for the sigMemo grid
+// builder: m.Attrs is position-indexed, so when SkipClasses leaves fewer
+// attribute models than schema columns, a numeric column whose index is
+// >= len(m.Attrs) must still find its discretizer (by Class, not by
+// position). Before the fix, AuditTable panicked with an out-of-range
+// index while assembling the signature grid.
+func TestAuditWithSkippedClasses(t *testing.T) {
+	tab := engineTable(t, 2000, 78)
+	// Skipping KBM drops the model count to 3 while numeric DISP keeps
+	// schema index 3 — exactly the shape that used to panic.
+	m, err := Induce(tab, Options{SkipClasses: []string{"KBM"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Attrs) != 3 {
+		t.Fatalf("expected 3 attribute models, got %d", len(m.Attrs))
+	}
+	res := m.AuditTable(tab)
+	if len(res.Reports) != tab.NumRows() {
+		t.Fatalf("expected %d reports, got %d", tab.NumRows(), len(res.Reports))
+	}
+}

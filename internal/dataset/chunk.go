@@ -302,6 +302,14 @@ func DecodeChunk(r io.Reader) (*ColumnChunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	return chunkFromWire(s, wc.IDs, wc.N, wc.Cols)
+}
+
+// chunkFromWire validates decoded wire columns against a resolved schema
+// and materializes the chunk. Shared by DecodeChunk and ChunkStreamReader
+// so both entry points enforce the same corrupt-stream checks.
+func chunkFromWire(s *Schema, ids []int64, n int, cols []wireChunkCol) (*ColumnChunk, error) {
+	wc := wireChunk{IDs: ids, N: n, Cols: cols}
 	if wc.N < 0 || len(wc.IDs) != wc.N {
 		return nil, fmt.Errorf("dataset: chunk has %d IDs for %d rows", len(wc.IDs), wc.N)
 	}

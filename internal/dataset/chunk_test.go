@@ -245,6 +245,25 @@ func TestValueAndSchemaGobRoundTrip(t *testing.T) {
 	if err := v.GobDecode([]byte{1}); err == nil {
 		t.Fatal("Value.GobDecode accepted a short buffer")
 	}
+
+	// The legacy nested-gob encoding must still decode (models persisted
+	// before the fixed v1 record), and the corrupt-kind guard must fire.
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(toWireValue(Nom(7))); err != nil {
+		t.Fatal(err)
+	}
+	var lv Value
+	if err := lv.GobDecode(legacy.Bytes()); err != nil {
+		t.Fatalf("legacy Value encoding no longer decodes: %v", err)
+	}
+	if !lv.IsNominal() || lv.NomIdx() != 7 {
+		t.Fatalf("legacy decode produced %v, want Nom(7)", lv)
+	}
+	bad := make([]byte, 14)
+	bad[0], bad[1] = 1, 9
+	if err := lv.GobDecode(bad); err == nil {
+		t.Fatal("Value.GobDecode accepted a corrupt kind byte")
+	}
 	var s Schema
 	if err := s.GobDecode([]byte{0xFF}); err == nil {
 		t.Fatal("Schema.GobDecode accepted garbage")

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The chunk-stream codec carries many chunks of one relation over a single
+// gob stream: the schema is sent once as a header message, then each chunk
+// as an IDs/columns message without the schema repetition. It is the wire
+// format of the sharded audit protocol (internal/shard): a coordinator
+// streams a shard's chunks to a worker's shard endpoint without buffering
+// the shard in wire form, and the worker scores chunks as they decode.
+//
+// One gob.Encoder/gob.Decoder pair lives for the whole stream — gob
+// buffers reads, so layering a fresh decoder per message over the same
+// reader would lose bytes.
+
+// wireStreamChunk is the per-chunk message of a chunk stream: a wireChunk
+// minus the schema, which the stream header carries once.
+type wireStreamChunk struct {
+	IDs  []int64
+	N    int
+	Cols []wireChunkCol
+}
+
+// ChunkStreamWriter encodes a sequence of ColumnChunks sharing one schema
+// onto a single gob stream. The schema header is written lazily with the
+// first chunk; a stream with zero Write calls is empty and decodes as an
+// immediate io.EOF.
+type ChunkStreamWriter struct {
+	enc    *gob.Encoder
+	schema *Schema
+}
+
+// NewChunkStreamWriter returns a writer encoding onto w.
+func NewChunkStreamWriter(w io.Writer) *ChunkStreamWriter {
+	return &ChunkStreamWriter{enc: gob.NewEncoder(w)}
+}
+
+// Write appends one chunk to the stream. Every chunk must share the first
+// chunk's schema (pointer identity — chunks of one stream come from one
+// source). The chunk's buffers are read synchronously and may be reused by
+// the caller after Write returns.
+func (sw *ChunkStreamWriter) Write(ck *ColumnChunk) error {
+	if sw.schema == nil {
+		if err := sw.enc.Encode(toWireSchema(ck.schema)); err != nil {
+			return fmt.Errorf("dataset: chunk stream header: %w", err)
+		}
+		sw.schema = ck.schema
+	} else if ck.schema != sw.schema {
+		return fmt.Errorf("dataset: chunk stream: schema changed mid-stream")
+	}
+	wc := wireStreamChunk{IDs: ck.ids, N: ck.n, Cols: make([]wireChunkCol, len(ck.cols))}
+	for c := range ck.cols {
+		wc.Cols[c] = wireChunkCol{Nom: ck.cols[c].Nom, Num: ck.cols[c].Num, Nulls: ck.cols[c].nulls}
+	}
+	return sw.enc.Encode(&wc)
+}
+
+// ChunkStreamReader decodes a stream written by ChunkStreamWriter, applying
+// the same validation as DecodeChunk to every chunk (arity, lengths,
+// nominal domain bounds, null canonicalization).
+type ChunkStreamReader struct {
+	dec    *gob.Decoder
+	schema *Schema
+}
+
+// NewChunkStreamReader returns a reader decoding from r. The header is
+// decoded lazily on the first Read, so construction never blocks.
+func NewChunkStreamReader(r io.Reader) *ChunkStreamReader {
+	return &ChunkStreamReader{dec: gob.NewDecoder(r)}
+}
+
+// Schema returns the stream's schema, or nil before the first successful
+// Read has decoded the header.
+func (sr *ChunkStreamReader) Schema() *Schema { return sr.schema }
+
+// Read decodes and validates the next chunk. It returns io.EOF at the
+// clean end of the stream (including an empty stream with no header); any
+// other error means the stream is corrupt or truncated.
+func (sr *ChunkStreamReader) Read() (*ColumnChunk, error) {
+	if sr.schema == nil {
+		var ws wireSchema
+		if err := sr.dec.Decode(&ws); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("dataset: chunk stream header: %w", err)
+		}
+		s, err := fromWireSchema(ws)
+		if err != nil {
+			return nil, err
+		}
+		sr.schema = s
+	}
+	var wc wireStreamChunk
+	if err := sr.dec.Decode(&wc); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dataset: chunk stream: %w", err)
+	}
+	return chunkFromWire(sr.schema, wc.IDs, wc.N, wc.Cols)
+}

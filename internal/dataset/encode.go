@@ -2,9 +2,11 @@ package dataset
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -111,17 +113,36 @@ func DecodeTable(r io.Reader) (*Table, error) {
 }
 
 // GobEncode implements gob.GobEncoder so Values embedded in model structs
-// (trees, instance bases) serialize despite their unexported fields.
+// (trees, instance bases) serialize despite their unexported fields. The
+// format is a hand-rolled fixed 14-byte record — version tag 0x01, kind,
+// idx (big-endian uint32), num (IEEE 754 bits, big-endian) — rather than a
+// nested gob stream: gob allocates type ids in process-global order, so a
+// nested stream's embedded type definition would vary with whatever else
+// the process happened to encode first, breaking the byte-identity
+// contract between sharded and single-node audit results.
 func (v Value) GobEncode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(toWireValue(v)); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	b := make([]byte, 14)
+	b[0] = 1
+	b[1] = byte(v.kind)
+	binary.BigEndian.PutUint32(b[2:6], uint32(v.idx))
+	binary.BigEndian.PutUint64(b[6:14], math.Float64bits(v.num))
+	return b, nil
 }
 
-// GobDecode implements gob.GobDecoder.
+// GobDecode implements gob.GobDecoder. It accepts both the fixed version-1
+// record and the legacy nested-gob encoding (whose first byte is a gob
+// message length, never 0x01), so models persisted before the format
+// change still load.
 func (v *Value) GobDecode(b []byte) error {
+	if len(b) == 14 && b[0] == 1 {
+		if b[1] > uint8(kindNumber) {
+			return fmt.Errorf("dataset: corrupt Value encoding: kind %d", b[1])
+		}
+		v.kind = valueKind(b[1])
+		v.idx = int32(binary.BigEndian.Uint32(b[2:6]))
+		v.num = math.Float64frombits(binary.BigEndian.Uint64(b[6:14]))
+		return nil
+	}
 	var w wireValue
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
 		return err

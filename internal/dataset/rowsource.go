@@ -301,6 +301,25 @@ func ReadAll(src RowSource) (*Table, error) {
 	}
 }
 
+// ReadAllKeepIDs drains a RowSource into a materialized Table preserving
+// the source-assigned record IDs — unlike ReadAll, which re-assigns them.
+// The shard coordinator uses it: a sharded audit must report the same
+// record IDs a single-node audit of the same source would.
+func ReadAllKeepIDs(src RowSource) (*Table, error) {
+	t := NewTable(src.Schema())
+	buf := make([]Value, src.Schema().Len())
+	for {
+		id, err := src.Next(buf)
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.appendRowWithID(buf, id)
+	}
+}
+
 // OpenCSVFileSource opens the named CSV file as a streaming RowSource.
 // The caller owns the returned closer and must close it when done.
 func OpenCSVFileSource(path string, s *Schema) (*CSVSource, io.Closer, error) {

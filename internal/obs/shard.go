@@ -1,0 +1,40 @@
+package obs
+
+// ShardMetrics instruments the shard coordinator: per-worker dispatch
+// outcomes and throughput, replication pushes, retries and worker deaths.
+// The worker label is the worker's base URL — the coordinator's worker set
+// is a short static flag list, so cardinality stays bounded.
+type ShardMetrics struct {
+	// Dispatches counts shard dispatches per worker and outcome ("ok" /
+	// "error").
+	Dispatches *CounterVec
+	// RowsShipped counts rows scored remotely, per worker.
+	RowsShipped *CounterVec
+	// Replications counts model replicas pushed to workers.
+	Replications *CounterVec
+	// Retries counts shard re-dispatches after a failed attempt.
+	Retries *Counter
+	// WorkerDeaths counts workers abandoned after consecutive failures.
+	WorkerDeaths *CounterVec
+	// DispatchSeconds is the per-worker wall time of one shard dispatch
+	// (stream + remote scoring + response decode).
+	DispatchSeconds *HistogramVec
+}
+
+// NewShardMetrics registers the coordinator series.
+func NewShardMetrics(r *Registry) *ShardMetrics {
+	return &ShardMetrics{
+		Dispatches: r.NewCounterVec("dataaudit_shard_dispatches_total",
+			"Shard dispatches to workers by outcome.", "worker", "outcome"),
+		RowsShipped: r.NewCounterVec("dataaudit_shard_rows_total",
+			"Rows scored remotely per worker.", "worker"),
+		Replications: r.NewCounterVec("dataaudit_shard_replications_total",
+			"Model replicas pushed to workers on version mismatch.", "worker"),
+		Retries: r.NewCounter("dataaudit_shard_retries_total",
+			"Shards re-dispatched after a failed attempt."),
+		WorkerDeaths: r.NewCounterVec("dataaudit_shard_worker_deaths_total",
+			"Workers abandoned mid-audit after consecutive failures.", "worker"),
+		DispatchSeconds: r.NewHistogramVec("dataaudit_shard_dispatch_seconds",
+			"Wall time of one shard dispatch per worker.", DefLatencyBuckets(), "worker"),
+	}
+}

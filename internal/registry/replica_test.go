@@ -1,0 +1,135 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"dataaudit/internal/audit"
+)
+
+// publishSource publishes a model into a fresh "coordinator" registry and
+// returns both registries plus the committed meta.
+func publishSource(t *testing.T) (src, dst *Registry, meta Meta, m *audit.Model) {
+	t.Helper()
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err = Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = testModel(t)
+	meta, err = src.Publish("engines", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, dst, meta, m
+}
+
+func TestInstallReplicaRoundTrip(t *testing.T) {
+	_, dst, meta, m := publishSource(t)
+	if err := dst.InstallReplica(meta, m); err != nil {
+		t.Fatal(err)
+	}
+
+	gotModel, gotMeta, err := dst.GetVersion("engines", meta.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotMeta.CreatedAt.Equal(meta.CreatedAt) || gotMeta.Version != meta.Version || gotMeta.SchemaHash != meta.SchemaHash {
+		t.Fatalf("replica meta %+v diverges from source %+v", gotMeta, meta)
+	}
+	want, err := audit.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := audit.Marshal(gotModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("replica model bytes diverge from the source model")
+	}
+
+	// Latest resolution sees the replica.
+	latest, err := dst.MetaOf("engines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Version != meta.Version {
+		t.Fatalf("latest = v%d, want v%d", latest.Version, meta.Version)
+	}
+}
+
+func TestInstallReplicaIdempotent(t *testing.T) {
+	_, dst, meta, m := publishSource(t)
+	for i := 0; i < 2; i++ {
+		if err := dst.InstallReplica(meta, m); err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+	}
+}
+
+// TestInstallReplicaConflict: the same (name, version) committed at a
+// different CreatedAt — a deleted-and-recreated model — must be rejected
+// with ErrReplicaConflict, and the committed copy must survive untouched.
+func TestInstallReplicaConflict(t *testing.T) {
+	_, dst, meta, m := publishSource(t)
+	if err := dst.InstallReplica(meta, m); err != nil {
+		t.Fatal(err)
+	}
+
+	recreated := meta
+	recreated.CreatedAt = meta.CreatedAt.Add(time.Hour)
+	err := dst.InstallReplica(recreated, m)
+	if !errors.Is(err, ErrReplicaConflict) {
+		t.Fatalf("conflicting install: err = %v, want ErrReplicaConflict", err)
+	}
+	var rc *ReplicaConflictError
+	if !errors.As(err, &rc) || rc.Name != "engines" || rc.Version != meta.Version {
+		t.Fatalf("conflict detail = %+v", rc)
+	}
+
+	got, err := dst.MetaOfVersion("engines", meta.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.CreatedAt.Equal(meta.CreatedAt) {
+		t.Fatal("conflicting install overwrote the committed sidecar")
+	}
+
+	// Delete-then-reinstall is the sanctioned resolution.
+	if err := dst.Delete("engines"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.InstallReplica(recreated, m); err != nil {
+		t.Fatalf("reinstall after delete: %v", err)
+	}
+}
+
+func TestInstallReplicaRejectsBadInputs(t *testing.T) {
+	_, dst, meta, m := publishSource(t)
+
+	cases := []struct {
+		name   string
+		mutate func(*Meta)
+	}{
+		{"bad name", func(mt *Meta) { mt.Name = "../escape" }},
+		{"zero version", func(mt *Meta) { mt.Version = 0 }},
+		{"zero createdAt", func(mt *Meta) { mt.CreatedAt = time.Time{} }},
+		{"schema hash mismatch", func(mt *Meta) { mt.SchemaHash = "deadbeef" }},
+	}
+	for _, tc := range cases {
+		bad := meta
+		tc.mutate(&bad)
+		if err := dst.InstallReplica(bad, m); err == nil {
+			t.Errorf("%s: install accepted", tc.name)
+		}
+	}
+	if err := dst.InstallReplica(meta, nil); err == nil {
+		t.Error("nil model: install accepted")
+	}
+}

@@ -125,6 +125,20 @@ type AuditResponse struct {
 	// confidence — "ranked according to their associated error confidence"
 	// (§6.2) — or every record when the request asked for all=1.
 	Reports []ReportJSON `json:"reports"`
+	// Sharded marks a batch scored by the shard coordinator across
+	// worker processes; ShardWorkers is the configured worker count.
+	// Absent on locally scored batches (including ?local=1 on a
+	// coordinator) — the reports themselves are identical either way.
+	Sharded      bool `json:"sharded,omitempty"`
+	ShardWorkers int  `json:"shardWorkers,omitempty"`
+}
+
+// ShardWorkersResponse is the body of GET /v1/shard/workers (coordinator
+// mode only).
+type ShardWorkersResponse struct {
+	Workers  []string `json:"workers"`
+	Shards   int      `json:"shards"`
+	Strategy string   `json:"strategy"`
 }
 
 // ModelResponse is the body of POST /v1/models and GET /v1/models/{name}.

@@ -19,6 +19,7 @@ import (
 	"dataaudit/internal/monitor"
 	"dataaudit/internal/obs"
 	"dataaudit/internal/registry"
+	"dataaudit/internal/shard"
 )
 
 // Server is the auditd HTTP service.
@@ -44,6 +45,11 @@ type Server struct {
 	obsReg      *obs.Registry
 	metrics     *obs.AuditMetrics
 	httpMetrics *obs.HTTPMetrics
+
+	// Coordinator mode: set via WithCoordinator, built in New once the
+	// logger and metric registry exist. Both nil on a plain auditd.
+	coordOpts *shard.Options
+	coord     *shard.Coordinator
 }
 
 // Option customizes New.
@@ -172,6 +178,9 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 		s.registerProcessMetrics()
 	}
 	s.mon = monitor.New(reg, s.monOpts)
+	if s.coordOpts != nil {
+		s.initCoordinator()
+	}
 	// Every buffered route takes the body byte cap; the streaming audit
 	// route alone is registered uncapped — bounded memory regardless of
 	// upload size is its reason to exist, and its own guards (row limit,
@@ -184,6 +193,16 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	s.route("DELETE /v1/models/{name}", s.limitedBody(s.handleDelete))
 	s.route("POST /v1/models/{name}/audit", s.limitedBody(s.handleAudit))
 	s.route("POST /v1/models/{name}/audit/stream", s.handleAuditStream)
+	// The shard-worker half of the protocol is part of every auditd's
+	// surface — any instance can serve shards for a coordinator. The
+	// shard route is row-bounded (maxBatch) rather than byte-capped,
+	// like the streaming route; the replicate route carries one model
+	// and takes the ordinary body cap.
+	s.route("POST /v1/models/{name}/audit/shard", s.handleAuditShard)
+	s.route("PUT /v1/models/{name}/replicate", s.limitedBody(s.handleReplicate))
+	if s.coord != nil {
+		s.route("GET /v1/shard/workers", s.limitedBody(s.handleShardWorkers))
+	}
 	if s.metricsOn {
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}
@@ -547,7 +566,22 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		workers = n
 	}
 
-	res := model.AuditTableParallel(tab, workers)
+	// Coordinator mode fans the batch out across the worker set and
+	// merges — the merged result is byte-identical to the local path, so
+	// everything below (monitor fold, ranking, rendering) is shared.
+	// ?local=1 is the escape hatch: score in-process even on a
+	// coordinator (differential tests diff the two).
+	var res *audit.Result
+	sharded := s.coord != nil && r.URL.Query().Get("local") != "1"
+	if sharded {
+		res, err = s.coord.AuditTable(r.Context(), model, meta, tab)
+		if err != nil {
+			s.writeError(w, http.StatusBadGateway, "sharded audit: %v", err)
+			return
+		}
+	} else {
+		res = model.AuditTableParallel(tab, workers)
+	}
 	s.mon.ObserveBatch(meta, model, tab, res)
 
 	resp := AuditResponse{
@@ -558,6 +592,10 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		CheckMillis:   res.CheckTime.Milliseconds(),
 		Workers:       workers,
 		Reports:       []ReportJSON{},
+	}
+	if sharded {
+		resp.Sharded = true
+		resp.ShardWorkers = len(s.coord.Workers())
 	}
 	if r.URL.Query().Get("all") == "1" {
 		for i := range res.Reports {

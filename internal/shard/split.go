@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dataaudit/internal/dataset"
+)
+
+// Strategy names a deterministic row→shard assignment.
+type Strategy string
+
+const (
+	// StrategyRange cuts the batch into contiguous, near-equal row
+	// ranges — shard s covers rows [s·n/S, (s+1)·n/S). Merging is a
+	// plain audit.MergeResults in shard order.
+	StrategyRange Strategy = "range"
+	// StrategyHash assigns each row by an FNV-1a hash of its canonical
+	// value signature, so identical rows always land on the same worker
+	// (maximizing that worker's row-signature memo hits) and the split
+	// is independent of row order within the batch contents themselves.
+	StrategyHash Strategy = "hash"
+)
+
+// ParseStrategy validates a strategy name from a flag or query parameter.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case StrategyRange, StrategyHash:
+		return Strategy(s), nil
+	case "":
+		return StrategyRange, nil
+	}
+	return "", fmt.Errorf("shard: unknown strategy %q (want range or hash)", s)
+}
+
+// Split assigns every row of the table to one of n shards and returns the
+// per-shard global row indices, ascending within each shard. The
+// assignment is a pure function of (table contents, strategy, n): it does
+// not depend on chunk geometry, worker count or dispatch order, which is
+// what makes the merged result reproducible.
+//
+// Shards may come back empty (fewer rows than shards, or a skewed hash);
+// callers skip dispatching those.
+func Split(tab *dataset.Table, strategy Strategy, n int) ([][]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: invalid shard count %d", n)
+	}
+	rows := tab.NumRows()
+	shards := make([][]int, n)
+	switch strategy {
+	case StrategyRange:
+		for s := 0; s < n; s++ {
+			lo, hi := rows*s/n, rows*(s+1)/n
+			if lo == hi {
+				continue
+			}
+			idx := make([]int, hi-lo)
+			for i := range idx {
+				idx[i] = lo + i
+			}
+			shards[s] = idx
+		}
+	case StrategyHash:
+		nominal := make([]bool, tab.NumCols())
+		for c := range nominal {
+			nominal[c] = tab.Schema().Attr(c).Type == dataset.NominalType
+		}
+		for r := 0; r < rows; r++ {
+			s := int(rowHash(tab, r, nominal) % uint64(n))
+			shards[s] = append(shards[s], r)
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown strategy %q", strategy)
+	}
+	return shards, nil
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// rowHash is an FNV-1a hash over the row's canonical value rendering: one
+// 9-byte record per column — a kind tag (null/nominal/number) followed by
+// 8 bytes of payload (domain index or Float64bits). The rendering is
+// byte-exact, so two rows hash equal iff they are value-equal column by
+// column; record IDs deliberately do not participate (duplicates of one
+// row co-locate on one worker).
+func rowHash(tab *dataset.Table, r int, nominal []bool) uint64 {
+	var buf [9]byte
+	h := uint64(fnvOffset)
+	for c := range nominal {
+		v := tab.Get(r, c)
+		switch {
+		case v.IsNull():
+			buf[0] = 0
+			binary.LittleEndian.PutUint64(buf[1:], 0)
+		case nominal[c]:
+			buf[0] = 1
+			binary.LittleEndian.PutUint64(buf[1:], uint64(v.NomIdx()))
+		default:
+			buf[0] = 2
+			binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(v.Float()))
+		}
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= fnvPrime
+		}
+	}
+	return h
+}

@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dataaudit/internal/audit"
+)
+
+func wireResult(rows, attrs int) *ShardResult {
+	res := &audit.Result{NumAttrs: attrs}
+	for i := 0; i < rows; i++ {
+		rep := audit.RecordReport{Row: i, ID: int64(100 + i)}
+		if i%2 == 0 {
+			rep.ErrorConf = 0.9
+			rep.Suspicious = true
+			rep.Findings = []audit.Finding{{Attr: i % attrs, Observed: 0, Predicted: 1, ErrorConf: 0.9}}
+			rep.Best = &rep.Findings[0]
+		}
+		res.Reports = append(res.Reports, rep)
+	}
+	return &ShardResult{Rows: rows, Result: res}
+}
+
+func TestShardResultRoundTrip(t *testing.T) {
+	sr := wireResult(7, 3)
+	var buf bytes.Buffer
+	if err := EncodeShardResult(&buf, sr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeShardResult(&buf, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Result.Reports) != 7 || got.Result.Reports[2].ID != 102 {
+		t.Fatalf("round trip mangled reports: %+v", got.Result.Reports)
+	}
+	// Best must be re-aimed into the report's own findings slice.
+	rep := &got.Result.Reports[0]
+	if rep.Best != &rep.Findings[0] {
+		t.Fatal("Best not repointed into the decoded findings slice")
+	}
+}
+
+// TestDecodeShardResultRejects: every way a worker response can lie about
+// its shape must surface as a protocol error.
+func TestDecodeShardResultRejects(t *testing.T) {
+	encode := func(sr *ShardResult) *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := EncodeShardResult(&buf, sr); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	cases := []struct {
+		name     string
+		body     *bytes.Buffer
+		rows     int
+		attrs    int
+		fragment string
+	}{
+		{"garbage", bytes.NewBufferString("not gob"), 3, 2, "decoding"},
+		{"nil result", encode(&ShardResult{Rows: 3}), 3, 2, "missing"},
+		{"short reports", encode(wireResult(2, 2)), 3, 2, "reports"},
+		{"rows lie", encode(&ShardResult{Rows: 5, Result: wireResult(3, 2).Result}), 3, 2, "reports"},
+		{"wrong width", encode(wireResult(3, 4)), 3, 2, "attributes"},
+		{"bad finding attr", func() *bytes.Buffer {
+			sr := wireResult(3, 2)
+			sr.Result.Reports[0].Findings[0].Attr = 9
+			return encode(sr)
+		}(), 3, 2, "finding"},
+		{"rows out of order", func() *bytes.Buffer {
+			sr := wireResult(3, 2)
+			sr.Result.Reports[1].Row = 2
+			return encode(sr)
+		}(), 3, 2, "shard-local row"},
+	}
+	for _, tc := range cases {
+		_, err := DecodeShardResult(tc.body, tc.rows, tc.attrs)
+		if err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.fragment) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.fragment)
+		}
+	}
+}
+
+func TestDecodeReplicaRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeReplica(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage replica decoded")
+	}
+}

@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/registry"
+)
+
+// ScoreStream is the worker half of the shard protocol: it decodes a
+// chunk stream and scores each chunk as it arrives, so the worker never
+// buffers the shard in wire form. Reports carry shard-local row indices
+// (0..n-1 in stream order) — the coordinator owns the mapping back to
+// global rows — and the record IDs ride through the chunk stream
+// unchanged.
+//
+// wantSchemaHash, when non-empty, must match the stream schema's
+// registry.SchemaHash fingerprint (ErrSchemaMismatch otherwise); maxRows,
+// when positive, bounds the stream (*RowLimitError beyond it).
+func ScoreStream(model *audit.Model, sr *dataset.ChunkStreamReader, wantSchemaHash string, maxRows int) (*ShardResult, error) {
+	start := time.Now()
+	res := &audit.Result{NumAttrs: model.Schema.Len()}
+	scratch := audit.NewChunkScratch(model)
+	checked := false
+	rows := 0
+	for {
+		ck, err := sr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !checked {
+			if wantSchemaHash != "" && registry.SchemaHash(sr.Schema()) != wantSchemaHash {
+				return nil, ErrSchemaMismatch
+			}
+			if sr.Schema().Len() != model.Schema.Len() {
+				return nil, fmt.Errorf("shard: stream arity %d != model arity %d", sr.Schema().Len(), model.Schema.Len())
+			}
+			checked = true
+		}
+		if maxRows > 0 && rows+ck.Rows() > maxRows {
+			return nil, &RowLimitError{Limit: maxRows}
+		}
+		reps := model.CheckChunk(ck, int64(rows), scratch)
+		for i := range reps {
+			res.Reports = append(res.Reports, reps[i].Detach())
+		}
+		rows += ck.Rows()
+	}
+	res.CheckTime = time.Since(start)
+	return &ShardResult{Rows: rows, Result: res}, nil
+}

@@ -19,6 +19,14 @@
 #      within 2x of induce) fails on both paths — the check is
 #      within-candidate, so no reference can mask it.
 #
+# It also proves the shardscale gate (cmd/benchshard -gate) gates:
+#   9.  a super-linear candidate on a big-enough machine passes;
+#   10. a sub-linear candidate on a big-enough machine fails;
+#   11. a sub-linear candidate on a machine with fewer cores than
+#       processes warns and skips (exit 0) instead of failing — the
+#       scaling contract is only enforceable when every process can
+#       actually run in parallel.
+#
 # Requires jq. Run from anywhere: ./scripts/bench_gate_test.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -102,4 +110,30 @@ else
   fail "baseline $baseline has no induce run — refresh it with: go run ./cmd/benchcore -out $baseline"
 fi
 
-echo "bench_gate_test: PASS (fallback: identity/regression/allocation; hermetic: identity, merge-base ns anchoring, committed alloc+determinism anchoring; reinduce speedup on both paths)"
+# --- shardscale gate (cmd/benchshard -gate -checks shardscale) ----------
+
+shard_baseline=${SHARD_BASELINE:-BENCH_shard.json}
+[ -f "$shard_baseline" ] || fail "shard baseline $shard_baseline not found"
+shardgate() { # candidate
+  go run ./cmd/benchshard -gate -candidate "$1" -checks shardscale -min-scale 2.2
+}
+
+# 9. Super-linear scaling on a machine with enough cores must pass.
+jq '.cores = 8 | .scale = 2.5' "$shard_baseline" > "$tmpdir/shard_good.json"
+shardgate "$tmpdir/shard_good.json" >/dev/null 2>&1 \
+  || fail "a 2.5x shard scale on 8 cores was rejected"
+
+# 10. Sub-linear scaling on the same machine must fail.
+jq '.cores = 8 | .scale = 1.4' "$shard_baseline" > "$tmpdir/shard_slow.json"
+if shardgate "$tmpdir/shard_slow.json" >/dev/null 2>&1; then
+  fail "a 1.4x shard scale on 8 cores passed the 2.2x gate"
+fi
+
+# 11. Too few cores to host every process: warn and skip, never fail.
+jq '.cores = 1 | .scale = 0.9' "$shard_baseline" > "$tmpdir/shard_tiny.json"
+shardgate "$tmpdir/shard_tiny.json" > "$tmpdir/shard_tiny.out" 2>&1 \
+  || fail "a core-starved measurement failed the gate instead of skipping"
+grep -qi "skip" "$tmpdir/shard_tiny.out" \
+  || fail "core-starved skip did not announce itself"
+
+echo "bench_gate_test: PASS (fallback: identity/regression/allocation; hermetic: identity, merge-base ns anchoring, committed alloc+determinism anchoring; reinduce speedup on both paths; shardscale: pass/fail/core-starved-skip)"

@@ -13,7 +13,7 @@ set -euo pipefail
 
 profile=${1:-coverage.out}
 floor=${FLOOR:-70}
-packages=${PACKAGES:-"dataaudit/internal/audit dataaudit/internal/mlcore dataaudit/internal/monitor dataaudit/internal/obs dataaudit/internal/dataset"}
+packages=${PACKAGES:-"dataaudit/internal/audit dataaudit/internal/mlcore dataaudit/internal/monitor dataaudit/internal/obs dataaudit/internal/dataset dataaudit/internal/shard"}
 
 if [ ! -f "$profile" ]; then
   echo "check_coverage: profile $profile not found (run: go test -coverprofile=$profile ./...)" >&2
@@ -24,11 +24,17 @@ status=0
 for pkg in $packages; do
   # Coverprofile lines: <file>:<positions> <numStatements> <hitCount>.
   # Statement-weighted coverage per package = covered stmts / total stmts.
-  pct=$(awk -v pkg="$pkg/" '
+  # The file's directory must equal the package exactly — a bare prefix
+  # match would fold test-less subpackages (e.g. mlcore/conform, present
+  # with zero counts since Go 1.22 lists untested packages in ./...
+  # profiles) into their parent's floor.
+  pct=$(awk -v pkg="$pkg" '
     NR > 1 {
       file = $1
       sub(/:.*/, "", file)
-      if (index(file, pkg) == 1) {
+      dir = file
+      sub(/\/[^\/]*$/, "", dir)
+      if (dir == pkg) {
         total += $2
         if ($3 > 0) covered += $2
       }

@@ -10,15 +10,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The shared harness installs the cleanup trap the moment it is sourced —
+# before the first boot — so no assertion failure can leak a process.
+source scripts/lib_e2e.sh
+WORK="$E2E_WORK"
+
 PORT="${E2E_PORT:-18080}"
 BASE="http://127.0.0.1:$PORT"
-WORK="$(mktemp -d)"
-AUDITD_PID=""
-cleanup() {
-    [ -n "$AUDITD_PID" ] && kill "$AUDITD_PID" 2>/dev/null || true
-    rm -rf "$WORK"
-}
-trap cleanup EXIT
 
 # --- fixture: rule-governed clean table + a heavily polluted batch ----
 cat > "$WORK/engine.schema" <<'EOF'
@@ -40,16 +38,9 @@ go build -o "$WORK/auditd" ./cmd/auditd
 "$WORK/auditd" -addr "127.0.0.1:$PORT" -dir "$WORK/registry" \
     -monitor-window 1000 -drift-delta 0.05 -auto-reinduce \
     -reservoir-rows 2048 &
-AUDITD_PID=$!
+e2e_register_pid $!
 
-for i in $(seq 1 50); do
-    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
-    if [ "$i" = 50 ]; then
-        echo "e2e_metrics: auditd never became healthy on $BASE" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
+e2e_wait_healthy "$BASE" auditd
 
 # --- induce → audit → drift ------------------------------------------
 curl -fsS -F name=e2e -F schema=@"$WORK/engine.schema" \

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# e2e_shard.sh — multi-process differential check for coordinator mode.
+# Boots 3 worker auditd processes plus 1 coordinator auditd on loopback
+# ports, induces a model on the coordinator from a 55k-row QUIS sample,
+# audits the polluted batch through the coordinator both sharded and
+# in-process (?local=1), and diffs the two reports byte-for-byte after
+# stripping only timing/topology fields. It then re-runs the sharded
+# audit with cmd/auditshard while killing one worker mid-stream and
+# asserts the merged gob result is still byte-identical to the
+# single-node oracle. Needs curl and jq plus the go toolchain; run from
+# anywhere inside the repo. CI runs it as the shard-e2e job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The shared harness installs the cleanup trap the moment it is sourced —
+# before the first boot — so no assertion failure can leak a process.
+source scripts/lib_e2e.sh
+WORK="$E2E_WORK"
+
+PORT="${E2E_SHARD_PORT:-18180}"   # coordinator; workers take PORT+1..+3
+BASE="http://127.0.0.1:$PORT"
+ROWS="${E2E_SHARD_ROWS:-55000}"
+
+# --- fixture: clean QUIS sample + polluted batch ----------------------
+go run ./cmd/tdgen -quis -records "$ROWS" -seed 2003 \
+    -out "$WORK/clean.csv" -schemaout "$WORK/quis.schema"
+go run ./cmd/pollute -schema "$WORK/quis.schema" -in "$WORK/clean.csv" \
+    -out "$WORK/dirty.csv" -wrong 0.02 -null 0.01 -dup 0 -del 0 -seed 42
+
+# --- boot 3 workers + 1 coordinator -----------------------------------
+go build -o "$WORK/auditd" ./cmd/auditd
+go build -o "$WORK/auditshard" ./cmd/auditshard
+
+WORKER_URLS=""
+declare -a WORKER_PIDS=()
+for i in 1 2 3; do
+    wport=$((PORT + i))
+    "$WORK/auditd" -addr "127.0.0.1:$wport" -dir "$WORK/w$i" \
+        -metrics=false -dashboard=false &
+    pid=$!
+    e2e_register_pid "$pid"
+    WORKER_PIDS+=("$pid")
+    WORKER_URLS="$WORKER_URLS,http://127.0.0.1:$wport"
+done
+WORKER_URLS="${WORKER_URLS#,}"
+
+"$WORK/auditd" -addr "127.0.0.1:$PORT" -dir "$WORK/registry" \
+    -coordinator "$WORKER_URLS" -metrics=false -dashboard=false &
+e2e_register_pid $!
+
+for i in 0 1 2 3; do
+    e2e_wait_healthy "http://127.0.0.1:$((PORT + i))" "auditd :$((PORT + i))"
+done
+
+# --- induce on the coordinator ----------------------------------------
+curl -fsS -F name=e2e -F schema=@"$WORK/quis.schema" \
+    -F csv=@"$WORK/clean.csv" -F 'options={"minConfidence":0.8}' \
+    "$BASE/v1/models" >/dev/null
+
+# --- differential: sharded vs in-process over the same HTTP route ------
+audit_json() { # out-file extra-query
+    curl -fsS -H 'Content-Type: text/csv' --data-binary @"$WORK/dirty.csv" \
+        "$BASE/v1/models/e2e/audit$2" > "$1"
+}
+audit_json "$WORK/sharded.json" ""
+audit_json "$WORK/local.json"   "?local=1"
+
+if [ "$(jq -r .sharded "$WORK/sharded.json")" != "true" ]; then
+    echo "e2e_shard: coordinator response not flagged sharded" >&2
+    exit 1
+fi
+if [ "$(jq -r .sharded "$WORK/local.json")" = "true" ]; then
+    echo "e2e_shard: ?local=1 response flagged sharded" >&2
+    exit 1
+fi
+SUS=$(jq -r .numSuspicious "$WORK/sharded.json")
+if [ "$SUS" -le 0 ]; then
+    echo "e2e_shard: polluted batch produced no suspicious records" >&2
+    exit 1
+fi
+
+# Byte-for-byte identical after stripping only wall-time and topology.
+norm() { jq -S 'del(.checkMillis, .workers, .sharded, .shardWorkers)' "$1"; }
+if ! diff <(norm "$WORK/sharded.json") <(norm "$WORK/local.json") > "$WORK/report.diff"; then
+    echo "e2e_shard: sharded and in-process reports diverge:" >&2
+    head -50 "$WORK/report.diff" >&2
+    exit 1
+fi
+echo "e2e_shard: sharded == local over ${ROWS} rows ($SUS suspicious)"
+
+# --- worker death mid-stream ------------------------------------------
+# The single-node oracle, persisted as a CheckTime-zeroed gob.
+"$WORK/auditshard" -dir "$WORK/registry" -name e2e -in "$WORK/dirty.csv" \
+    -local -out "$WORK/oracle.gob" >/dev/null
+
+# Sharded run with many small shards so the kill lands mid-audit; the
+# coordinator must reassign the dead worker's shards and still produce
+# byte-identical output.
+"$WORK/auditshard" -dir "$WORK/registry" -name e2e -in "$WORK/dirty.csv" \
+    -workers "$WORKER_URLS" -shards 12 -out "$WORK/killed.gob" >/dev/null &
+AUDITSHARD_PID=$!
+sleep 1
+kill "${WORKER_PIDS[1]}" 2>/dev/null || true
+if ! wait "$AUDITSHARD_PID"; then
+    echo "e2e_shard: sharded audit failed after a worker died" >&2
+    exit 1
+fi
+if ! cmp "$WORK/oracle.gob" "$WORK/killed.gob"; then
+    echo "e2e_shard: result after worker death differs from single-node oracle" >&2
+    exit 1
+fi
+echo "e2e_shard: OK (worker killed mid-stream, output still byte-identical)"
