@@ -20,26 +20,44 @@
 //	# machine-readable run summary: append the audit's metrics in
 //	# Prometheus text format (same series auditd exports at /metrics)
 //	audit -schema engine.schema -in dirty.csv -stats
+//
+//	# other ingestion paths: JSONL files (by extension or -format) and
+//	# database/sql result sets (columns named like the schema attributes)
+//	audit -schema engine.schema -in tonight.jsonl -model model.bin
+//	audit -schema engine.schema -model model.bin \
+//	      -sql-driver postgres -sql-dsn "$DSN" -sql-query 'SELECT * FROM engines'
+//
+//	# scan the batch for exact and near-duplicate records alongside the
+//	# deviation audit
+//	audit -schema engine.schema -in dirty.csv -dedup
 package main
 
 import (
+	"database/sql"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"dataaudit/internal/audit"
 	"dataaudit/internal/audittree"
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/dedup"
 	"dataaudit/internal/obs"
+
+	// The in-memory test driver, so the SQL ingestion path is runnable
+	// (and testable) without any external database: -sql-driver sqlmem.
+	_ "dataaudit/internal/sqlmem"
 )
 
 func main() {
 	var (
 		schemaPath = flag.String("schema", "", "schema definition file (required)")
-		in         = flag.String("in", "", "input CSV (required)")
+		in         = flag.String("in", "", "input CSV or JSONL file (required unless the -sql-* flags replace it)")
 		induceOnly = flag.Bool("induce", false, "only induce the structure model and save it (-model required)")
 		modelPath  = flag.String("model", "", "model file to save (-induce) or load (checking)")
 		minConf    = flag.Float64("minconf", 0.8, "minimal error confidence for suspicious records")
@@ -55,10 +73,27 @@ func main() {
 		chunk   = flag.Int("chunk", 1024, "rows per scoring chunk in -stream mode")
 		workers = flag.Int("workers", 0, "scoring workers in -stream mode (0 = NumCPU)")
 		stats   = flag.Bool("stats", false, "append a one-shot metric summary of the run in Prometheus text format (the same series auditd exports at /metrics)")
+
+		format    = flag.String("format", "auto", "input format of -in: auto (by extension), csv or jsonl")
+		dedupScan = flag.Bool("dedup", false, "also scan the batch for exact and near-duplicate records (needs the materialized table; incompatible with -stream)")
+		sqlDriver = flag.String("sql-driver", "", "database/sql driver name; audits a query result set instead of a file (with -sql-dsn and -sql-query, replacing -in)")
+		sqlDSN    = flag.String("sql-dsn", "", "data source name passed to the -sql-driver")
+		sqlQuery  = flag.String("sql-query", "", "query whose result set is audited; result columns must match the schema attribute names")
 	)
 	flag.Parse()
-	if *schemaPath == "" || *in == "" {
-		fail("need -schema and -in")
+	useSQL := *sqlDriver != "" || *sqlQuery != ""
+	if *schemaPath == "" {
+		fail("need -schema")
+	}
+	if useSQL {
+		if *sqlDriver == "" || *sqlQuery == "" {
+			fail("SQL ingestion needs both -sql-driver and -sql-query")
+		}
+		if *in != "" {
+			fail("set either -in or the -sql-* flags, not both")
+		}
+	} else if *in == "" {
+		fail("need -in (or -sql-driver/-sql-query)")
 	}
 	schema, err := dataset.ParseSchemaFile(*schemaPath)
 	if err != nil {
@@ -74,9 +109,18 @@ func main() {
 		}
 	}
 
+	openSource := func() (dataset.RowSource, io.Closer) {
+		src, closer, err := openInput(schema, *in, *format, *sqlDriver, *sqlDSN, *sqlQuery)
+		if err != nil {
+			failOnHeaderMismatch(err)
+			fail("%v", err)
+		}
+		return src, closer
+	}
+
 	if *stream {
 		// The streaming path never loads the table: rows flow straight
-		// from the CSV decoder into the chunked scorer. That also means
+		// from the decoder into the chunked scorer. That also means
 		// there is nothing to induce from — a saved model is required.
 		if *modelPath == "" || *induceOnly {
 			fail("-stream needs a saved -model (structure induction requires the full table)")
@@ -84,15 +128,22 @@ func main() {
 		if *corrected != "" {
 			fail("-corrected needs the materialized table; drop -stream")
 		}
+		if *dedupScan {
+			fail("-dedup needs the materialized table; drop -stream")
+		}
 		model, err := audit.Load(*modelPath)
 		if err != nil {
 			fail("loading model: %v", err)
 		}
-		runStream(model, schema, *in, *top, *chunk, *workers, *stats, failOnHeaderMismatch)
+		src, closer := openSource()
+		defer closer.Close()
+		runStream(model, src, *top, *chunk, *workers, *stats)
 		return
 	}
 
-	table, err := dataset.ReadCSVFile(*in, schema)
+	src, closer := openSource()
+	table, err := dataset.ReadAll(src)
+	closer.Close()
 	if err != nil {
 		failOnHeaderMismatch(err)
 		fail("%v", err)
@@ -170,6 +221,10 @@ func main() {
 		}
 	}
 
+	if *dedupScan {
+		printDedup(schema, table)
+	}
+
 	if *corrected != "" {
 		fixed := model.ApplyCorrections(table, res)
 		if err := dataset.WriteCSVFile(*corrected, fixed); err != nil {
@@ -216,16 +271,92 @@ func printStats(model *audit.Model, rows, suspicious int64, checkTime time.Durat
 	}
 }
 
-// runStream audits the CSV through the bounded-memory pipeline and prints
-// the ranked top-K plus per-attribute deviation tallies.
-func runStream(model *audit.Model, schema *dataset.Schema, in string, top, chunk, workers int, stats bool, failOnHeaderMismatch func(error)) {
-	src, closer, err := dataset.OpenCSVFileSource(in, schema)
-	if err != nil {
-		failOnHeaderMismatch(err)
-		fail("%v", err)
+// openInput opens the audited records as a row source: a database/sql
+// query result when the -sql-* flags are set, otherwise the -in file in
+// the requested (or extension-derived) format.
+func openInput(schema *dataset.Schema, in, format, sqlDriver, sqlDSN, sqlQuery string) (dataset.RowSource, io.Closer, error) {
+	if sqlDriver != "" {
+		db, err := sql.Open(sqlDriver, sqlDSN)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sql: %w", err)
+		}
+		src, closer, err := dataset.OpenSQLSource(db, sqlQuery, schema)
+		if err != nil {
+			db.Close()
+			return nil, nil, fmt.Errorf("sql: %w", err)
+		}
+		return src, multiCloser{closer, db}, nil
 	}
-	defer closer.Close()
+	switch format {
+	case "auto":
+		switch strings.ToLower(filepath.Ext(in)) {
+		case ".jsonl", ".ndjson":
+			format = "jsonl"
+		default:
+			format = "csv"
+		}
+	case "csv", "jsonl":
+	default:
+		return nil, nil, fmt.Errorf("unknown -format %q (want auto, csv or jsonl)", format)
+	}
+	if format == "jsonl" {
+		return dataset.OpenJSONLFileSource(in, schema)
+	}
+	return dataset.OpenCSVFileSource(in, schema)
+}
 
+// multiCloser closes its members in order (SQL sources own a rows cursor
+// and the DB handle behind it).
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// printDedup runs the duplicate scan over the audited table and prints
+// its summary plus the first duplicate groups.
+func printDedup(schema *dataset.Schema, table *dataset.Table) {
+	dres, err := dedup.Detect(table, dedup.Options{})
+	if err != nil {
+		fail("dedup: %v", err)
+	}
+	keyNames := make([]string, 0, len(dres.Key))
+	for _, c := range dres.Key {
+		keyNames = append(keyNames, schema.Attr(c).Name)
+	}
+	key := strings.Join(keyNames, ",")
+	if dres.KeyDiscovered {
+		key += " (discovered)"
+	}
+	fmt.Printf("duplicate scan: %d records, blocking key [%s]: %d exact + %d near groups, %d duplicate rows (%.2f%%)\n",
+		dres.Rows, key, dres.ExactGroups, dres.NearGroups, dres.DuplicateRows, dres.DuplicateRate()*100)
+	if dres.BlocksCapped > 0 {
+		fmt.Printf("  note: %d oversized blocks truncated — near-duplicate coverage is partial\n", dres.BlocksCapped)
+	}
+	const maxGroups = 10
+	for i := range dres.Groups {
+		if i >= maxGroups {
+			fmt.Printf("  ... and %d more groups\n", len(dres.Groups)-maxGroups)
+			break
+		}
+		g := &dres.Groups[i]
+		kind := "near"
+		if g.Exact {
+			kind = "exact"
+		}
+		fmt.Printf("  %-5s ids=%v  min similarity %.3f\n", kind, g.IDs, g.MinSimilarity)
+	}
+}
+
+// runStream audits the source through the bounded-memory pipeline and
+// prints the ranked top-K plus per-attribute deviation tallies.
+func runStream(model *audit.Model, src dataset.RowSource, top, chunk, workers int, stats bool) {
 	res, err := model.AuditStream(src, audit.StreamOptions{
 		ChunkSize: chunk,
 		Workers:   workers,

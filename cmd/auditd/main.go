@@ -119,6 +119,7 @@ func main() {
 
 		monWindow  = flag.Int64("monitor-window", 1024, "quality-monitoring window size in audited rows")
 		driftDelta = flag.Float64("drift-delta", 0.10, "drift threshold: window suspicious-rate excess over the model's baseline")
+		nullDelta  = flag.Float64("null-delta", 0.05, "completeness-drift threshold: per-attribute window null-rate excess over the baseline null rate (reported, never re-induced)")
 		phLambda   = flag.Float64("drift-ph-lambda", 0.25, "Page-Hinkley alarm threshold over the window suspicious-rate series")
 		reinduce   = flag.Bool("auto-reinduce", false, "on drift, re-induce the model from a reservoir of recently audited rows and publish the next version (runs in a background worker; audits are never blocked)")
 		reservoir  = flag.Int("reservoir-rows", 4096, "row capacity of the re-induction reservoir sample")
@@ -153,6 +154,7 @@ func main() {
 		serve.WithMonitorOptions(monitor.Options{
 			WindowRows:             *monWindow,
 			DriftDelta:             *driftDelta,
+			NullDelta:              *nullDelta,
 			PHLambda:               *phLambda,
 			AutoReinduce:           *reinduce,
 			ReservoirRows:          *reservoir,

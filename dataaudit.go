@@ -54,6 +54,7 @@ import (
 	"dataaudit/internal/audit"
 	"dataaudit/internal/audittree"
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/dedup"
 	"dataaudit/internal/evalx"
 	"dataaudit/internal/monitor"
 	"dataaudit/internal/obs"
@@ -81,11 +82,16 @@ type Schema = dataset.Schema
 type Table = dataset.Table
 
 // RowSource is a pull iterator over rows — the streaming counterpart of a
-// materialized Table. CSVSource decodes CSV incrementally; TableSource
-// adapts an existing table.
+// materialized Table. CSVSource decodes CSV incrementally; JSONLSource
+// decodes newline-delimited JSON objects keyed by attribute name;
+// SQLSource wraps a database/sql result set; TableSource adapts an
+// existing table. Differential tests pin every source to byte-identical
+// audit results for the same rows.
 type (
 	RowSource   = dataset.RowSource
 	CSVSource   = dataset.CSVSource
+	JSONLSource = dataset.JSONLSource
+	SQLSource   = dataset.SQLSource
 	TableSource = dataset.TableSource
 )
 
@@ -105,12 +111,16 @@ type HeaderMismatchError = dataset.HeaderMismatchError
 
 // Re-exported constructors and helpers of the relational substrate.
 var (
-	// NewCSVSource / NewTableSource / OpenCSVFileSource build streaming
-	// row sources; ReadAllRows drains one into a Table.
-	NewCSVSource      = dataset.NewCSVSource
-	NewTableSource    = dataset.NewTableSource
-	OpenCSVFileSource = dataset.OpenCSVFileSource
-	ReadAllRows       = dataset.ReadAll
+	// NewCSVSource / NewJSONLSource / NewTableSource and the Open*
+	// helpers build streaming row sources; OpenSQLSource wraps a live
+	// query result set; ReadAllRows drains any source into a Table.
+	NewCSVSource        = dataset.NewCSVSource
+	NewJSONLSource      = dataset.NewJSONLSource
+	NewTableSource      = dataset.NewTableSource
+	OpenCSVFileSource   = dataset.OpenCSVFileSource
+	OpenJSONLFileSource = dataset.OpenJSONLFileSource
+	OpenSQLSource       = dataset.OpenSQLSource
+	ReadAllRows         = dataset.ReadAll
 	// Null returns the null value.
 	Null = dataset.Null
 	// Nom builds a nominal value from a domain index.
@@ -128,9 +138,10 @@ var (
 	MustSchema = dataset.MustSchema
 	// NewTable creates an empty table over a schema.
 	NewTable = dataset.NewTable
-	// CSV and native binary persistence.
+	// CSV, JSONL and native binary persistence.
 	ReadCSV        = dataset.ReadCSV
 	WriteCSV       = dataset.WriteCSV
+	WriteJSONL     = dataset.WriteJSONL
 	ReadCSVFile    = dataset.ReadCSVFile
 	WriteCSVFile   = dataset.WriteCSVFile
 	ReadTableFile  = dataset.ReadTableFile
@@ -242,6 +253,12 @@ type (
 	// monitoring layer measures drift against.
 	QualityProfile = audit.QualityProfile
 	AttrQuality    = audit.AttrQuality
+	// AttrDim is one attribute's quality dimensions over a scored batch
+	// or stream (completeness and uniqueness): null counts/rate and a
+	// distinct-value estimate, built from pure set-union/sum accumulators
+	// so per-shard folds are byte-identical under any row partition.
+	// AuditResult.Dims and StreamResult.Dims carry one per attribute.
+	AttrDim = audit.AttrDim
 	// ScoreScratch is the per-goroutine reusable buffer set of the
 	// zero-allocation scoring core: thread one through
 	// AuditModel.CheckRowScratch for steady-state record checking without
@@ -285,6 +302,31 @@ var (
 	MergeResults = audit.MergeResults
 	// NewScoreScratch sizes a ScoreScratch for a model's class domains.
 	NewScoreScratch = audit.NewScoreScratch
+)
+
+// ---------------------------------------------------------------------------
+// Duplicate detection (internal/dedup)
+
+// DedupOptions configure duplicate detection: an optional blocking key
+// (discovered via Apriori key discovery when unset), the near-duplicate
+// similarity threshold, and the per-block pair-comparison cap.
+// DedupResult describes the scan — group counts, duplicate rows/rate and
+// every group; DuplicateGroup is one cluster of exact or near duplicates.
+type (
+	DedupOptions   = dedup.Options
+	DedupResult    = dedup.Result
+	DuplicateGroup = dedup.Group
+	DedupDetector  = dedup.Detector
+)
+
+var (
+	// DetectDuplicates scans a materialized table for exact and near
+	// duplicates; DetectDuplicatesSource drains a RowSource first (the
+	// detector needs every record). NewDedupDetector is the incremental
+	// chunk-at-a-time core both wrap.
+	DetectDuplicates       = dedup.Detect
+	DetectDuplicatesSource = dedup.DetectSource
+	NewDedupDetector       = dedup.NewDetector
 )
 
 // ---------------------------------------------------------------------------
@@ -427,9 +469,18 @@ var (
 	RecordsSweep   = evalx.RecordsSweep
 	RulesSweep     = evalx.RulesSweep
 	PollutionSweep = evalx.PollutionSweep
-	// RenderPoints / FormatTable format experiment reports.
-	RenderPoints = evalx.RenderPoints
-	FormatTable  = evalx.FormatTable
+	// EvaluateDedup scores a duplicate scan against the pollution log's
+	// duplication ground truth; DedupSweep / CompletenessSweep are the
+	// sensitivity/specificity sweeps of the duplicate and completeness
+	// dimensions (cmd/experiments E9/E10), floor-gated in CI.
+	EvaluateDedup     = evalx.EvaluateDedup
+	DedupSweep        = evalx.DedupSweep
+	CompletenessSweep = evalx.CompletenessSweep
+	// RenderPoints / FormatTable and friends format experiment reports.
+	RenderPoints             = evalx.RenderPoints
+	RenderDedupPoints        = evalx.RenderDedupPoints
+	RenderCompletenessPoints = evalx.RenderCompletenessPoints
+	FormatTable              = evalx.FormatTable
 )
 
 // ---------------------------------------------------------------------------

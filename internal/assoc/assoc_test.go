@@ -152,3 +152,57 @@ func TestRuleMetricsSane(t *testing.T) {
 		}
 	}
 }
+
+// TestConsequentsMarkDeterminedAttrs pins the property dedup key discovery
+// depends on: attributes functionally determined by another attribute show
+// up as rule consequents, while a high-selectivity identifier never does
+// (its values stay below any sensible support threshold).
+func TestConsequentsMarkDeterminedAttrs(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.NewNumeric("id", 0, 1e6),
+		dataset.NewNominal("region", "n", "s", "e", "w"),
+		dataset.NewNominal("regcode", "N", "S", "E", "W"),
+	)
+	tab := dataset.NewTable(schema)
+	rng := rand.New(rand.NewSource(66))
+	for i := 0; i < 1200; i++ {
+		region := rng.Intn(4)
+		tab.AppendRow([]dataset.Value{
+			dataset.Num(float64(i)),
+			dataset.Nom(region),
+			dataset.Nom(region),
+		})
+	}
+	model, err := Mine(tab, Options{}.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	consequents := map[int]bool{}
+	for _, r := range model.Rules {
+		consequents[r.Consequent.Attr] = true
+		if r.Consequent.Attr == 1 || r.Consequent.Attr == 2 {
+			if r.Confidence < 0.999 {
+				t.Fatalf("mutual determination rule with confidence %g", r.Confidence)
+			}
+		}
+	}
+	if !consequents[1] || !consequents[2] {
+		t.Fatalf("region/regcode not marked as determined; consequents = %v", consequents)
+	}
+	if consequents[0] {
+		t.Fatalf("unique identifier mined as a rule consequent")
+	}
+}
+
+// TestWithDefaults pins the defaulting used when callers pass a zero
+// Options (the dedup key-discovery path does exactly that).
+func TestWithDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.MinSupport <= 0 || o.MinConfidence <= 0 || o.MaxItemsetSize < 2 || o.Bins < 2 {
+		t.Fatalf("zero options not defaulted: %+v", o)
+	}
+	custom := Options{MinSupport: 0.2, MinConfidence: 0.7, MaxItemsetSize: 2, Bins: 3}
+	if got := custom.WithDefaults(); got != custom {
+		t.Fatalf("explicit options rewritten: %+v", got)
+	}
+}

@@ -104,6 +104,7 @@ func TestColumnarSharedScratchShuffledChunks(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	ck := dataset.NewColumnChunk(dirty.Schema())
 	scratch := NewChunkScratch(m)
+	dims := NewDimTracker(dirty.Schema())
 	res := &Result{Reports: make([]RecordReport, n), NumAttrs: m.Schema.Len()}
 	for lo := 0; lo < n; {
 		hi := lo + columnarChunkSizes[rng.Intn(len(columnarChunkSizes))]
@@ -111,10 +112,12 @@ func TestColumnarSharedScratchShuffledChunks(t *testing.T) {
 			hi = n
 		}
 		dirty.ChunkInto(ck, lo, hi)
+		dims.ObserveChunk(ck)
 		reps := m.CheckChunk(ck, int64(lo), scratch)
 		detachReports(reps, res.Reports[lo:hi])
 		lo = hi
 	}
+	res.Dims = dims.Dims()
 	if !bytes.Equal(wantBytes, gobBytes(t, res)) {
 		t.Fatal("shuffled-chunk CheckChunk result is not byte-identical to the reference")
 	}

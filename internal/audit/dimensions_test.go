@@ -1,0 +1,134 @@
+package audit
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+func dimsTestTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	s, err := dataset.NewSchema(
+		dataset.NewNominal("grade", "a", "b", "c", "d"),
+		dataset.NewNumeric("score", 0, 1000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := dataset.NewTable(s)
+	for i := 0; i < 300; i++ {
+		row := []dataset.Value{dataset.Nom(i % 3), dataset.Num(float64(i % 50))}
+		if i%10 == 0 {
+			row[0] = dataset.Null()
+		}
+		if i%4 == 0 {
+			row[1] = dataset.Null()
+		}
+		tab.AppendRow(row)
+	}
+	return tab
+}
+
+func TestTableDims(t *testing.T) {
+	tab := dimsTestTable(t)
+	dims := TableDims(tab)
+	if len(dims) != 2 {
+		t.Fatalf("got %d dims, want 2", len(dims))
+	}
+
+	grade := &dims[0]
+	if grade.Rows != 300 || grade.Nulls != 30 {
+		t.Errorf("grade: rows=%d nulls=%d, want 300/30", grade.Rows, grade.Nulls)
+	}
+	if got := grade.NullRate(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("grade NullRate = %g, want 0.1", got)
+	}
+	// Domain value "d" never occurs, so 3 of 4 indices are occupied.
+	if got := grade.Distinct(); got != 3 {
+		t.Errorf("grade Distinct = %d, want 3", got)
+	}
+
+	score := &dims[1]
+	if score.Rows != 300 || score.Nulls != 75 {
+		t.Errorf("score: rows=%d nulls=%d, want 300/75", score.Rows, score.Nulls)
+	}
+	if got := score.Distinct(); got != 50 {
+		t.Errorf("score Distinct = %d, want exact 50 (below sketch capacity)", got)
+	}
+	wantU := 50.0 / 225.0
+	if got := score.Uniqueness(); math.Abs(got-wantU) > 1e-12 {
+		t.Errorf("score Uniqueness = %g, want %g", got, wantU)
+	}
+}
+
+func TestDimsEmptyAndClamp(t *testing.T) {
+	var d AttrDim
+	if d.NullRate() != 0 || d.Uniqueness() != 0 || d.Distinct() != 0 {
+		t.Errorf("zero AttrDim should report zero rates, got %g/%g/%d",
+			d.NullRate(), d.Uniqueness(), d.Distinct())
+	}
+}
+
+// TestDimsPartitionInsensitive merges per-partition trackers in a
+// scrambled order and expects the whole-table dims exactly — the property
+// the parallel and sharded paths rely on for gob byte-identity.
+func TestDimsPartitionInsensitive(t *testing.T) {
+	tab := dimsTestTable(t)
+	whole := TableDims(tab)
+
+	bounds := []int{0, 17, 18, 100, 231, 300}
+	var parts [][]AttrDim
+	for i := 1; i < len(bounds); i++ {
+		tr := NewDimTracker(tab.Schema())
+		ck := dataset.NewColumnChunk(tab.Schema())
+		tab.ChunkInto(ck, bounds[i-1], bounds[i])
+		tr.ObserveChunk(ck)
+		parts = append(parts, tr.Dims())
+	}
+	merged := CloneDims(parts[2])
+	for _, i := range []int{4, 0, 3, 1} {
+		MergeDims(merged, parts[i])
+	}
+	if !reflect.DeepEqual(whole, merged) {
+		t.Fatalf("merged partition dims differ from whole-table dims:\n got %+v\nwant %+v", merged, whole)
+	}
+}
+
+// TestStreamDimsMatchBatch holds the streaming engine's dims to the batch
+// path's on the same rows.
+func TestStreamDimsMatchBatch(t *testing.T) {
+	m, dirty := streamQUIS(t)
+	want := m.AuditTable(dirty)
+	for _, chunk := range []int{1, 64, 4096} {
+		sr, err := m.AuditStream(dataset.NewTableSource(dirty), StreamOptions{ChunkSize: chunk, Workers: 3})
+		if err != nil {
+			t.Fatalf("AuditStream(chunk=%d): %v", chunk, err)
+		}
+		if !reflect.DeepEqual(want.Dims, sr.Dims) {
+			t.Fatalf("chunk=%d: stream dims differ from batch dims", chunk)
+		}
+	}
+}
+
+// TestTallyNullsMatchStream: the batch condenser's per-attribute null
+// counts (pulled from Result.Dims) must equal the streaming tallies'.
+func TestTallyNullsMatchStream(t *testing.T) {
+	m, dirty := streamQUIS(t)
+	res := m.AuditTable(dirty)
+	_, batchTallies := m.TallyResult(res)
+	sr, err := m.AuditStream(dataset.NewTableSource(dirty), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchTallies) != len(sr.Attrs) {
+		t.Fatalf("tally widths differ: %d vs %d", len(batchTallies), len(sr.Attrs))
+	}
+	for i := range batchTallies {
+		if batchTallies[i].Nulls != sr.Attrs[i].Nulls {
+			t.Errorf("attr %d: batch nulls %d != stream nulls %d",
+				batchTallies[i].Attr, batchTallies[i].Nulls, sr.Attrs[i].Nulls)
+		}
+	}
+}

@@ -58,7 +58,10 @@ func (m *Model) AuditTableParallel(tab *dataset.Table, workers int) *Result {
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	trackers := make([]*DimTracker, workers)
 	for w := 0; w < workers; w++ {
+		tr := NewDimTracker(tab.Schema())
+		trackers[w] = tr
 		go func() {
 			defer wg.Done()
 			ck := dataset.NewColumnChunk(tab.Schema())
@@ -70,6 +73,7 @@ func (m *Model) AuditTableParallel(tab *dataset.Table, workers int) *Result {
 				for lo := sp.lo; lo < sp.hi; lo += batchChunkRows {
 					hi := min(lo+batchChunkRows, sp.hi)
 					tab.ChunkInto(ck, lo, hi)
+					tr.ObserveChunk(ck)
 					reps := m.CheckChunk(ck, int64(lo), scratch)
 					detachReports(reps, res.Reports[lo:hi])
 				}
@@ -77,6 +81,13 @@ func (m *Model) AuditTableParallel(tab *dataset.Table, workers int) *Result {
 		}()
 	}
 	wg.Wait()
+	// The dimension accumulators commute, so folding the per-worker
+	// trackers in index order reproduces the sequential path's dims no
+	// matter how the span channel distributed the work.
+	res.Dims = trackers[0].Dims()
+	for _, tr := range trackers[1:] {
+		MergeDims(res.Dims, tr.Dims())
+	}
 	res.CheckTime = time.Since(start)
 	return res
 }
@@ -111,6 +122,14 @@ func (r *Result) Merge(o *Result) error {
 	}
 	if r.NumAttrs == 0 {
 		r.NumAttrs = o.NumAttrs
+	}
+	switch {
+	case r.Dims == nil:
+		// First (or only) part with dims: adopt a deep copy so later
+		// merges never mutate the source result.
+		r.Dims = CloneDims(o.Dims)
+	case o.Dims != nil:
+		MergeDims(r.Dims, o.Dims)
 	}
 	offset := len(r.Reports)
 	for _, rep := range o.Reports {

@@ -43,6 +43,11 @@ type AttrQuality struct {
 	SuspiciousRate float64 `json:"suspiciousRate"`
 	// NullRate is the fraction of null values in the training column.
 	NullRate float64 `json:"nullRate"`
+	// Distinct is the (estimated) number of distinct non-null values in
+	// the training column; Uniqueness normalizes it per non-null cell
+	// (1 for a key-like column). See AttrDim.
+	Distinct   int64   `json:"distinct"`
+	Uniqueness float64 `json:"uniqueness"`
 	// MeanErrorConf averages the positive error confidences (0 when the
 	// attribute produced no deviation).
 	MeanErrorConf float64 `json:"meanErrorConf"`
@@ -60,6 +65,10 @@ type QualityProfile struct {
 	SuspiciousRate float64 `json:"suspiciousRate"`
 	// MeanErrorConf averages the positive record-level error confidences.
 	MeanErrorConf float64 `json:"meanErrorConf"`
+	// DuplicateRate is the fraction of training rows that are exact
+	// copies of an earlier row (hash-grouped, then verified cell by
+	// cell) — the baseline duplicate pressure of the training data.
+	DuplicateRate float64 `json:"duplicateRate"`
 	// ConfHist buckets the positive record-level error confidences.
 	ConfHist []int64 `json:"confHist"`
 	// Attrs holds one baseline per modelled attribute, aligned with
@@ -129,6 +138,10 @@ func (m *Model) QualityProfileFromResult(tab *dataset.Table, res *Result) *Quali
 	if rows > 0 {
 		fr := float64(rows)
 		p.SuspiciousRate = float64(susRecords) / fr
+		dims := res.Dims
+		if dims == nil {
+			dims = TableDims(tab) // hand-built result: measure directly
+		}
 		for i := range p.Attrs {
 			aq := &p.Attrs[i]
 			aq.DeviationRate = float64(attrDev[i]) / fr
@@ -136,17 +149,48 @@ func (m *Model) QualityProfileFromResult(tab *dataset.Table, res *Result) *Quali
 			if attrDev[i] > 0 {
 				aq.MeanErrorConf = attrSum[i] / float64(attrDev[i])
 			}
-			nulls := 0
-			for r := 0; r < rows; r++ {
-				if tab.Get(r, aq.Attr).IsNull() {
-					nulls++
-				}
-			}
-			aq.NullRate = float64(nulls) / fr
+			d := &dims[aq.Attr]
+			aq.NullRate = d.NullRate()
+			aq.Distinct = d.Distinct()
+			aq.Uniqueness = d.Uniqueness()
 		}
+		p.DuplicateRate = float64(exactDuplicateRows(tab)) / fr
 	}
 	if recDev > 0 {
 		p.MeanErrorConf = recSum / float64(recDev)
 	}
 	return p
+}
+
+// exactDuplicateRows counts the rows that are exact copies of an earlier
+// row: hash-grouped on the full row, then verified cell by cell so a hash
+// collision can never inflate the count. (internal/dedup is the full
+// detector; this inline counter keeps the audit core dependency-free.)
+func exactDuplicateRows(tab *dataset.Table) int64 {
+	rows := tab.NumRows()
+	width := tab.Schema().Len()
+	byHash := make(map[uint64][]int, rows)
+	var dups int64
+	for r := 0; r < rows; r++ {
+		h := dataset.HashTableRow(tab, r, nil)
+		matched := false
+		for _, prev := range byHash[h] {
+			same := true
+			for c := 0; c < width; c++ {
+				if !tab.Get(prev, c).Equal(tab.Get(r, c)) {
+					same = false
+					break
+				}
+			}
+			if same {
+				dups++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			byHash[h] = append(byHash[h], r)
+		}
+	}
+	return dups
 }

@@ -108,3 +108,53 @@ func TestConfHistBucket(t *testing.T) {
 		}
 	}
 }
+
+// TestQualityProfileDimensions pins the new quality dimensions: distinct
+// counts and uniqueness come from the audit's Dims, duplicate rate from
+// verified exact-copy counting.
+func TestQualityProfileDimensions(t *testing.T) {
+	m, tab := qualityFixture(t, 2000)
+	// The random fixture already contains natural exact duplicates (three
+	// narrow columns); appending 40 copies must raise the verified
+	// duplicate count by exactly 40.
+	before := int64(m.QualityProfile(tab, 1).DuplicateRate*float64(tab.NumRows()) + 0.5)
+	for r := 0; r < 40; r++ {
+		tab.DuplicateRow(r)
+	}
+	p := m.QualityProfile(tab, 1)
+	after := int64(p.DuplicateRate*float64(tab.NumRows()) + 0.5)
+	if after != before+40 {
+		t.Fatalf("duplicate count went %d -> %d after appending 40 copies", before, after)
+	}
+	for _, aq := range p.Attrs {
+		if aq.Distinct <= 0 {
+			t.Errorf("%s: Distinct = %d, want > 0", aq.Name, aq.Distinct)
+		}
+		if aq.Uniqueness < 0 || aq.Uniqueness > 1 {
+			t.Errorf("%s: Uniqueness out of range: %g", aq.Name, aq.Uniqueness)
+		}
+		switch aq.Name {
+		case "BRV", "GBM":
+			if aq.Distinct != 2 {
+				t.Errorf("%s: Distinct = %d, want 2 (binary domain)", aq.Name, aq.Distinct)
+			}
+			if aq.Uniqueness > 0.01 {
+				t.Errorf("%s: Uniqueness = %g, want near 0 for a binary column", aq.Name, aq.Uniqueness)
+			}
+		case "DISP":
+			if aq.Uniqueness < 0.5 {
+				t.Errorf("DISP: Uniqueness = %g, want high for a continuous column", aq.Uniqueness)
+			}
+		}
+	}
+
+	// A hand-built Result without Dims must yield the identical profile:
+	// the condenser measures the table directly in that case.
+	res := m.AuditTable(tab)
+	res.Dims = nil
+	q := m.QualityProfileFromResult(tab, res)
+	p2 := m.QualityProfile(tab, 1)
+	if !reflect.DeepEqual(p2, q) {
+		t.Fatalf("profile from dims-less result differs from dims-backed profile")
+	}
+}

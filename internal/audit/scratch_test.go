@@ -51,9 +51,13 @@ func checkRowReference(m *Model, row []dataset.Value) RecordReport {
 	return rep
 }
 
-// auditTableReference scores a table through the reference path.
+// auditTableReference scores a table through the reference path. The
+// quality dimensions have no row-at-a-time reference implementation of
+// their own — TableDims is the independently chunked accumulator — so the
+// byte-identity the differential asserts covers the scoring paths'
+// agreement with it.
 func auditTableReference(m *Model, tab *dataset.Table) *Result {
-	res := &Result{Reports: make([]RecordReport, tab.NumRows()), NumAttrs: m.Schema.Len()}
+	res := &Result{Reports: make([]RecordReport, tab.NumRows()), NumAttrs: m.Schema.Len(), Dims: TableDims(tab)}
 	row := make([]dataset.Value, tab.NumCols())
 	for r := 0; r < tab.NumRows(); r++ {
 		tab.RowInto(r, row)

@@ -99,6 +99,10 @@ type AttrTally struct {
 	MaxErrorConf float64
 	// SumErrorConf accumulates error confidences (mean = Sum/Deviations).
 	SumErrorConf float64
+	// Nulls counts the attribute's null cells among the audited rows —
+	// the windowed completeness observation the monitor's drift
+	// detectors consume.
+	Nulls int64
 }
 
 // StreamResult is the incremental outcome of a streaming audit.
@@ -118,6 +122,11 @@ type StreamResult struct {
 	// Attrs are the per-attribute deviation tallies, one per modelled
 	// attribute, aligned with Model.Attrs.
 	Attrs []AttrTally
+	// Dims holds the observed per-attribute quality dimensions
+	// (completeness, uniqueness) of every scored row, one entry per
+	// schema column — byte-identical to the batch paths' Result.Dims on
+	// the same rows.
+	Dims []AttrDim
 	// CheckTime is the wall time of the whole stream, including source I/O.
 	CheckTime time.Duration
 }
@@ -234,8 +243,11 @@ func (m *Model) AuditStream(src dataset.RowSource, opts StreamOptions) (*StreamR
 	}()
 
 	// Reader: fill chunks from the source on this goroutine (sources are
-	// single-pass and not concurrency-safe).
-	readErr := m.readChunks(src, opts, width, work, free, abort)
+	// single-pass and not concurrency-safe). The dimension tracker rides
+	// the reader so a single accumulator observes every queued chunk
+	// without cross-goroutine merging.
+	dims := NewDimTracker(src.Schema())
+	readErr := m.readChunks(src, opts, width, work, free, abort, dims)
 
 	close(work)
 	<-workersDone
@@ -252,6 +264,7 @@ func (m *Model) AuditStream(src dataset.RowSource, opts StreamOptions) (*StreamR
 
 	res.Top = top.ranked()
 	res.TopTruncated = opts.TopK >= 0 && res.NumSuspicious > int64(len(res.Top))
+	res.Dims = dims.Dims()
 	res.CheckTime = time.Since(start)
 	return res, nil
 }
@@ -268,7 +281,7 @@ func (m *Model) AuditStream(src dataset.RowSource, opts StreamOptions) (*StreamR
 // row beyond MaxRows aborts with a RowLimitError before its OnRow and
 // without queueing its chunk; rows preceding a malformed row still get
 // their OnRow before the error is returned.
-func (m *Model) readChunks(src dataset.RowSource, opts StreamOptions, width int, work chan<- *streamChunk, free <-chan *streamChunk, abort <-chan struct{}) error {
+func (m *Model) readChunks(src dataset.RowSource, opts StreamOptions, width int, work chan<- *streamChunk, free <-chan *streamChunk, abort <-chan struct{}, dims *DimTracker) error {
 	cs, fast := src.(dataset.ChunkSource)
 	var rowBuf []dataset.Value
 	if !fast || opts.OnRow != nil {
@@ -321,6 +334,7 @@ func (m *Model) readChunks(src dataset.RowSource, opts StreamOptions, width int,
 		}
 		if n > 0 {
 			seq++
+			dims.ObserveChunk(ck.data)
 			select {
 			case <-abort:
 				return nil
@@ -341,6 +355,7 @@ func (m *Model) scoreChunk(ck *streamChunk, slots []int, scratch *ChunkScratch) 
 	cr := chunkResult{seq: ck.seq, rows: ck.data.Rows(), tallies: make([]AttrTally, len(m.Attrs))}
 	for i, am := range m.Attrs {
 		cr.tallies[i].Attr = am.Class
+		cr.tallies[i].Nulls = ck.data.Col(am.Class).NullCount(cr.rows)
 	}
 	reps := m.CheckChunk(ck.data, ck.firstRow, scratch)
 	for i := range reps {
@@ -383,6 +398,9 @@ func (m *Model) TallyResult(res *Result) (suspicious int64, tallies []AttrTally)
 	for i, am := range m.Attrs {
 		slots[am.Class] = i
 		tallies[i].Attr = am.Class
+		if am.Class < len(res.Dims) {
+			tallies[i].Nulls = res.Dims[am.Class].Nulls
+		}
 	}
 	for ri := range res.Reports {
 		rep := &res.Reports[ri]
@@ -404,6 +422,7 @@ func (res *StreamResult) fold(cr chunkResult, top *topKHeap, opts StreamOptions)
 		t.Deviations += u.Deviations
 		t.Suspicious += u.Suspicious
 		t.SumErrorConf += u.SumErrorConf
+		t.Nulls += u.Nulls
 		if u.MaxErrorConf > t.MaxErrorConf {
 			t.MaxErrorConf = u.MaxErrorConf
 		}

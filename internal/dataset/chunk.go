@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 )
 
 // ColumnChunk is a typed, columnar block of rows: nominal attributes are
@@ -44,6 +45,21 @@ type ChunkCol struct {
 // Null reports whether row r of the column is null.
 func (c *ChunkCol) Null(r int) bool {
 	return c.nulls[uint(r)>>6]&(1<<(uint(r)&63)) != 0
+}
+
+// NullCount counts the null rows among the first n rows of the column by
+// popcounting the bitmap, so the quality dimensions can measure
+// completeness without a per-row scan.
+func (c *ChunkCol) NullCount(n int) int64 {
+	var total int64
+	full := n >> 6
+	for w := 0; w < full; w++ {
+		total += int64(bits.OnesCount64(c.nulls[w]))
+	}
+	if tail := uint(n) & 63; tail != 0 {
+		total += int64(bits.OnesCount64(c.nulls[full] & (1<<tail - 1)))
+	}
+	return total
 }
 
 // nullWords returns the bitmap length (in words) needed for n rows.

@@ -219,3 +219,66 @@ func FuzzColumnChunkRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzJSONLSource feeds arbitrary bytes through NewJSONLSource +
+// NextChunk — the third untrusted entry point. The contract matches the
+// CSV target: no panic, malformed JSON / unknown fields / arity games /
+// type coercions / null spellings all surface as errors or decode
+// cleanly, and the chunk stays column-aligned after every call no matter
+// where in the input the decoder gave up.
+func FuzzJSONLSource(f *testing.F) {
+	f.Add([]byte(`{"color":"red","x":1.5,"d":"2020-01-02"}` + "\n"))
+	f.Add([]byte(`{"color":null,"x":null,"d":null}` + "\n"))
+	f.Add([]byte(`{"color":"?","x":"","d":"?"}` + "\n"))     // textual null spellings
+	f.Add([]byte(`{"x":"1e3"}` + "\n"))                      // missing fields + numeric string
+	f.Add([]byte(`{"color":"mauve"}` + "\n"))                // out-of-domain nominal
+	f.Add([]byte(`{"bogus":1}` + "\n"))                      // unknown field
+	f.Add([]byte(`{"x":true}` + "\n"))                       // boolean cell
+	f.Add([]byte(`{"x":{"nested":1}}` + "\n"))               // nested value
+	f.Add([]byte(`{"x":[1,2]}` + "\n"))                      // array cell
+	f.Add([]byte(`{"color":"red"} {"color":"blue"}` + "\n")) // trailing data
+	f.Add([]byte(`[{"color":"red"}]` + "\n"))                // array, not object
+	f.Add([]byte(`{"color":`))                               // truncated JSON
+	f.Add([]byte("\n\n{\"x\":1}\n\n"))                       // blank lines
+	f.Add([]byte(`{"x":1e309}` + "\n"))                      // float overflow
+	f.Add([]byte(`{"d":"2020-13-45"}` + "\n"))               // impossible date
+	f.Add([]byte(`{"color":"red","color":"blue"}` + "\n"))   // duplicate key
+	f.Add([]byte{0xff, 0xfe, '{', '}'})                      // invalid UTF-8
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		schema := fuzzSchema(t)
+		for _, bound := range []int64{0, 1 << 10} {
+			var src *JSONLSource
+			if bound > 0 {
+				var err error
+				src, err = NewBoundedJSONLSource(bytes.NewReader(data), schema, bound)
+				if err != nil {
+					t.Fatalf("positive bound rejected: %v", err)
+				}
+			} else {
+				src = NewJSONLSource(bytes.NewReader(data), schema)
+			}
+			ck := NewColumnChunk(schema)
+			rows := 0
+			for {
+				n, err := src.NextChunk(ck, 7)
+				rows += n
+				if ck.Rows() != rows {
+					t.Fatalf("chunk holds %d rows after %d accepted", ck.Rows(), rows)
+				}
+				requireChunkAligned(t, ck)
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					// Mid-stream failures keep the previously decoded rows.
+					break
+				}
+				if n == 0 {
+					t.Fatal("NextChunk returned 0 rows with nil error")
+				}
+			}
+		}
+	})
+}

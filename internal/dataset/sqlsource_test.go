@@ -1,0 +1,165 @@
+package dataset_test
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/sqlmem"
+)
+
+func sqlSchema(t testing.TB) *dataset.Schema {
+	t.Helper()
+	return dataset.MustSchema(
+		dataset.NewNominal("brv", "404", "501"),
+		dataset.NewNumeric("disp", 0, 10000),
+		dataset.NewDate("prod", dataset.MustParseDate("1995-01-01"), dataset.MustParseDate("2002-12-31")),
+	)
+}
+
+func openSQLMem(t *testing.T, table string, cols []string, rows [][]driver.Value) *sql.DB {
+	t.Helper()
+	if err := sqlmem.RegisterTable(table, cols, rows); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sqlmem.DropTable(table) })
+	db, err := sql.Open("sqlmem", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSQLSourceCoercions(t *testing.T) {
+	s := sqlSchema(t)
+	day := dataset.MustParseDate("1999-03-02")
+	db := openSQLMem(t, "quis", []string{"brv", "disp", "prod"}, [][]driver.Value{
+		{"404", 2300.5, day},                       // native driver types
+		{[]byte("501"), int64(1750), "2001-07-09"}, // bytes, ints, and date text coerce
+		{nil, nil, nil},                            // SQL NULLs
+		{"?", "", nil},                             // textual null spellings
+	})
+	src, closer, err := dataset.OpenSQLSource(db, "SELECT * FROM quis", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	tab, err := dataset.ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]dataset.Value{
+		{dataset.Nom(0), dataset.Num(2300.5), dataset.DateValue(day)},
+		{dataset.Nom(1), dataset.Num(1750), dataset.DateValue(dataset.MustParseDate("2001-07-09"))},
+		{dataset.Null(), dataset.Null(), dataset.Null()},
+		{dataset.Null(), dataset.Null(), dataset.Null()},
+	}
+	if tab.NumRows() != len(want) {
+		t.Fatalf("rows = %d, want %d", tab.NumRows(), len(want))
+	}
+	for r := range want {
+		for c := range want[r] {
+			if !tab.Get(r, c).Equal(want[r][c]) {
+				t.Fatalf("cell (%d,%d) = %v, want %v", r, c, tab.Get(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestSQLSourceColumnValidation(t *testing.T) {
+	s := sqlSchema(t)
+	db := openSQLMem(t, "narrow", []string{"brv", "disp"}, nil)
+	if _, _, err := dataset.OpenSQLSource(db, "SELECT * FROM narrow", s); !errors.Is(err, dataset.ErrRowWidth) {
+		t.Fatalf("err = %v, want ErrRowWidth", err)
+	}
+	db2 := openSQLMem(t, "misnamed", []string{"brv", "displacement", "prod"}, nil)
+	if _, _, err := dataset.OpenSQLSource(db2, "SELECT * FROM misnamed", s); !errors.Is(err, dataset.ErrHeader) {
+		t.Fatalf("err = %v, want ErrHeader", err)
+	}
+}
+
+func TestSQLSourceCellErrors(t *testing.T) {
+	s := sqlSchema(t)
+	cases := []struct {
+		name    string
+		row     []driver.Value
+		wantSub string
+	}{
+		{"numeric into nominal", []driver.Value{int64(404), nil, nil}, "nominal"},
+		{"time into numeric", []driver.Value{nil, time.Now(), nil}, "non-date"},
+		{"bool cell", []driver.Value{nil, true, nil}, "unsupported"},
+		{"out-of-domain code", []driver.Value{"999", nil, nil}, "brv"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openSQLMem(t, "bad", []string{"brv", "disp", "prod"}, [][]driver.Value{tc.row})
+			src, closer, err := dataset.OpenSQLSource(db, "SELECT * FROM bad", s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closer.Close()
+			buf := make([]dataset.Value, s.Len())
+			if _, err := src.Next(buf); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestSQLSourceChunkPath(t *testing.T) {
+	s := sqlSchema(t)
+	var rows [][]driver.Value
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []driver.Value{"404", float64(i), nil})
+	}
+	db := openSQLMem(t, "chunky", []string{"brv", "disp", "prod"}, rows)
+	src, closer, err := dataset.OpenSQLSource(db, "SELECT * FROM chunky", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	ck := dataset.NewColumnChunk(s)
+	var got []int64
+	for {
+		ck.Reset()
+		n, err := src.NextChunk(ck, 3)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < n; r++ {
+			got = append(got, ck.ID(r))
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("chunk path delivered %d rows, want 10", len(got))
+	}
+	for i, id := range got {
+		if id != int64(i) {
+			t.Fatalf("id[%d] = %d", i, id)
+		}
+	}
+}
+
+func TestSQLMemRejectsUnsupportedQueries(t *testing.T) {
+	db := openSQLMem(t, "x", []string{"a"}, nil)
+	if _, err := db.Query("SELECT a FROM x WHERE a > 1"); err == nil {
+		t.Fatal("complex query accepted by the fake driver")
+	}
+	if _, err := db.Query("SELECT * FROM nope"); err == nil {
+		t.Fatal("unregistered table accepted")
+	}
+	if _, err := db.Exec("DELETE FROM x"); err == nil {
+		t.Fatal("exec accepted")
+	}
+}

@@ -1,0 +1,300 @@
+package evalx
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dataaudit/internal/audit"
+	"dataaudit/internal/dataset"
+	"dataaudit/internal/dedup"
+	"dataaudit/internal/pollute"
+	"dataaudit/internal/tdg"
+)
+
+// Ground-truth harness for the record-level quality dimensions. The cell
+// polluters are audited through the classifier pipeline (Run/Evaluate);
+// the duplicator's Duplicate/Delete events and the null-value polluter's
+// completeness impact are audited here, against internal/dedup and the
+// audit dimension trackers, with the same sensitivity/specificity
+// vocabulary as the paper's Figures 3–5.
+
+// generateDirty runs stages 1–3 of the pipeline: rule set, clean data,
+// controlled pollution.
+func generateDirty(cfg Config) (clean, dirty *dataset.Table, log *pollute.Log, err error) {
+	if cfg.Schema == nil {
+		return nil, nil, nil, fmt.Errorf("evalx: config needs a schema")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rules := cfg.Rules
+	if rules == nil {
+		rules, err = tdg.GenerateRuleSet(cfg.Schema, cfg.RuleGen, rng)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("evalx: rule generation: %w", err)
+		}
+	}
+	clean, err = tdg.Generate(cfg.Schema, rules, cfg.DataGen, rng)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("evalx: data generation: %w", err)
+	}
+	dirty, log = pollute.Run(clean, cfg.Plan, rng)
+	return clean, dirty, log, nil
+}
+
+// duplicatePositives derives the record-level duplicate ground truth from
+// the pollution log: for every duplicated source, the surviving members of
+// its copy group (source + copies, minus deletions) beyond the first — in
+// dirty-table row order, matching the detector's lowest-row-canonical
+// convention. A group whose source and copies collapsed to a single
+// surviving record contributes nothing: one remaining instance is not a
+// duplicate.
+func duplicatePositives(dirty *dataset.Table, log *pollute.Log) map[int64]bool {
+	rowOf := dirty.RowIndexByID()
+	deleted := log.DeletedIDs()
+	positives := make(map[int64]bool)
+	for src, copies := range log.DuplicateGroups() {
+		var rows []int
+		for _, id := range append([]int64{src}, copies...) {
+			if deleted[id] {
+				continue
+			}
+			if r, ok := rowOf[id]; ok {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) < 2 {
+			continue
+		}
+		sort.Ints(rows)
+		for _, r := range rows[1:] {
+			positives[dirty.ID(r)] = true
+		}
+	}
+	return positives
+}
+
+// EvaluateDedup joins a detector result with the pollution log's
+// record-level ground truth: a row counts as flagged when it is a
+// non-canonical member of some duplicate group.
+func EvaluateDedup(dirty *dataset.Table, log *pollute.Log, res *dedup.Result) Confusion {
+	positives := duplicatePositives(dirty, log)
+	flagged := make(map[int64]bool)
+	for _, g := range res.Groups {
+		for _, id := range g.IDs[1:] {
+			flagged[id] = true
+		}
+	}
+	var c Confusion
+	for r := 0; r < dirty.NumRows(); r++ {
+		id := dirty.ID(r)
+		switch {
+		case positives[id] && flagged[id]:
+			c.TP++
+		case positives[id]:
+			c.FN++
+		case flagged[id]:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// DedupPoint is one duplicate-detection sweep measurement.
+type DedupPoint struct {
+	// X is the duplicator activation probability.
+	X           float64
+	Sensitivity float64
+	Specificity float64
+	// Groups and DuplicateRows average the detector's counts.
+	Groups, DuplicateRows int
+	// Planted averages the ground-truth positive count.
+	Planted int
+}
+
+// DedupSweep measures duplicate detection per pollution level: for each
+// duplicator probability the pipeline generates, pollutes (fuzz turns
+// exact copies into near duplicates), detects, and scores against the
+// log. The cell polluters of the base plan stay active, so copies are
+// copies of already-polluted records — the realistic case.
+func DedupSweep(base Config, probs []float64, fuzz float64, reps int, opts dedup.Options) ([]DedupPoint, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var out []DedupPoint
+	for _, prob := range probs {
+		p := DedupPoint{X: prob}
+		for rep := 0; rep < reps; rep++ {
+			cfg := base
+			cfg.Seed = base.Seed + int64(rep)*7919
+			cfg.Plan.DuplicateProb = prob
+			cfg.Plan.DuplicateFuzz = fuzz
+			_, dirty, log, err := generateDirty(cfg)
+			if err != nil {
+				return out, fmt.Errorf("evalx: dedup sweep x=%g rep %d: %w", prob, rep, err)
+			}
+			res, err := dedup.Detect(dirty, opts)
+			if err != nil {
+				return out, fmt.Errorf("evalx: dedup sweep x=%g rep %d: %w", prob, rep, err)
+			}
+			c := EvaluateDedup(dirty, log, res)
+			p.Sensitivity += c.Sensitivity()
+			p.Specificity += c.Specificity()
+			p.Groups += len(res.Groups)
+			p.DuplicateRows += res.DuplicateRows
+			p.Planted += c.TP + c.FN
+		}
+		p.Sensitivity /= float64(reps)
+		p.Specificity /= float64(reps)
+		p.Groups /= reps
+		p.DuplicateRows /= reps
+		p.Planted /= reps
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderDedupPoints formats a duplicate sweep as an aligned table.
+func RenderDedupPoints(points []DedupPoint) string {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			fmt.Sprintf("%g", p.X),
+			fmt.Sprintf("%.4f", p.Sensitivity),
+			fmt.Sprintf("%.4f", p.Specificity),
+			fmt.Sprintf("%d", p.Planted),
+			fmt.Sprintf("%d", p.Groups),
+			fmt.Sprintf("%d", p.DuplicateRows),
+		}
+	}
+	return FormatTable(
+		[]string{"dup-prob", "sensitivity", "specificity", "planted", "groups", "dup-rows"},
+		rows,
+	)
+}
+
+// ReplayNullCounts computes the per-attribute null counts of the dirty
+// table purely from the clean table and the pollution log — an event
+// replay that never scans the dirty table. Agreement with the audit's
+// measured dimensions is therefore an end-to-end check of the
+// completeness instrumentation against the ground truth.
+func ReplayNullCounts(clean *dataset.Table, log *pollute.Log) []int64 {
+	width := clean.Schema().Len()
+	nulls := make(map[int64][]bool, clean.NumRows())
+	for r := 0; r < clean.NumRows(); r++ {
+		row := make([]bool, width)
+		for c := 0; c < width; c++ {
+			row[c] = clean.Get(r, c).IsNull()
+		}
+		nulls[clean.ID(r)] = row
+	}
+	for _, e := range log.Events {
+		switch e.Kind {
+		case pollute.Duplicate:
+			src := nulls[e.DupOfID]
+			nulls[e.RecordID] = append([]bool(nil), src...)
+		case pollute.Delete:
+			delete(nulls, e.RecordID)
+		default:
+			row := nulls[e.RecordID]
+			row[e.Attr] = e.After.IsNull()
+			if e.OtherAttr >= 0 {
+				row[e.OtherAttr] = e.OtherAfter.IsNull()
+			}
+		}
+	}
+	counts := make([]int64, width)
+	for _, row := range nulls {
+		for c, isNull := range row {
+			if isNull {
+				counts[c]++
+			}
+		}
+	}
+	return counts
+}
+
+// CompletenessPoint is one completeness sweep measurement.
+type CompletenessPoint struct {
+	// X is the pollution factor applied to the plan.
+	X float64
+	// MaxCountError is the largest |measured − replayed| per-attribute
+	// null-count difference — zero when the instrumentation is exact.
+	MaxCountError int64
+	// Confusion scores attribute-level completeness-drift flags (null
+	// rate above clean baseline by more than the delta) from the measured
+	// dimensions against flags derived from the log replay.
+	Confusion Confusion
+}
+
+// CompletenessSweep audits the completeness dimension against the
+// pollution log: per pollution factor it compares the measured
+// per-attribute null counts (audit.TableDims — the same popcount path the
+// batch, stream and shard audits use) with an independent event replay,
+// and scores drift flags at the given null-rate delta.
+func CompletenessSweep(base Config, factors []float64, delta float64, reps int) ([]CompletenessPoint, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var out []CompletenessPoint
+	for _, factor := range factors {
+		p := CompletenessPoint{X: factor}
+		for rep := 0; rep < reps; rep++ {
+			cfg := base
+			cfg.Seed = base.Seed + int64(rep)*7919
+			cfg.Plan = cfg.Plan.Scale(factor)
+			clean, dirty, log, err := generateDirty(cfg)
+			if err != nil {
+				return out, fmt.Errorf("evalx: completeness sweep x=%g rep %d: %w", factor, rep, err)
+			}
+			cleanDims := audit.TableDims(clean)
+			measured := audit.TableDims(dirty)
+			replayed := ReplayNullCounts(clean, log)
+			rows := float64(dirty.NumRows())
+			for c := range measured {
+				diff := measured[c].Nulls - replayed[c]
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > p.MaxCountError {
+					p.MaxCountError = diff
+				}
+				baseline := cleanDims[c].NullRate()
+				measuredDrift := measured[c].NullRate()-baseline > delta
+				truthDrift := float64(replayed[c])/rows-baseline > delta
+				switch {
+				case truthDrift && measuredDrift:
+					p.Confusion.TP++
+				case truthDrift:
+					p.Confusion.FN++
+				case measuredDrift:
+					p.Confusion.FP++
+				default:
+					p.Confusion.TN++
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderCompletenessPoints formats a completeness sweep as an aligned
+// table.
+func RenderCompletenessPoints(points []CompletenessPoint) string {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			fmt.Sprintf("%g", p.X),
+			fmt.Sprintf("%d", p.MaxCountError),
+			fmt.Sprintf("%.4f", p.Confusion.Sensitivity()),
+			fmt.Sprintf("%.4f", p.Confusion.Specificity()),
+			fmt.Sprintf("%d", p.Confusion.TP+p.Confusion.FN),
+		}
+	}
+	return FormatTable(
+		[]string{"factor", "max-count-err", "sensitivity", "specificity", "drifted"},
+		rows,
+	)
+}

@@ -1,0 +1,130 @@
+package evalx
+
+import (
+	"testing"
+
+	"dataaudit/internal/dedup"
+	"dataaudit/internal/pollute"
+)
+
+// TestDedupSweepExactFloor commits the headline floor: exact duplicates
+// (no fuzz) are detected with sensitivity 1.0 — the full-row-hash pass is
+// collision-checked, so every surviving planted copy lands in a group —
+// and specificity at least 0.99 at both 1% and 5% duplicator probability.
+func TestDedupSweepExactFloor(t *testing.T) {
+	points, err := DedupSweep(smallConfig(2003), []float64{0.01, 0.05}, 0, 2, dedup.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Planted == 0 {
+			t.Fatalf("x=%g: no duplicates planted; sweep is vacuous", p.X)
+		}
+		if p.Sensitivity != 1.0 {
+			t.Errorf("x=%g: exact-duplicate sensitivity = %.4f, floor is 1.0", p.X, p.Sensitivity)
+		}
+		if p.Specificity < 0.99 {
+			t.Errorf("x=%g: specificity = %.4f, floor is 0.99", p.X, p.Specificity)
+		}
+	}
+}
+
+// TestDedupSweepNearFloor commits the near-duplicate floor: with every
+// planted copy perturbed in one attribute (fuzz = 1), blocking plus
+// per-attribute similarity must recover at least 90% of them at 5%
+// pollution without losing specificity.
+func TestDedupSweepNearFloor(t *testing.T) {
+	points, err := DedupSweep(smallConfig(2003), []float64{0.05}, 1.0, 2, dedup.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if p.Planted == 0 {
+		t.Fatal("no duplicates planted; sweep is vacuous")
+	}
+	if p.Sensitivity < 0.9 {
+		t.Errorf("near-duplicate sensitivity = %.4f, floor is 0.9", p.Sensitivity)
+	}
+	if p.Specificity < 0.99 {
+		t.Errorf("specificity = %.4f, floor is 0.99", p.Specificity)
+	}
+}
+
+// TestCompletenessSweepExact commits the completeness floor: the measured
+// per-attribute null counts equal the log replay bit for bit at every
+// pollution level, and drift flags at a 0.2% delta match the ground truth
+// perfectly when pollution is far from the threshold.
+func TestCompletenessSweepExact(t *testing.T) {
+	points, err := CompletenessSweep(smallConfig(2003), []float64{0, 1, 5}, 0.002, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.MaxCountError != 0 {
+			t.Errorf("factor %g: measured null counts deviate from replay by %d", p.X, p.MaxCountError)
+		}
+		if s := p.Confusion.Sensitivity(); p.Confusion.TP+p.Confusion.FN > 0 && s != 1.0 {
+			t.Errorf("factor %g: completeness-drift sensitivity = %.4f", p.X, s)
+		}
+		if s := p.Confusion.Specificity(); p.Confusion.FP+p.Confusion.TN > 0 && s != 1.0 {
+			t.Errorf("factor %g: completeness-drift specificity = %.4f", p.X, s)
+		}
+	}
+	// The factor-5 point must actually exercise the positive side.
+	last := points[len(points)-1]
+	if last.Confusion.TP == 0 {
+		t.Error("factor 5 produced no drifted attributes; floor is vacuous")
+	}
+}
+
+// TestReplayNullCounts pins the replay on a hand-checkable run: the
+// replayed counts must match a direct scan of the dirty table.
+func TestReplayNullCounts(t *testing.T) {
+	cfg := smallConfig(7)
+	cfg.Plan.DuplicateProb = 0.03
+	cfg.Plan.DeleteProb = 0.02
+	cfg.Plan.DuplicateFuzz = 0.5
+	clean, dirty, log, err := generateDirty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := ReplayNullCounts(clean, log)
+	for c := 0; c < dirty.Schema().Len(); c++ {
+		var scan int64
+		for r := 0; r < dirty.NumRows(); r++ {
+			if dirty.Get(r, c).IsNull() {
+				scan++
+			}
+		}
+		if replayed[c] != scan {
+			t.Errorf("attr %d: replay says %d nulls, table has %d", c, replayed[c], scan)
+		}
+	}
+}
+
+// TestDuplicatePositivesSurvivorship pins the ground-truth derivation on
+// a deleted-source corner: when a source dies but two copies survive, one
+// surviving copy is canonical and only the other is a positive.
+func TestDuplicatePositivesSurvivorship(t *testing.T) {
+	cfg := smallConfig(11)
+	cfg.DataGen.NumRecords = 400
+	clean, _, _, err := generateDirty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := clean.Clone()
+	log := &pollute.Log{}
+	srcID := dirty.ID(0)
+	id1 := dirty.DuplicateRow(0)
+	id2 := dirty.DuplicateRow(0)
+	log.Events = append(log.Events,
+		pollute.Event{RecordID: id1, Kind: pollute.Duplicate, Attr: -1, OtherAttr: -1, DupOfID: srcID},
+		pollute.Event{RecordID: id2, Kind: pollute.Duplicate, Attr: -1, OtherAttr: -1, DupOfID: srcID},
+		pollute.Event{RecordID: srcID, Kind: pollute.Delete, Attr: -1, OtherAttr: -1},
+	)
+	dirty.DeleteRow(0)
+	pos := duplicatePositives(dirty, log)
+	if len(pos) != 1 || !pos[id2] {
+		t.Fatalf("positives = %v, want exactly {%d}", pos, id2)
+	}
+}

@@ -48,4 +48,10 @@ type attrDetector struct {
 	// Drifted latches on first fire and clears when re-induction
 	// establishes a new baseline (adoptModel rebuilds the slice).
 	Drifted bool `json:"drifted"`
+	// LastNullDelta is the most recent window's null rate minus the
+	// attribute's baseline null rate; NullDrifted latches once it exceeds
+	// Options.NullDelta. Completeness drift is observational only — it
+	// never enters the re-induction trigger (see Options.NullDelta).
+	LastNullDelta float64 `json:"lastNullDelta,omitempty"`
+	NullDrifted   bool    `json:"nullDrifted,omitempty"`
 }

@@ -3,6 +3,7 @@ package monitor
 import (
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,14 @@ type Options struct {
 	// over the window suspicious-rate series (defaults 0.005 and 0.25;
 	// zero or negative selects the default).
 	PHDelta, PHLambda float64
+	// NullDelta is the completeness detector: an attribute drifts when a
+	// sealed window's null rate exceeds the attribute's baseline null
+	// rate by more than this (default 0.05). Completeness drift is
+	// reported — an event, the latched attribute list, a metric — but
+	// never triggers re-induction: missing values are an ingestion
+	// problem, and re-inducing on them would teach the model that nulls
+	// are normal.
+	NullDelta float64
 	// MinWindows is the number of sealed windows required since the
 	// baseline before either detector may fire (default 2) — a warm-up
 	// against alarming on the very first partial view of the data.
@@ -117,6 +126,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.PHLambda <= 0 {
 		o.PHLambda = 0.25
+	}
+	if o.NullDelta <= 0 {
+		o.NullDelta = 0.05
 	}
 	if o.MinWindows <= 0 {
 		o.MinWindows = 2
@@ -203,6 +215,10 @@ type AttrWindow struct {
 	Deviations   int64   `json:"deviations"`
 	Suspicious   int64   `json:"suspicious"`
 	MaxErrorConf float64 `json:"maxErrorConf"`
+	// Nulls counts the attribute's null cells in the window — the
+	// completeness observation the null-drift detector compares against
+	// the baseline null rate.
+	Nulls int64 `json:"nulls"`
 }
 
 // Snapshot is one sealed monitoring window.
@@ -241,6 +257,10 @@ type DriftState struct {
 	// currently latched — the drift's attribution. Sorted by schema
 	// column, empty while nothing attribute-level has fired.
 	Attrs []string `json:"attrs,omitempty"`
+	// NullAttrs names the attributes whose completeness detectors are
+	// currently latched (windowed null rate above baseline by more than
+	// Options.NullDelta). Sorted by schema column.
+	NullAttrs []string `json:"nullAttrs,omitempty"`
 }
 
 // State is a point-in-time copy of one model's monitoring state.
@@ -374,35 +394,44 @@ type modelState struct {
 // lets the monitor instrument the scoring path without violating the
 // core's zero-allocation contract.
 type modelMetrics struct {
-	rows, suspicious, sealed    *obs.Counter
-	winRate, baseRate           *obs.Gauge
-	delta, ph, active           *obs.Gauge
-	reservoir                   *obs.Gauge
-	attrDev, attrSus, attrDrift []*obs.Counter // Model.Attrs order, aligned with st.classes
+	rows, suspicious, sealed *obs.Counter
+	winRate, baseRate        *obs.Gauge
+	delta, ph, active        *obs.Gauge
+	reservoir                *obs.Gauge
+	// Model.Attrs order, aligned with st.classes.
+	attrDev, attrSus, attrDrift []*obs.Counter
+	attrNulls, attrNullDrift    []*obs.Counter
+	attrNullRate                []*obs.Gauge
 }
 
 // buildMetricsLocked interns the metric children for the current
 // attribute set; st.mu must be held and st.schema set.
 func (st *modelState) buildMetricsLocked(mets *obs.AuditMetrics) {
 	mm := &modelMetrics{
-		rows:       mets.RowsScored.With(st.name),
-		suspicious: mets.RowsSuspicious.With(st.name),
-		sealed:     mets.WindowsSealed.With(st.name),
-		winRate:    mets.WindowSuspiciousRate.With(st.name),
-		baseRate:   mets.BaselineSuspiciousRate.With(st.name),
-		delta:      mets.DriftDelta.With(st.name),
-		ph:         mets.DriftPageHinkley.With(st.name),
-		active:     mets.DriftActive.With(st.name),
-		reservoir:  mets.ReservoirRows.With(st.name),
-		attrDev:    make([]*obs.Counter, len(st.classes)),
-		attrSus:    make([]*obs.Counter, len(st.classes)),
-		attrDrift:  make([]*obs.Counter, len(st.classes)),
+		rows:          mets.RowsScored.With(st.name),
+		suspicious:    mets.RowsSuspicious.With(st.name),
+		sealed:        mets.WindowsSealed.With(st.name),
+		winRate:       mets.WindowSuspiciousRate.With(st.name),
+		baseRate:      mets.BaselineSuspiciousRate.With(st.name),
+		delta:         mets.DriftDelta.With(st.name),
+		ph:            mets.DriftPageHinkley.With(st.name),
+		active:        mets.DriftActive.With(st.name),
+		reservoir:     mets.ReservoirRows.With(st.name),
+		attrDev:       make([]*obs.Counter, len(st.classes)),
+		attrSus:       make([]*obs.Counter, len(st.classes)),
+		attrDrift:     make([]*obs.Counter, len(st.classes)),
+		attrNulls:     make([]*obs.Counter, len(st.classes)),
+		attrNullDrift: make([]*obs.Counter, len(st.classes)),
+		attrNullRate:  make([]*obs.Gauge, len(st.classes)),
 	}
 	for i, c := range st.classes {
 		attr := st.schema.Attr(c).Name
 		mm.attrDev[i] = mets.AttrDeviations.With(st.name, attr)
 		mm.attrSus[i] = mets.AttrSuspicious.With(st.name, attr)
 		mm.attrDrift[i] = mets.AttrDrift.With(st.name, attr)
+		mm.attrNulls[i] = mets.AttrNulls.With(st.name, attr)
+		mm.attrNullDrift[i] = mets.AttrNullDrift.With(st.name, attr)
+		mm.attrNullRate[i] = mets.AttrNullRate.With(st.name, attr)
 	}
 	st.met = mm
 }
@@ -644,12 +673,14 @@ func (m *Monitor) foldLocked(st *modelState, rows, suspicious int64, tallies []a
 		t.Deviations += u.Deviations
 		t.Suspicious += u.Suspicious
 		t.SumErrorConf += u.SumErrorConf
+		t.Nulls += u.Nulls
 		if u.MaxErrorConf > t.MaxErrorConf {
 			t.MaxErrorConf = u.MaxErrorConf
 		}
 		if mm != nil && i < len(mm.attrDev) {
 			mm.attrDev[i].Add(uint64(u.Deviations))
 			mm.attrSus[i].Add(uint64(u.Suspicious))
+			mm.attrNulls[i].Add(uint64(u.Nulls))
 		}
 	}
 	if st.winRows >= m.opts.WindowRows {
@@ -679,6 +710,7 @@ func (m *Monitor) sealLocked(st *modelState) {
 			Deviations:   t.Deviations,
 			Suspicious:   t.Suspicious,
 			MaxErrorConf: t.MaxErrorConf,
+			Nulls:        t.Nulls,
 		}
 	}
 	st.snapshots = append(st.snapshots, snap)
@@ -716,7 +748,16 @@ func (m *Monitor) sealLocked(st *modelState) {
 
 	st.lastDelta = snap.SuspiciousRate - st.baseline.SuspiciousRate
 	phTrip := st.ph.observe(snap.SuspiciousRate)
-	m.observeAttrsLocked(st, &snap)
+	nullFired, maxNullDelta := m.observeAttrsLocked(st, &snap)
+	if len(nullFired) > 0 {
+		// Completeness drift is its own event stream: it latches and
+		// reports but never enters the re-induction trigger below —
+		// re-inducing on a load full of nulls would normalize them.
+		m.event(st, Event{Kind: EventDrift, Window: snap.Window, Version: st.version,
+			Detector: "completeness", Delta: maxNullDelta, Attrs: nullFired,
+			Message: fmt.Sprintf("window %d null rate exceeds baseline by more than %.3f on %s",
+				snap.Window, m.opts.NullDelta, strings.Join(nullFired, ", "))})
+	}
 	if st.drifted || st.windowsSinceBaseline < m.opts.MinWindows {
 		return
 	}
@@ -741,16 +782,22 @@ func (m *Monitor) sealLocked(st *modelState) {
 // detectors; st.mu must be held and st.baseline set. Each attribute runs
 // the same threshold + Page-Hinkley pair as the model-level detector,
 // against its own baseline suspicious rate (resolved by name — the
-// baseline's attribute set can differ from the tally order). The
-// detectors observe every window, including during warm-up and while
-// already latched, so their statistics stay comparable to the model's.
-func (m *Monitor) observeAttrsLocked(st *modelState, snap *Snapshot) {
+// baseline's attribute set can differ from the tally order), plus the
+// completeness detector: windowed null rate versus the baseline null
+// rate. The detectors observe every window, including during warm-up and
+// while already latched, so their statistics stay comparable to the
+// model's. It returns the attributes whose completeness detector latched
+// on this window (names, in tally order) and the largest null-rate delta
+// among them, for the completeness drift event.
+func (m *Monitor) observeAttrsLocked(st *modelState, snap *Snapshot) (nullFired []string, maxNullDelta float64) {
 	if len(st.attrDrift) != len(snap.Attrs) {
-		return // a reloaded state mid-adoption; the next adoptModel realigns
+		return nil, 0 // a reloaded state mid-adoption; the next adoptModel realigns
 	}
 	baseRate := make(map[string]float64, len(st.baseline.Attrs))
+	baseNull := make(map[string]float64, len(st.baseline.Attrs))
 	for _, aq := range st.baseline.Attrs {
 		baseRate[aq.Name] = aq.SuspiciousRate
+		baseNull[aq.Name] = aq.NullRate
 	}
 	warm := st.windowsSinceBaseline >= m.opts.MinWindows
 	for i := range snap.Attrs {
@@ -759,22 +806,39 @@ func (m *Monitor) observeAttrsLocked(st *modelState, snap *Snapshot) {
 		// The PH parameters are injected here rather than persisted, so a
 		// restart under new options picks them up immediately.
 		det.PH.Delta, det.PH.Lambda = m.opts.PHDelta, m.opts.PHLambda
-		rate := 0.0
+		rate, nullRate := 0.0, 0.0
 		if snap.Rows > 0 {
 			rate = float64(aw.Suspicious) / float64(snap.Rows)
+			nullRate = float64(aw.Nulls) / float64(snap.Rows)
 		}
 		det.LastDelta = rate - baseRate[aw.Attr]
+		det.LastNullDelta = nullRate - baseNull[aw.Attr]
 		phTrip := det.PH.observe(rate)
+		mm := st.met
+		if mm != nil && i < len(mm.attrNullRate) {
+			mm.attrNullRate[i].Set(nullRate)
+		}
+		if warm && !det.NullDrifted && det.LastNullDelta > m.opts.NullDelta {
+			det.NullDrifted = true
+			nullFired = append(nullFired, aw.Attr)
+			if det.LastNullDelta > maxNullDelta {
+				maxNullDelta = det.LastNullDelta
+			}
+			if mm != nil && i < len(mm.attrNullDrift) {
+				mm.attrNullDrift[i].Inc()
+			}
+		}
 		if det.Drifted || !warm {
 			continue
 		}
 		if det.LastDelta > m.opts.DriftDelta || phTrip {
 			det.Drifted = true
-			if mm := st.met; mm != nil && i < len(mm.attrDrift) {
+			if mm != nil && i < len(mm.attrDrift) {
 				mm.attrDrift[i].Inc()
 			}
 		}
 	}
+	return nullFired, maxNullDelta
 }
 
 // driftedAttrsLocked lists the currently latched attributes as schema
@@ -787,6 +851,18 @@ func (st *modelState) driftedAttrsLocked() (classes []int, names []string) {
 		}
 	}
 	return classes, names
+}
+
+// nullDriftedAttrsLocked lists the attributes whose completeness detector
+// is currently latched, in tally (schema-column) order; st.mu must be
+// held.
+func (st *modelState) nullDriftedAttrsLocked() (names []string) {
+	for i := range st.attrDrift {
+		if st.attrDrift[i].NullDrifted && i < len(st.classes) {
+			names = append(names, st.schema.Attr(st.classes[i]).Name)
+		}
+	}
+	return names
 }
 
 // baselineFromSnapshot lifts a sealed window into a QualityProfile so the
@@ -809,6 +885,7 @@ func baselineFromSnapshot(snap *Snapshot, schema *dataset.Schema) *audit.Quality
 		if snap.Rows > 0 {
 			aq.DeviationRate = float64(aw.Deviations) / float64(snap.Rows)
 			aq.SuspiciousRate = float64(aw.Suspicious) / float64(snap.Rows)
+			aq.NullRate = float64(aw.Nulls) / float64(snap.Rows)
 		}
 		p.Attrs = append(p.Attrs, aq)
 	}
@@ -896,6 +973,7 @@ func (m *Monitor) Quality(name string) (State, bool) {
 			PHMean:               st.ph.Mean,
 			WindowsSinceBaseline: st.windowsSinceBaseline,
 			Attrs:                driftedNames,
+			NullAttrs:            st.nullDriftedAttrsLocked(),
 		},
 		ReservoirRows: len(st.rv.rows),
 		ReservoirSeen: st.rv.seen,

@@ -354,6 +354,96 @@ func TestBaselineAdopted(t *testing.T) {
 	}
 }
 
+// TestCompletenessDrift drives the null-rate detector: a load whose GBM
+// column loses a fifth of its values fires a completeness drift event
+// attributed to GBM, latches DriftState.NullAttrs — and never touches
+// the re-induction path, because re-inducing on a null-ridden load would
+// teach the successor that the nulls are normal.
+func TestCompletenessDrift(t *testing.T) {
+	model, clean, _ := fixture(t, 3000)
+	meta := metaFor(model, clean)
+	nulled := clean.Clone()
+	for r := 0; r < nulled.NumRows(); r += 5 {
+		nulled.Set(r, 2, dataset.Null()) // GBM: null rate 0.2 vs baseline ~0
+	}
+	// The accuracy detectors are parked out of reach so only the
+	// completeness detector can fire.
+	mon := New(nil, withClock(Options{
+		WindowRows: 1000, MinWindows: 1,
+		DriftDelta: 0.99, PHLambda: 100,
+		NullDelta:    0.05,
+		AutoReinduce: true,
+	}))
+
+	mon.ObserveBatch(meta, model, clean, model.AuditTable(clean))
+	st, _ := mon.Quality("engines")
+	if len(st.Drift.NullAttrs) != 0 {
+		t.Fatalf("completeness latched on clean data: %v", st.Drift.NullAttrs)
+	}
+
+	mon.ObserveBatch(meta, model, nulled, model.AuditTable(nulled))
+	st, _ = mon.Quality("engines")
+	var comp *Event
+	for i := range st.Events {
+		if st.Events[i].Kind == EventDrift && st.Events[i].Detector == "completeness" {
+			comp = &st.Events[i]
+		}
+	}
+	if comp == nil {
+		t.Fatalf("no completeness drift event: %+v", st.Events)
+	}
+	var hasGBM bool
+	for _, a := range comp.Attrs {
+		hasGBM = hasGBM || a == "GBM"
+	}
+	if !hasGBM || comp.Delta < 0.1 {
+		t.Fatalf("completeness event misattributed: attrs=%v delta=%g", comp.Attrs, comp.Delta)
+	}
+	found := false
+	for _, a := range st.Drift.NullAttrs {
+		found = found || a == "GBM"
+	}
+	if !found {
+		t.Fatalf("GBM not latched in NullAttrs: %v", st.Drift.NullAttrs)
+	}
+	// The sealed window records the raw null counts.
+	last := st.Snapshots[len(st.Snapshots)-1]
+	var gbmNulls int64
+	for _, aw := range last.Attrs {
+		if aw.Attr == "GBM" {
+			gbmNulls = aw.Nulls
+		}
+	}
+	if gbmNulls != int64((nulled.NumRows()+4)/5) {
+		t.Fatalf("window GBM nulls = %d, want %d", gbmNulls, (nulled.NumRows()+4)/5)
+	}
+	// Completeness never enters the re-induction loop, even with
+	// AutoReinduce on: no reinduce events, no model-level latch.
+	if st.Drift.Drifted {
+		t.Fatalf("completeness drift set the model-level latch: %+v", st.Drift)
+	}
+	for _, e := range st.Events {
+		switch e.Kind {
+		case EventReinduced, EventReinduceSkipped, EventReinduceFailed:
+			t.Fatalf("completeness drift reached the re-induction path: %+v", e)
+		}
+	}
+
+	// The latch holds without duplicate events on further null-heavy
+	// windows.
+	mon.ObserveBatch(meta, model, nulled, model.AuditTable(nulled))
+	st, _ = mon.Quality("engines")
+	n := 0
+	for _, e := range st.Events {
+		if e.Detector == "completeness" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("completeness event fired %d times, want 1 (latched)", n)
+	}
+}
+
 // TestPageHinkleyCatchesSlowDrift pins the cumulative detector: a
 // degradation too small for the single-window threshold accumulates into
 // a Page-Hinkley alarm.

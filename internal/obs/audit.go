@@ -48,6 +48,17 @@ type AuditMetrics struct {
 	// increment each time an attribute's detector fires against the
 	// current baseline.
 	AttrDrift *CounterVec // labels: model, attr
+	// AttrNulls counts per-attribute null cells among the audited rows —
+	// the completeness dimension's raw observation, folded window-at-a-
+	// time like every other monitor series.
+	AttrNulls *CounterVec // labels: model, attr
+	// AttrNullRate is the most recently sealed window's per-attribute
+	// null rate (completeness' complement).
+	AttrNullRate *GaugeVec // labels: model, attr
+	// AttrNullDrift counts completeness-drift latches: an attribute's
+	// windowed null rate exceeded its baseline by more than the
+	// configured delta.
+	AttrNullDrift *CounterVec // labels: model, attr
 	// ReservoirRows is the re-induction reservoir fill.
 	ReservoirRows *GaugeVec // labels: model
 	// Reinductions counts re-induction outcomes; ReinduceSeconds times
@@ -81,6 +92,12 @@ func NewAuditMetrics(r *Registry) *AuditMetrics {
 			"1 while the model's drift latch is set (cleared by re-induction), else 0.", "model"),
 		AttrDrift: r.NewCounterVec("dataaudit_attr_drift_total",
 			"Per-attribute drift detector latches against the current baseline, by model and attribute.", "model", "attr"),
+		AttrNulls: r.NewCounterVec("dataaudit_attr_nulls_total",
+			"Null cells among the audited rows, by model and attribute.", "model", "attr"),
+		AttrNullRate: r.NewGaugeVec("dataaudit_attr_null_rate",
+			"Null rate of the most recently sealed monitoring window, by model and attribute.", "model", "attr"),
+		AttrNullDrift: r.NewCounterVec("dataaudit_attr_null_drift_total",
+			"Completeness-drift latches (windowed null rate above baseline by more than the delta), by model and attribute.", "model", "attr"),
 		ReservoirRows: r.NewGaugeVec("dataaudit_reservoir_rows",
 			"Rows currently held in the re-induction reservoir sample, by model.", "model"),
 		Reinductions: r.NewCounterVec("dataaudit_reinductions_total",
@@ -95,10 +112,10 @@ func NewAuditMetrics(r *Registry) *AuditMetrics {
 // the model is deleted so a recreated name starts from zero instead of
 // inheriting the dead incarnation's counters.
 func (m *AuditMetrics) ForgetModel(name string) {
-	for _, v := range []*CounterVec{m.RowsScored, m.RowsSuspicious, m.AttrDeviations, m.AttrSuspicious, m.AttrDrift, m.WindowsSealed, m.Reinductions} {
+	for _, v := range []*CounterVec{m.RowsScored, m.RowsSuspicious, m.AttrDeviations, m.AttrSuspicious, m.AttrDrift, m.AttrNulls, m.AttrNullDrift, m.WindowsSealed, m.Reinductions} {
 		v.DeleteByLabel("model", name)
 	}
-	for _, v := range []*GaugeVec{m.WindowSuspiciousRate, m.BaselineSuspiciousRate, m.DriftDelta, m.DriftPageHinkley, m.DriftActive, m.ReservoirRows} {
+	for _, v := range []*GaugeVec{m.WindowSuspiciousRate, m.BaselineSuspiciousRate, m.DriftDelta, m.DriftPageHinkley, m.DriftActive, m.ReservoirRows, m.AttrNullRate} {
 		v.DeleteByLabel("model", name)
 	}
 }

@@ -121,6 +121,23 @@ func (l *Log) CellEvents() map[int64][]Event {
 	return out
 }
 
+// DuplicateGroups returns the spurious copies keyed by their source
+// record: source ID → the IDs of the copies appended for it, in log
+// order. Together with DeletedIDs this is the record-level half of the
+// ground truth CellEvents intentionally drops — a duplicate detector's
+// sweep joins its groups against this map. A source may itself have been
+// deleted after being copied; intersect with DeletedIDs when only
+// surviving records matter.
+func (l *Log) DuplicateGroups() map[int64][]int64 {
+	out := make(map[int64][]int64)
+	for _, e := range l.Events {
+		if e.Kind == Duplicate {
+			out[e.DupOfID] = append(out[e.DupOfID], e.RecordID)
+		}
+	}
+	return out
+}
+
 // CountByKind tallies events per corruption kind.
 func (l *Log) CountByKind() map[Kind]int {
 	out := make(map[Kind]int)
@@ -154,6 +171,12 @@ type Plan struct {
 	// duplicate; DeleteProb the per-record probability of deletion.
 	DuplicateProb float64
 	DeleteProb    float64
+	// DuplicateFuzz is the probability that a fresh copy additionally
+	// gets one attribute perturbed, turning the exact duplicate into a
+	// near duplicate (re-keyed exports, re-typed merges). The
+	// perturbation is logged as a WrongValue event on the copy. Not a
+	// pollution intensity, so Scale leaves it untouched.
+	DuplicateFuzz float64
 }
 
 // Scale multiplies every activation probability by the common pollution
@@ -165,6 +188,7 @@ func (p Plan) Scale(factor float64) Plan {
 		Cell:          make([]Configured, len(p.Cell)),
 		DuplicateProb: stats.Clamp(p.DuplicateProb*factor, 0, 1),
 		DeleteProb:    stats.Clamp(p.DeleteProb*factor, 0, 1),
+		DuplicateFuzz: p.DuplicateFuzz,
 	}
 	for i, c := range p.Cell {
 		scaled.Cell[i] = Configured{Prob: stats.Clamp(c.Prob*factor, 0, 1), P: c.P}
@@ -202,6 +226,14 @@ func Run(clean *dataset.Table, plan Plan, rng *rand.Rand) (*dataset.Table, *Log)
 			log.Events = append(log.Events, Event{
 				RecordID: id, Kind: Duplicate, Attr: -1, OtherAttr: -1, DupOfID: dirty.ID(r),
 			})
+			// Every rng draw below is gated behind DuplicateFuzz > 0 so
+			// plans without fuzz reproduce their historical seed streams
+			// bit for bit.
+			if plan.DuplicateFuzz > 0 && rng.Float64() < plan.DuplicateFuzz {
+				if ev, ok := fuzzRow(dirty, dirty.NumRows()-1, rng); ok {
+					log.Events = append(log.Events, ev)
+				}
+			}
 		}
 		if plan.DeleteProb > 0 && rng.Float64() < plan.DeleteProb {
 			deletions = append(deletions, r)
@@ -216,4 +248,43 @@ func Run(clean *dataset.Table, plan Plan, rng *rand.Rand) (*dataset.Table, *Log)
 		dirty.DeleteRow(r)
 	}
 	return dirty, log
+}
+
+// fuzzRow perturbs one randomly chosen non-null cell of row r: a nominal
+// cell moves to a different domain value, a number-like cell is nudged by
+// 0.5% of the attribute's range. Returns ok=false when the row offers no
+// perturbable cell (all nulls, single-value domains).
+func fuzzRow(t *dataset.Table, r int, rng *rand.Rand) (Event, bool) {
+	s := t.Schema()
+	width := s.Len()
+	for attempt := 0; attempt < 2*width; attempt++ {
+		c := rng.Intn(width)
+		a := s.Attr(c)
+		before := t.Get(r, c)
+		if before.IsNull() {
+			continue
+		}
+		var after dataset.Value
+		if a.Type == dataset.NominalType {
+			if len(a.Domain) < 2 {
+				continue
+			}
+			after = dataset.Nom((before.NomIdx() + 1 + rng.Intn(len(a.Domain)-1)) % len(a.Domain))
+		} else {
+			nudge := (a.Max - a.Min) * 0.005
+			if nudge <= 0 {
+				nudge = 1
+			}
+			if rng.Intn(2) == 1 {
+				nudge = -nudge
+			}
+			after = dataset.Num(before.Float() + nudge)
+		}
+		t.Set(r, c, after)
+		return Event{
+			RecordID: t.ID(r), Kind: WrongValue, Attr: c,
+			Before: before, After: after, OtherAttr: -1,
+		}, true
+	}
+	return Event{}, false
 }

@@ -2,6 +2,7 @@ package pollute
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"dataaudit/internal/dataset"
@@ -354,5 +355,134 @@ func TestLogHelpers(t *testing.T) {
 	counts := log.CountByKind()
 	if counts[WrongValue] != 1 || counts[Delete] != 1 {
 		t.Fatalf("CountByKind = %v", counts)
+	}
+}
+
+// TestLogRecordLevelGroundTruth is the regression test for the record-
+// level half of the ground truth: CellEvents intentionally drops
+// Duplicate/Delete events, so DuplicateGroups and DeletedIDs must expose
+// them — otherwise no sweep could ever score a duplicate detector.
+func TestLogRecordLevelGroundTruth(t *testing.T) {
+	cases := []struct {
+		name       string
+		events     []Event
+		wantGroups map[int64][]int64
+		wantDel    map[int64]bool
+		wantCellBy map[int64]int // record ID -> cell-event count
+	}{
+		{
+			name:       "empty log",
+			wantGroups: map[int64][]int64{},
+			wantDel:    map[int64]bool{},
+			wantCellBy: map[int64]int{},
+		},
+		{
+			name: "two copies of one source, in order",
+			events: []Event{
+				{RecordID: 100, Kind: Duplicate, Attr: -1, DupOfID: 7},
+				{RecordID: 101, Kind: Duplicate, Attr: -1, DupOfID: 7},
+			},
+			wantGroups: map[int64][]int64{7: {100, 101}},
+			wantDel:    map[int64]bool{},
+			wantCellBy: map[int64]int{},
+		},
+		{
+			name: "duplicate, fuzz on the copy, source deleted",
+			events: []Event{
+				{RecordID: 100, Kind: Duplicate, Attr: -1, DupOfID: 7},
+				{RecordID: 100, Kind: WrongValue, Attr: 2},
+				{RecordID: 7, Kind: Delete, Attr: -1},
+			},
+			wantGroups: map[int64][]int64{7: {100}},
+			wantDel:    map[int64]bool{7: true},
+			wantCellBy: map[int64]int{100: 1},
+		},
+		{
+			name: "mixed kinds route to their own accessor",
+			events: []Event{
+				{RecordID: 1, Kind: WrongValue, Attr: 0},
+				{RecordID: 2, Kind: NullValue, Attr: 1},
+				{RecordID: 3, Kind: Delete, Attr: -1},
+				{RecordID: 200, Kind: Duplicate, Attr: -1, DupOfID: 2},
+				{RecordID: 2, Kind: Limit, Attr: 2},
+			},
+			wantGroups: map[int64][]int64{2: {200}},
+			wantDel:    map[int64]bool{3: true},
+			wantCellBy: map[int64]int{1: 1, 2: 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := &Log{Events: tc.events}
+			if got := l.DuplicateGroups(); !reflect.DeepEqual(got, tc.wantGroups) {
+				t.Errorf("DuplicateGroups = %v, want %v", got, tc.wantGroups)
+			}
+			if got := l.DeletedIDs(); !reflect.DeepEqual(got, tc.wantDel) {
+				t.Errorf("DeletedIDs = %v, want %v", got, tc.wantDel)
+			}
+			cells := l.CellEvents()
+			gotCellBy := make(map[int64]int)
+			for id, evs := range cells {
+				gotCellBy[id] = len(evs)
+			}
+			if !reflect.DeepEqual(gotCellBy, tc.wantCellBy) {
+				t.Errorf("CellEvents counts = %v, want %v", gotCellBy, tc.wantCellBy)
+			}
+		})
+	}
+}
+
+// TestDuplicateFuzz: fuzzed copies differ from their source in exactly
+// one logged attribute, and a fuzz-free plan's rng stream (and therefore
+// its entire dirty table and log) is unchanged by the feature existing.
+func TestDuplicateFuzz(t *testing.T) {
+	clean := cleanTable(t, 400)
+	plan := Plan{DuplicateProb: 0.2, DuplicateFuzz: 1.0}
+	dirty, log := Run(clean, plan, rand.New(rand.NewSource(77)))
+
+	groups := log.DuplicateGroups()
+	if len(groups) == 0 {
+		t.Fatal("no duplicates produced at p=0.2 over 400 rows")
+	}
+	idx := dirty.RowIndexByID()
+	fuzzed := 0
+	for srcID, copies := range groups {
+		for _, copyID := range copies {
+			src, cp := idx[srcID], idx[copyID]
+			diff := 0
+			for c := 0; c < dirty.NumCols(); c++ {
+				if !dirty.Get(src, c).Equal(dirty.Get(cp, c)) {
+					diff++
+				}
+			}
+			if diff > 1 {
+				t.Fatalf("copy %d differs from source %d in %d attributes, want at most 1", copyID, srcID, diff)
+			}
+			if diff == 1 {
+				fuzzed++
+			}
+		}
+	}
+	if fuzzed == 0 {
+		t.Fatal("DuplicateFuzz=1.0 produced no near duplicates")
+	}
+	// Every fuzz is logged as a WrongValue on the copy.
+	cellEvents := log.CellEvents()
+	if got := len(cellEvents); got != fuzzed {
+		t.Fatalf("%d fuzzed copies but %d cell-event records", fuzzed, got)
+	}
+
+	// Scale must carry the fuzz probability through unscaled.
+	if s := plan.Scale(0.5); s.DuplicateFuzz != 1.0 {
+		t.Fatalf("Scale changed DuplicateFuzz to %v", s.DuplicateFuzz)
+	}
+
+	// rng-stream stability: a fuzz-free plan produces the identical run
+	// it did before the feature existed (same seed, same draws).
+	base := Plan{DuplicateProb: 0.2}
+	d1, l1 := Run(clean, base, rand.New(rand.NewSource(9)))
+	d2, l2 := Run(clean, base, rand.New(rand.NewSource(9)))
+	if !reflect.DeepEqual(l1.Events, l2.Events) || d1.NumRows() != d2.NumRows() {
+		t.Fatal("fuzz-free runs with one seed diverged")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"dataaudit/internal/audit"
 	"dataaudit/internal/audittree"
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/dedup"
 	"dataaudit/internal/registry"
 )
 
@@ -61,7 +62,11 @@ type InduceRequest struct {
 	// dataset.ParseSchema ("BRV nominal 404,501\nKM numeric 0 200000\n...").
 	Schema string `json:"schema"`
 	// CSV is the training sample with a header row of attribute names.
-	CSV string `json:"csv"`
+	// Exactly one of CSV and JSONL must be set.
+	CSV string `json:"csv,omitempty"`
+	// JSONL is the training sample as newline-delimited JSON objects,
+	// fields keyed by attribute name (dataset.JSONLSource).
+	JSONL string `json:"jsonl,omitempty"`
 	// Options configure structure induction.
 	Options OptionsJSON `json:"options"`
 }
@@ -125,12 +130,68 @@ type AuditResponse struct {
 	// confidence — "ranked according to their associated error confidence"
 	// (§6.2) — or every record when the request asked for all=1.
 	Reports []ReportJSON `json:"reports"`
+	// AttrDims lists the batch's per-attribute quality dimensions
+	// (completeness and uniqueness), schema order.
+	AttrDims []AttrDimJSON `json:"attrDims,omitempty"`
+	// Duplicates is the duplicate scan of the batch, present when the
+	// request asked for dedup=1.
+	Duplicates *DuplicatesJSON `json:"duplicates,omitempty"`
 	// Sharded marks a batch scored by the shard coordinator across
 	// worker processes; ShardWorkers is the configured worker count.
 	// Absent on locally scored batches (including ?local=1 on a
 	// coordinator) — the reports themselves are identical either way.
 	Sharded      bool `json:"sharded,omitempty"`
 	ShardWorkers int  `json:"shardWorkers,omitempty"`
+}
+
+// AttrDimJSON carries one attribute's observed quality dimensions.
+type AttrDimJSON struct {
+	// Attr is the attribute's name.
+	Attr string `json:"attr"`
+	// Rows counts observed rows; Nulls the null cells among them.
+	Rows  int64 `json:"rows"`
+	Nulls int64 `json:"nulls"`
+	// NullRate is Nulls/Rows (completeness' complement).
+	NullRate float64 `json:"nullRate"`
+	// Distinct is the (estimated) distinct non-null value count;
+	// Uniqueness the distinct-per-non-null ratio in [0, 1].
+	Distinct   int64   `json:"distinct"`
+	Uniqueness float64 `json:"uniqueness"`
+}
+
+// DuplicateGroupJSON is one set of mutually duplicate records. The first
+// row is the canonical record; the rest are its duplicates.
+type DuplicateGroupJSON struct {
+	Rows []int   `json:"rows"`
+	IDs  []int64 `json:"ids"`
+	// Exact reports a cell-for-cell identical group; MinSimilarity the
+	// smallest member-to-canonical similarity (1 for exact groups).
+	Exact         bool    `json:"exact"`
+	MinSimilarity float64 `json:"minSimilarity"`
+}
+
+// DuplicatesJSON is the duplicate scan of an audited batch (?dedup=1).
+type DuplicatesJSON struct {
+	// Rows is the number of records scanned.
+	Rows int `json:"rows"`
+	// Key names the blocking-key attributes of the near pass;
+	// KeyDiscovered whether the key was mined from the batch rather than
+	// supplied.
+	Key           []string `json:"key,omitempty"`
+	KeyDiscovered bool     `json:"keyDiscovered,omitempty"`
+	// ExactGroups / NearGroups split the group count; DuplicateRows
+	// counts non-canonical members; DuplicateRate is their row fraction.
+	ExactGroups   int     `json:"exactGroups"`
+	NearGroups    int     `json:"nearGroups"`
+	DuplicateRows int     `json:"duplicateRows"`
+	DuplicateRate float64 `json:"duplicateRate"`
+	// BlocksCapped counts near-pass blocks truncated by the block cap —
+	// when positive, coverage of those blocks is partial.
+	BlocksCapped int `json:"blocksCapped,omitempty"`
+	// DetectMillis is the scan wall time.
+	DetectMillis int64 `json:"detectMillis"`
+	// Groups lists every duplicate group, ordered by canonical row.
+	Groups []DuplicateGroupJSON `json:"groups"`
 }
 
 // ShardWorkersResponse is the body of GET /v1/shard/workers (coordinator
@@ -224,4 +285,49 @@ func reportJSON(m *audit.Model, rep *audit.RecordReport) ReportJSON {
 // is the same StringRowsSource path the streaming engine uses.
 func parseRows(s *dataset.Schema, rows [][]string) (*dataset.Table, error) {
 	return dataset.ReadAll(dataset.NewStringRowsSource(s, rows))
+}
+
+// attrDimsJSON renders the per-attribute quality dimensions.
+func attrDimsJSON(s *dataset.Schema, dims []audit.AttrDim) []AttrDimJSON {
+	out := make([]AttrDimJSON, 0, len(dims))
+	for i := range dims {
+		d := &dims[i]
+		out = append(out, AttrDimJSON{
+			Attr:       s.Attr(d.Attr).Name,
+			Rows:       d.Rows,
+			Nulls:      d.Nulls,
+			NullRate:   d.NullRate(),
+			Distinct:   d.Distinct(),
+			Uniqueness: d.Uniqueness(),
+		})
+	}
+	return out
+}
+
+// duplicatesJSON renders a duplicate scan.
+func duplicatesJSON(s *dataset.Schema, res *dedup.Result) *DuplicatesJSON {
+	out := &DuplicatesJSON{
+		Rows:          res.Rows,
+		KeyDiscovered: res.KeyDiscovered,
+		ExactGroups:   res.ExactGroups,
+		NearGroups:    res.NearGroups,
+		DuplicateRows: res.DuplicateRows,
+		DuplicateRate: res.DuplicateRate(),
+		BlocksCapped:  res.BlocksCapped,
+		DetectMillis:  res.DetectTime.Milliseconds(),
+		Groups:        make([]DuplicateGroupJSON, 0, len(res.Groups)),
+	}
+	for _, c := range res.Key {
+		out.Key = append(out.Key, s.Attr(c).Name)
+	}
+	for i := range res.Groups {
+		g := &res.Groups[i]
+		out.Groups = append(out.Groups, DuplicateGroupJSON{
+			Rows:          g.Rows,
+			IDs:           g.IDs,
+			Exact:         g.Exact,
+			MinSimilarity: g.MinSimilarity,
+		})
+	}
+	return out
 }

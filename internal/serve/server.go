@@ -16,6 +16,7 @@ import (
 
 	"dataaudit/internal/audit"
 	"dataaudit/internal/dataset"
+	"dataaudit/internal/dedup"
 	"dataaudit/internal/monitor"
 	"dataaudit/internal/obs"
 	"dataaudit/internal/registry"
@@ -440,7 +441,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleInduce implements POST /v1/models: parse the uploaded schema and
-// training CSV, induce a structure model and publish it.
+// training rows (CSV or JSONL), induce a structure model and publish it.
 func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeInduceRequest(r)
 	if err != nil {
@@ -456,13 +457,26 @@ func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "schema: %v", err)
 		return
 	}
-	tab, err := dataset.ReadCSV(strings.NewReader(req.CSV), schema)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "csv: %v", err)
+	if req.CSV != "" && req.JSONL != "" {
+		s.writeError(w, http.StatusBadRequest, "set either csv or jsonl training rows, not both")
 		return
 	}
+	var tab *dataset.Table
+	if req.JSONL != "" {
+		tab, err = dataset.ReadAll(dataset.NewJSONLSource(strings.NewReader(req.JSONL), schema))
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "jsonl: %v", err)
+			return
+		}
+	} else {
+		tab, err = dataset.ReadCSV(strings.NewReader(req.CSV), schema)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "csv: %v", err)
+			return
+		}
+	}
 	if tab.NumRows() == 0 {
-		s.writeError(w, http.StatusBadRequest, "csv: no training rows")
+		s.writeError(w, http.StatusBadRequest, "no training rows")
 		return
 	}
 	opts, err := req.Options.ToOptions()
@@ -488,7 +502,7 @@ func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeInduceRequest accepts either a JSON body or a multipart form with
-// fields/parts name, schema, csv and options (options itself JSON).
+// fields/parts name, schema, csv, jsonl and options (options itself JSON).
 func decodeInduceRequest(r *http.Request) (*InduceRequest, error) {
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if ct == "multipart/form-data" {
@@ -499,6 +513,7 @@ func decodeInduceRequest(r *http.Request) (*InduceRequest, error) {
 			Name:   r.FormValue("name"),
 			Schema: r.FormValue("schema"),
 			CSV:    r.FormValue("csv"),
+			JSONL:  r.FormValue("jsonl"),
 		}
 		if f, _, err := r.FormFile("schema"); err == nil {
 			b, err := io.ReadAll(f)
@@ -515,6 +530,14 @@ func decodeInduceRequest(r *http.Request) (*InduceRequest, error) {
 				return nil, err
 			}
 			req.CSV = string(b)
+		}
+		if f, _, err := r.FormFile("jsonl"); err == nil {
+			b, err := io.ReadAll(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			req.JSONL = string(b)
 		}
 		if o := r.FormValue("options"); o != "" {
 			if err := json.Unmarshal([]byte(o), &req.Options); err != nil {
@@ -592,10 +615,22 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		CheckMillis:   res.CheckTime.Milliseconds(),
 		Workers:       workers,
 		Reports:       []ReportJSON{},
+		AttrDims:      attrDimsJSON(model.Schema, res.Dims),
 	}
 	if sharded {
 		resp.Sharded = true
 		resp.ShardWorkers = len(s.coord.Workers())
+	}
+	if r.URL.Query().Get("dedup") == "1" {
+		// The duplicate scan is a second pass over the buffered table —
+		// cheap next to scoring (hash + blocked pairwise compare) and
+		// strictly opt-in, so the default audit path stays untouched.
+		dres, err := dedup.Detect(tab, dedup.Options{})
+		if err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "dedup: %v", err)
+			return
+		}
+		resp.Duplicates = duplicatesJSON(model.Schema, dres)
 	}
 	if r.URL.Query().Get("all") == "1" {
 		for i := range res.Reports {
@@ -609,14 +644,30 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// isCSVType / isJSONLType classify the batch content types both audit
+// routes accept beyond the default JSON body.
+func isCSVType(ct string) bool { return ct == "text/csv" || ct == "application/csv" }
+
+func isJSONLType(ct string) bool {
+	return ct == "application/x-ndjson" || ct == "application/jsonl" || ct == "application/x-jsonlines"
+}
+
 // decodeAuditBatch reads the records to score: a CSV body (with header)
+// or a JSONL body (one object per line, fields keyed by attribute name)
 // when the content type says so, otherwise a JSON AuditRequest.
 func (s *Server) decodeAuditBatch(r *http.Request, schema *dataset.Schema) (*dataset.Table, error) {
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
-	if ct == "text/csv" || ct == "application/csv" {
+	if isCSVType(ct) {
 		tab, err := dataset.ReadCSV(r.Body, schema)
 		if err != nil {
 			return nil, fmt.Errorf("csv: %w", err)
+		}
+		return tab, nil
+	}
+	if isJSONLType(ct) {
+		tab, err := dataset.ReadAll(dataset.NewJSONLSource(r.Body, schema))
+		if err != nil {
+			return nil, fmt.Errorf("jsonl: %w", err)
 		}
 		return tab, nil
 	}

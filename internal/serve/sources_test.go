@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"dataaudit/internal/dataset"
+)
+
+// Tests of the ingestion-format surface: JSONL bodies on the audit
+// routes, JSONL training uploads, the per-attribute quality dimensions
+// and the opt-in duplicate scan.
+
+// dirtyEngineBatch clones the fixture table and corrupts the GBM of every
+// 97th BRV=404 row (the seeded §6.2 deviation the batch tests flag).
+func dirtyEngineBatch(t *testing.T, tab *dataset.Table) (*dataset.Table, int) {
+	t.Helper()
+	gbm := tab.Schema().Index("GBM")
+	gbmAttr := tab.Schema().Attr(gbm)
+	dirty := tab.Clone()
+	corrupted := 0
+	for r := 0; r < dirty.NumRows() && corrupted < 25; r += 97 {
+		if gbmAttr.Format(dirty.Get(r, gbm)) == "901" {
+			dirty.Set(r, gbm, gbmAttr.MustNominal("911"))
+			corrupted++
+		}
+	}
+	return dirty, corrupted
+}
+
+// TestJSONLMatchesCSV publishes a model from JSONL training rows, then
+// audits the same dirty batch through the CSV and the JSONL content
+// types and requires identical responses — the JSONL decoder must not
+// change a single score, report or dimension.
+func TestJSONLMatchesCSV(t *testing.T) {
+	ts := newTestServer(t)
+	schemaText, _, tab := engineFixture(t, 4000)
+
+	var trainJSONL bytes.Buffer
+	if err := dataset.WriteJSONL(&trainJSONL, tab); err != nil {
+		t.Fatal(err)
+	}
+	created := decode[ModelResponse](t, postJSON(t, ts.URL+"/v1/models", InduceRequest{
+		Name:    "engines",
+		Schema:  schemaText,
+		JSONL:   trainJSONL.String(),
+		Options: OptionsJSON{MinConfidence: 0.8, Filter: "reachable-only"},
+	}), http.StatusCreated)
+	if created.Version != 1 || created.TrainRows != tab.NumRows() {
+		t.Fatalf("JSONL induce: %+v", created)
+	}
+
+	dirty, corrupted := dirtyEngineBatch(t, tab)
+	var csvBody, jsonlBody bytes.Buffer
+	if err := dataset.WriteCSV(&csvBody, dirty); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteJSONL(&jsonlBody, dirty); err != nil {
+		t.Fatal(err)
+	}
+
+	audit := func(contentType string, body *bytes.Buffer) AuditResponse {
+		resp, err := http.Post(ts.URL+"/v1/models/engines/audit?workers=2", contentType, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := decode[AuditResponse](t, resp, http.StatusOK)
+		res.CheckMillis = 0 // wall time — the only field allowed to differ
+		return res
+	}
+	fromCSV := audit("text/csv", &csvBody)
+	fromJSONL := audit("application/x-ndjson", &jsonlBody)
+
+	if fromCSV.NumSuspicious < corrupted/2 {
+		t.Fatalf("seeded deviations not flagged: suspicious=%d corrupted=%d", fromCSV.NumSuspicious, corrupted)
+	}
+	if !reflect.DeepEqual(fromCSV, fromJSONL) {
+		t.Fatalf("JSONL audit differs from CSV audit:\ncsv:   %+v\njsonl: %+v", fromCSV, fromJSONL)
+	}
+}
+
+// TestStreamJSONLMatchesCSVStream runs the streaming endpoint once with
+// a CSV body and once with the same rows as JSONL and requires identical
+// report lines and summaries (wall time aside).
+func TestStreamJSONLMatchesCSVStream(t *testing.T) {
+	ts := newTestServer(t)
+	tab := publishEngines(t, ts, 4000)
+	dirty, _ := corruptGBM(t, tab, 20)
+
+	var csvBody, jsonlBody bytes.Buffer
+	if err := dataset.WriteCSV(&csvBody, dirty); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteJSONL(&jsonlBody, dirty); err != nil {
+		t.Fatal(err)
+	}
+
+	stream := func(contentType string, body *bytes.Buffer) ([]ReportJSON, *StreamSummaryJSON) {
+		resp, err := http.Post(ts.URL+"/v1/models/engines/audit/stream?workers=2&chunk=256", contentType, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		reports, summary, errLine := readStream(t, resp.Body)
+		if errLine != "" || summary == nil {
+			t.Fatalf("stream failed: err=%q summary=%v", errLine, summary)
+		}
+		summary.CheckMillis = 0
+		return reports, summary
+	}
+	csvReports, csvSummary := stream("text/csv", &csvBody)
+	jsonlReports, jsonlSummary := stream("application/x-ndjson", &jsonlBody)
+
+	if csvSummary.NumSuspicious == 0 {
+		t.Fatal("seeded deviations not flagged")
+	}
+	if !reflect.DeepEqual(csvReports, jsonlReports) {
+		t.Fatalf("JSONL stream reports differ from CSV:\ncsv:   %+v\njsonl: %+v", csvReports, jsonlReports)
+	}
+	if !reflect.DeepEqual(csvSummary, jsonlSummary) {
+		t.Fatalf("JSONL stream summary differs from CSV:\ncsv:   %+v\njsonl: %+v", csvSummary, jsonlSummary)
+	}
+}
+
+// TestInduceRejectsBothFormats requires the induce route to fail loudly
+// when a request carries both CSV and JSONL training rows.
+func TestInduceRejectsBothFormats(t *testing.T) {
+	ts := newTestServer(t)
+	schemaText, csvText, tab := engineFixture(t, 600)
+	var jsonl bytes.Buffer
+	if err := dataset.WriteJSONL(&jsonl, tab); err != nil {
+		t.Fatal(err)
+	}
+	decode[ErrorResponse](t, postJSON(t, ts.URL+"/v1/models", InduceRequest{
+		Name: "x", Schema: schemaText, CSV: csvText, JSONL: jsonl.String(),
+	}), http.StatusBadRequest)
+}
+
+// TestAuditAttrDims seeds nulls into one column and checks the response's
+// per-attribute quality dimensions: exact null counts and rates on the
+// nulled column, full completeness elsewhere.
+func TestAuditAttrDims(t *testing.T) {
+	ts := newTestServer(t)
+	schemaText, csvText, tab := engineFixture(t, 2000)
+	decode[ModelResponse](t, postJSON(t, ts.URL+"/v1/models", InduceRequest{
+		Name: "engines", Schema: schemaText, CSV: csvText,
+	}), http.StatusCreated)
+
+	kbm := tab.Schema().Index("KBM")
+	nulled := tab.Clone()
+	nulls := 0
+	for r := 0; r < nulled.NumRows(); r += 4 {
+		nulled.Set(r, kbm, dataset.Null())
+		nulls++
+	}
+	var body bytes.Buffer
+	if err := dataset.WriteCSV(&body, nulled); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/models/engines/audit", "text/csv", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decode[AuditResponse](t, resp, http.StatusOK)
+
+	if len(res.AttrDims) != tab.Schema().Len() {
+		t.Fatalf("attrDims has %d entries, want %d", len(res.AttrDims), tab.Schema().Len())
+	}
+	for _, d := range res.AttrDims {
+		if d.Rows != int64(nulled.NumRows()) {
+			t.Fatalf("%s rows = %d, want %d", d.Attr, d.Rows, nulled.NumRows())
+		}
+		wantNulls := int64(0)
+		if d.Attr == "KBM" {
+			wantNulls = int64(nulls)
+		}
+		if d.Nulls != wantNulls {
+			t.Fatalf("%s nulls = %d, want %d", d.Attr, d.Nulls, wantNulls)
+		}
+		if want := float64(wantNulls) / float64(nulled.NumRows()); d.NullRate != want {
+			t.Fatalf("%s nullRate = %v, want %v", d.Attr, d.NullRate, want)
+		}
+		if d.Attr == "DISP" && d.Uniqueness == 0 {
+			t.Fatalf("DISP uniqueness = 0, want > 0")
+		}
+	}
+}
+
+// TestAuditDedup duplicates rows of the batch and checks the opt-in
+// duplicate scan: absent by default, exact groups with the seeded
+// duplicates under ?dedup=1.
+func TestAuditDedup(t *testing.T) {
+	ts := newTestServer(t)
+	schemaText, csvText, tab := engineFixture(t, 1500)
+	decode[ModelResponse](t, postJSON(t, ts.URL+"/v1/models", InduceRequest{
+		Name: "engines", Schema: schemaText, CSV: csvText,
+	}), http.StatusCreated)
+
+	// Re-append 10 existing rows verbatim: exact duplicates.
+	dup := tab.Clone()
+	row := make([]dataset.Value, tab.Schema().Len())
+	const copies = 10
+	for i := 0; i < copies; i++ {
+		r := i * 131
+		for c := range row {
+			row[c] = tab.Get(r, c)
+		}
+		dup.AppendRow(row)
+	}
+	render := func() *bytes.Buffer {
+		var b bytes.Buffer
+		if err := dataset.WriteCSV(&b, dup); err != nil {
+			t.Fatal(err)
+		}
+		return &b
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/models/engines/audit", "text/csv", render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := decode[AuditResponse](t, resp, http.StatusOK)
+	if plain.Duplicates != nil {
+		t.Fatalf("duplicates present without dedup=1: %+v", plain.Duplicates)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/models/engines/audit?dedup=1", "text/csv", render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decode[AuditResponse](t, resp, http.StatusOK)
+	d := res.Duplicates
+	if d == nil {
+		t.Fatal("no duplicates in dedup=1 response")
+	}
+	if d.Rows != dup.NumRows() {
+		t.Fatalf("scan rows = %d, want %d", d.Rows, dup.NumRows())
+	}
+	if d.DuplicateRows < copies {
+		t.Fatalf("duplicateRows = %d, want >= %d seeded copies", d.DuplicateRows, copies)
+	}
+	if d.ExactGroups < 1 || len(d.Groups) == 0 {
+		t.Fatalf("no exact groups found: %+v", d)
+	}
+	for _, g := range d.Groups {
+		if len(g.Rows) < 2 || len(g.Rows) != len(g.IDs) {
+			t.Fatalf("malformed group %+v", g)
+		}
+		if g.Exact && g.MinSimilarity != 1 {
+			t.Fatalf("exact group with minSimilarity %v", g.MinSimilarity)
+		}
+	}
+}

@@ -11,7 +11,8 @@ import (
 )
 
 // The streaming audit endpoint: POST /v1/models/{name}/audit/stream
-// accepts a text/csv body of unbounded length and answers with NDJSON
+// accepts a text/csv or application/x-ndjson (JSONL) body of unbounded
+// length and answers with NDJSON
 // (application/x-ndjson), one line per suspicious record as soon as its
 // chunk is scored — while the upload is still being read — terminated by
 // a summary line. Memory on the server stays O(chunk × workers + top-K)
@@ -83,6 +84,10 @@ type StreamSummaryJSON struct {
 	Top []TopRecordJSON `json:"top"`
 	// AttrTallies lists the per-attribute deviation tallies.
 	AttrTallies []AttrTallyJSON `json:"attrTallies"`
+	// AttrDims lists the stream's per-attribute quality dimensions
+	// (completeness and uniqueness), schema order — identical to the
+	// buffered endpoint's attrDims on the same rows.
+	AttrDims []AttrDimJSON `json:"attrDims"`
 }
 
 // handleAuditStream implements POST /v1/models/{name}/audit/stream.
@@ -98,8 +103,9 @@ func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); ct != "text/csv" && ct != "application/csv" {
-		s.writeError(w, http.StatusUnsupportedMediaType, "streaming audit needs a text/csv body, got %q", ct)
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if !isCSVType(ct) && !isJSONLType(ct) {
+		s.writeError(w, http.StatusUnsupportedMediaType, "streaming audit needs a text/csv or application/x-ndjson body, got %q", ct)
 		return
 	}
 
@@ -157,13 +163,18 @@ func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The streaming route is exempt from the body byte cap, so bound the
-	// one thing the incremental decoder buffers: a single CSV record.
-	// Without this, a body with no record boundary — no newline, or an
-	// unterminated quoted field spanning newlines — would grow
-	// encoding/csv's buffer to the upload size.
-	src, err := dataset.NewBoundedCSVSource(r.Body, model.Schema, maxStreamRecordBytes)
+	// one thing the incremental decoder buffers: a single record. Without
+	// this, a body with no record boundary — no newline, or an
+	// unterminated quoted field spanning newlines — would grow the
+	// decoder's buffer to the upload size.
+	var src dataset.RowSource
+	if isJSONLType(ct) {
+		src, err = dataset.NewBoundedJSONLSource(r.Body, model.Schema, maxStreamRecordBytes)
+	} else {
+		src, err = dataset.NewBoundedCSVSource(r.Body, model.Schema, maxStreamRecordBytes)
+	}
 	if err != nil {
-		s.writeError(w, badRequestStatus(err), "csv: %v", err)
+		s.writeError(w, badRequestStatus(err), "body: %v", err)
 		return
 	}
 
@@ -212,6 +223,7 @@ func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
 		ChunkSize:     opts.ChunkSize,
 		Top:           make([]TopRecordJSON, 0, len(res.Top)),
 		AttrTallies:   make([]AttrTallyJSON, 0, len(res.Attrs)),
+		AttrDims:      attrDimsJSON(model.Schema, res.Dims),
 	}
 	for i := range res.Top {
 		rep := &res.Top[i]

@@ -197,6 +197,12 @@ func scatterMerge(results []*audit.Result, shards [][]int, n int) *audit.Result 
 			rep.RepointBest()
 			out.Reports[rep.Row] = rep
 		}
+		switch {
+		case out.Dims == nil:
+			out.Dims = audit.CloneDims(res.Dims)
+		case res.Dims != nil:
+			audit.MergeDims(out.Dims, res.Dims)
+		}
 	}
 	return out
 }

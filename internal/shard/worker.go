@@ -24,6 +24,7 @@ func ScoreStream(model *audit.Model, sr *dataset.ChunkStreamReader, wantSchemaHa
 	start := time.Now()
 	res := &audit.Result{NumAttrs: model.Schema.Len()}
 	scratch := audit.NewChunkScratch(model)
+	dims := audit.NewDimTracker(model.Schema)
 	checked := false
 	rows := 0
 	for {
@@ -46,12 +47,17 @@ func ScoreStream(model *audit.Model, sr *dataset.ChunkStreamReader, wantSchemaHa
 		if maxRows > 0 && rows+ck.Rows() > maxRows {
 			return nil, &RowLimitError{Limit: maxRows}
 		}
+		dims.ObserveChunk(ck)
 		reps := model.CheckChunk(ck, int64(rows), scratch)
 		for i := range reps {
 			res.Reports = append(res.Reports, reps[i].Detach())
 		}
 		rows += ck.Rows()
 	}
+	// Shard dims fold back to the single-node values at the coordinator:
+	// every accumulator is a sum or set union, so the partition into
+	// shards is invisible in the merged result.
+	res.Dims = dims.Dims()
 	res.CheckTime = time.Since(start)
 	return &ShardResult{Rows: rows, Result: res}, nil
 }

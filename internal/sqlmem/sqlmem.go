@@ -1,0 +1,115 @@
+// Package sqlmem is a minimal in-memory database/sql driver, registered
+// under the name "sqlmem". It exists so the SQL ingestion path can be
+// exercised end to end — database/sql connection pooling, driver-value
+// coercion, NULL handling — without any external database or driver
+// dependency. It is intentionally not a SQL engine: a query must be of
+// the form "SELECT * FROM <table>" against a table previously registered
+// with RegisterTable.
+package sqlmem
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+func init() {
+	sql.Register("sqlmem", &memDriver{})
+}
+
+var (
+	mu     sync.RWMutex
+	tables = map[string]*memTable{}
+)
+
+type memTable struct {
+	cols []string
+	rows [][]driver.Value
+}
+
+// RegisterTable installs (or replaces) a named in-memory table. Row
+// values must be driver.Value kinds: int64, float64, bool, []byte,
+// string, time.Time, or nil. The slices are retained; do not mutate them
+// after registration.
+func RegisterTable(name string, cols []string, rows [][]driver.Value) error {
+	for i, row := range rows {
+		if len(row) != len(cols) {
+			return fmt.Errorf("sqlmem: row %d has %d values for %d columns", i, len(row), len(cols))
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	tables[name] = &memTable{cols: cols, rows: rows}
+	return nil
+}
+
+// DropTable removes a registered table (tests use it for cleanup).
+func DropTable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(tables, name)
+}
+
+type memDriver struct{}
+
+// Open implements driver.Driver; every DSN shares the global registry.
+func (*memDriver) Open(string) (driver.Conn, error) { return &memConn{}, nil }
+
+type memConn struct{}
+
+func (*memConn) Prepare(query string) (driver.Stmt, error) { return &memStmt{query: query}, nil }
+func (*memConn) Close() error                              { return nil }
+func (*memConn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("sqlmem: transactions are not supported")
+}
+
+type memStmt struct{ query string }
+
+func (*memStmt) Close() error  { return nil }
+func (*memStmt) NumInput() int { return 0 }
+func (*memStmt) Exec([]driver.Value) (driver.Result, error) {
+	return nil, fmt.Errorf("sqlmem: only queries are supported")
+}
+
+func (s *memStmt) Query([]driver.Value) (driver.Rows, error) {
+	name, err := tableName(s.query)
+	if err != nil {
+		return nil, err
+	}
+	mu.RLock()
+	t := tables[name]
+	mu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("sqlmem: no table %q registered", name)
+	}
+	return &memRows{t: t}, nil
+}
+
+// tableName parses the one supported statement shape.
+func tableName(query string) (string, error) {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(query), ";"))
+	if len(fields) == 4 && strings.EqualFold(fields[0], "SELECT") && fields[1] == "*" && strings.EqualFold(fields[2], "FROM") {
+		return fields[3], nil
+	}
+	return "", fmt.Errorf("sqlmem: unsupported query %q (want \"SELECT * FROM <table>\")", query)
+}
+
+type memRows struct {
+	t    *memTable
+	next int
+}
+
+func (r *memRows) Columns() []string { return r.t.cols }
+func (r *memRows) Close() error      { return nil }
+
+func (r *memRows) Next(dest []driver.Value) error {
+	if r.next >= len(r.t.rows) {
+		return io.EOF
+	}
+	copy(dest, r.t.rows[r.next])
+	r.next++
+	return nil
+}

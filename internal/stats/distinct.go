@@ -1,0 +1,132 @@
+package stats
+
+// KMV is a K-minimum-values distinct-count sketch over 64-bit hashes.
+// It keeps the K smallest distinct hash values seen; below saturation the
+// sketch is exact, at saturation the classic bottom-k estimator
+// (K-1) * 2^64 / kth-minimum extrapolates the distinct count.
+//
+// The state is a sorted set, so Merge is a set union: the sketch of a
+// table is byte-identical no matter how the rows were chunked, ordered or
+// sharded before being folded together. The audit layer depends on that
+// to keep sequential, parallel and multi-process results gob-identical.
+type KMV struct {
+	// K is the capacity; Hashes the sorted distinct k-minimum values.
+	K      int      `json:"k"`
+	Hashes []uint64 `json:"hashes,omitempty"`
+}
+
+// DefaultKMVSize is the sketch capacity used by the audit dimensions:
+// exact counts up to 1024 distinct values, ~3% standard error above.
+const DefaultKMVSize = 1024
+
+// NewKMV returns an empty sketch with capacity k (DefaultKMVSize when
+// k <= 0).
+func NewKMV(k int) *KMV {
+	if k <= 0 {
+		k = DefaultKMVSize
+	}
+	return &KMV{K: k}
+}
+
+// Add folds one hash into the sketch.
+func (s *KMV) Add(h uint64) {
+	n := len(s.Hashes)
+	// Saturated and not below the current maximum: cannot enter the
+	// bottom-k. This is the steady-state path once a high-cardinality
+	// column has warmed the sketch up.
+	if n == s.K && h >= s.Hashes[n-1] {
+		return
+	}
+	// Binary search for the insertion point.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.Hashes[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n && s.Hashes[lo] == h {
+		return // already present
+	}
+	if n == s.K {
+		// Shift the tail right over the evicted maximum.
+		copy(s.Hashes[lo+1:], s.Hashes[lo:n-1])
+		s.Hashes[lo] = h
+		return
+	}
+	s.Hashes = append(s.Hashes, 0)
+	copy(s.Hashes[lo+1:], s.Hashes[lo:n])
+	s.Hashes[lo] = h
+}
+
+// Merge unions other into s. Panics if the capacities differ: sketches
+// with different K are not comparable.
+func (s *KMV) Merge(other *KMV) {
+	if other == nil || len(other.Hashes) == 0 {
+		return
+	}
+	if s.K != other.K {
+		panic("stats: KMV.Merge capacity mismatch")
+	}
+	merged := make([]uint64, 0, len(s.Hashes)+len(other.Hashes))
+	i, j := 0, 0
+	for i < len(s.Hashes) && j < len(other.Hashes) {
+		a, b := s.Hashes[i], other.Hashes[j]
+		switch {
+		case a < b:
+			merged = append(merged, a)
+			i++
+		case b < a:
+			merged = append(merged, b)
+			j++
+		default:
+			merged = append(merged, a)
+			i++
+			j++
+		}
+	}
+	merged = append(merged, s.Hashes[i:]...)
+	merged = append(merged, other.Hashes[j:]...)
+	if len(merged) > s.K {
+		merged = merged[:s.K]
+	}
+	s.Hashes = merged
+}
+
+// Distinct estimates the number of distinct hashes folded in. Exact while
+// the sketch has not saturated.
+func (s *KMV) Distinct() int64 {
+	n := len(s.Hashes)
+	if n < s.K || n == 0 {
+		return int64(n)
+	}
+	kth := s.Hashes[n-1]
+	if kth == 0 {
+		return int64(n)
+	}
+	// (K-1) * 2^64 / kth-minimum, computed in float64: the estimate's
+	// ~1/sqrt(K) relative error dwarfs the float rounding.
+	est := float64(s.K-1) * (18446744073709551616.0 / float64(kth))
+	if est < float64(n) {
+		return int64(n)
+	}
+	return int64(est + 0.5)
+}
+
+// Saturated reports whether the sketch holds K hashes (estimates instead
+// of exact counts).
+func (s *KMV) Saturated() bool { return len(s.Hashes) >= s.K }
+
+// Clone returns an independent copy.
+func (s *KMV) Clone() *KMV {
+	if s == nil {
+		return nil
+	}
+	cp := &KMV{K: s.K}
+	if len(s.Hashes) > 0 {
+		cp.Hashes = append(make([]uint64, 0, len(s.Hashes)), s.Hashes...)
+	}
+	return cp
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestKMVExactBelowCapacity(t *testing.T) {
+	s := NewKMV(64)
+	for i := 0; i < 50; i++ {
+		h := uint64(i)*2654435769 + 1
+		s.Add(h)
+		s.Add(h) // duplicates must not count
+	}
+	if got := s.Distinct(); got != 50 {
+		t.Fatalf("Distinct = %d, want exact 50", got)
+	}
+	if s.Saturated() {
+		t.Fatalf("sketch saturated at 50/64 hashes")
+	}
+	for i := 1; i < len(s.Hashes); i++ {
+		if s.Hashes[i-1] >= s.Hashes[i] {
+			t.Fatalf("Hashes not strictly sorted at %d: %d >= %d", i, s.Hashes[i-1], s.Hashes[i])
+		}
+	}
+}
+
+func TestKMVEstimateAtSaturation(t *testing.T) {
+	s := NewKMV(256)
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Add(rng.Uint64())
+	}
+	if !s.Saturated() {
+		t.Fatalf("sketch not saturated after %d hashes", n)
+	}
+	got := float64(s.Distinct())
+	if rel := math.Abs(got-n) / n; rel > 0.25 {
+		t.Fatalf("Distinct = %.0f, want within 25%% of %d (rel err %.3f)", got, n, rel)
+	}
+}
+
+// TestKMVMergeOrderInsensitive is the property the audit layer leans on:
+// folding a hash stream through any partition and merge order yields a
+// byte-identical sketch.
+func TestKMVMergeOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	hashes := make([]uint64, 5000)
+	for i := range hashes {
+		hashes[i] = rng.Uint64() % 3000 // force duplicates
+	}
+
+	whole := NewKMV(128)
+	for _, h := range hashes {
+		whole.Add(h)
+	}
+
+	for _, parts := range []int{2, 3, 7} {
+		sketches := make([]*KMV, parts)
+		for i := range sketches {
+			sketches[i] = NewKMV(128)
+		}
+		for i, h := range hashes {
+			sketches[i%parts].Add(h)
+		}
+		// Merge back-to-front to exercise a non-trivial order.
+		merged := NewKMV(128)
+		for i := parts - 1; i >= 0; i-- {
+			merged.Merge(sketches[i])
+		}
+		if !reflect.DeepEqual(merged.Hashes, whole.Hashes) {
+			t.Fatalf("parts=%d: merged sketch differs from whole-stream sketch", parts)
+		}
+	}
+}
+
+func TestKMVMergeEmptyAndClone(t *testing.T) {
+	s := NewKMV(16)
+	s.Add(3)
+	s.Add(1)
+	s.Merge(NewKMV(16)) // empty other is a no-op
+	s.Merge(nil)
+	if got := s.Distinct(); got != 2 {
+		t.Fatalf("Distinct after empty merges = %d, want 2", got)
+	}
+	cp := s.Clone()
+	cp.Add(2)
+	if s.Distinct() != 2 || cp.Distinct() != 3 {
+		t.Fatalf("Clone shares state: orig=%d copy=%d", s.Distinct(), cp.Distinct())
+	}
+	var nilSketch *KMV
+	if nilSketch.Clone() != nil {
+		t.Fatalf("nil Clone should stay nil")
+	}
+}
+
+func TestKMVMergeCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Merge with differing K did not panic")
+		}
+	}()
+	a, b := NewKMV(8), NewKMV(16)
+	b.Add(1)
+	a.Merge(b)
+}
+
+func TestKMVDefaultCapacity(t *testing.T) {
+	if s := NewKMV(0); s.K != DefaultKMVSize {
+		t.Fatalf("NewKMV(0).K = %d, want %d", s.K, DefaultKMVSize)
+	}
+}
+
+func TestKMVEvictsMaximum(t *testing.T) {
+	s := NewKMV(4)
+	for _, h := range []uint64{40, 30, 20, 10} {
+		s.Add(h)
+	}
+	s.Add(50) // above max at saturation: rejected
+	if want := []uint64{10, 20, 30, 40}; !reflect.DeepEqual(s.Hashes, want) {
+		t.Fatalf("Hashes = %v, want %v", s.Hashes, want)
+	}
+	s.Add(5) // below max: evicts 40
+	if want := []uint64{5, 10, 20, 30}; !reflect.DeepEqual(s.Hashes, want) {
+		t.Fatalf("Hashes after evicting insert = %v, want %v", s.Hashes, want)
+	}
+	s.Add(10) // duplicate at saturation: no-op
+	if want := []uint64{5, 10, 20, 30}; !reflect.DeepEqual(s.Hashes, want) {
+		t.Fatalf("Hashes after duplicate insert = %v, want %v", s.Hashes, want)
+	}
+}

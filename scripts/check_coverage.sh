@@ -13,7 +13,7 @@ set -euo pipefail
 
 profile=${1:-coverage.out}
 floor=${FLOOR:-70}
-packages=${PACKAGES:-"dataaudit/internal/audit dataaudit/internal/mlcore dataaudit/internal/monitor dataaudit/internal/obs dataaudit/internal/dataset dataaudit/internal/shard"}
+packages=${PACKAGES:-"dataaudit/internal/audit dataaudit/internal/mlcore dataaudit/internal/monitor dataaudit/internal/obs dataaudit/internal/dataset dataaudit/internal/shard dataaudit/internal/assoc dataaudit/internal/dedup"}
 
 if [ ! -f "$profile" ]; then
   echo "check_coverage: profile $profile not found (run: go test -coverprofile=$profile ./...)" >&2

@@ -35,8 +35,11 @@ go run ./cmd/pollute -schema "$WORK/engine.schema" -in "$WORK/clean.csv" \
 
 # --- boot auditd ------------------------------------------------------
 go build -o "$WORK/auditd" ./cmd/auditd
+# -null-delta 0.01: the polluter nulls one random attribute per hit
+# record, so the dirty window's per-attribute null rates sit near
+# null-prob/num-attrs ≈ 0.025 — above 0.01, so completeness drift latches.
 "$WORK/auditd" -addr "127.0.0.1:$PORT" -dir "$WORK/registry" \
-    -monitor-window 1000 -drift-delta 0.05 -auto-reinduce \
+    -monitor-window 1000 -drift-delta 0.05 -null-delta 0.01 -auto-reinduce \
     -reservoir-rows 2048 &
 e2e_register_pid $!
 
@@ -91,6 +94,12 @@ require 'dataaudit_baseline_suspicious_rate{model="e2e"}'
 require 'dataaudit_drift_delta{model="e2e"}'
 require 'dataaudit_drift_page_hinkley{model="e2e"}'
 require 'dataaudit_drift_active{model="e2e"} 0'   # cleared by the successor swap
+# Completeness: the dirty batch nulls ~2.5% of each attribute's cells, so
+# the null counters fill and the window-3 null rates latch the (purely
+# observational) completeness-drift counter.
+require 'dataaudit_attr_nulls_total{model="e2e",attr="GBM"}'
+require 'dataaudit_attr_null_rate{model="e2e",attr="GBM"}'
+require 'dataaudit_attr_null_drift_total{model="e2e",attr="GBM"} 1'
 require 'dataaudit_reservoir_rows{model="e2e"}'
 # The closed loop: drift produced exactly one successful re-induction.
 require 'dataaudit_reinductions_total{model="e2e",outcome="reinduced"} 1'
